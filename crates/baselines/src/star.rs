@@ -1,0 +1,236 @@
+//! Star (§VI-A.2): asymmetric replication with phase switching.
+//!
+//! "An asymmetric replication approach with a two-phase switching algorithm.
+//! It ensures one node has all the partitions. The transactions will be
+//! collected in batches. The distributed transactions in the batch will be
+//! routed to that node as the single-node one and get committed without
+//! 2PC." The super node (node 0) is provisioned with a full replica set at
+//! deployment time; each batch runs a *partition phase* (single-home
+//! transactions at their owners) and a *single-master phase* (every cross
+//! transaction serialized through node 0's workers) separated by switching
+//! barriers — node 0 saturating with the cross ratio is the bottleneck of
+//! Figs. 9 and 11b.
+
+use crate::tags::{fresh, tag, untag};
+use lion_engine::{Engine, OpFail, Protocol, TxnClass};
+use lion_common::{NodeId, PartitionId, Phase, Time, TxnId};
+
+const K_SINGLE: u8 = 1;
+const K_CROSS: u8 = 2;
+
+const SUPER_NODE: NodeId = NodeId(0);
+
+/// The Star baseline.
+#[derive(Default)]
+pub struct Star {
+    initialized: bool,
+    /// Diagnostics: cross transactions routed through the super node.
+    pub super_node_txns: u64,
+}
+
+impl Star {
+    /// Builds Star.
+    pub fn new() -> Self {
+        Star::default()
+    }
+
+    /// Provisions the deployment-time full replica set on the super node.
+    fn ensure_super_node(&mut self, eng: &mut Engine) {
+        if self.initialized {
+            return;
+        }
+        for p in 0..eng.cluster.n_partitions() {
+            let part = PartitionId(p as u32);
+            if !eng.cluster.placement.has_replica(part, SUPER_NODE) {
+                eng.cluster
+                    .install_secondary_free(part, SUPER_NODE)
+                    .expect("provision super node");
+            }
+        }
+        self.initialized = true;
+    }
+
+    /// Is every accessed partition's primary on one node?
+    fn single_home(eng: &Engine, txn: TxnId) -> Option<NodeId> {
+        let parts = &eng.txn(txn).parts;
+        let first = eng.cluster.placement.primary_of(parts[0]);
+        parts
+            .iter()
+            .all(|&p| eng.cluster.placement.primary_of(p) == first)
+            .then_some(first)
+    }
+}
+
+impl Protocol for Star {
+    fn name(&self) -> &'static str {
+        "Star"
+    }
+
+    fn batch_mode(&self) -> bool {
+        true
+    }
+
+    fn on_submit(&mut self, _: &mut Engine, _: TxnId) {}
+
+    fn on_batch(&mut self, eng: &mut Engine, batch: &[TxnId]) {
+        self.ensure_super_node(eng);
+        let now = eng.now();
+        let c = eng.config().sim.cpu;
+
+        // ---- Partition phase: single-home transactions at their owners --
+        let mut phase_end: Time = now;
+        let mut crosses: Vec<TxnId> = Vec::new();
+        for &t in batch {
+            match Self::single_home(eng, t) {
+                Some(home) => {
+                    eng.txn_mut(t).home = home;
+                    let reads = eng.txn(t).req.read_count();
+                    let writes = eng.txn(t).req.write_count();
+                    let cost = eng.op_cpu(reads, writes)
+                        + c.txn_overhead_us
+                        + c.validate_us
+                        + c.install_us;
+                    let (start, end) = eng.cpu_grant(home, now, cost);
+                    eng.charge_phase(t, Phase::Scheduling, start - now);
+                    eng.charge_phase(t, Phase::Execution, cost);
+                    phase_end = phase_end.max(end);
+                    let attempt = eng.txn(t).attempts;
+                    eng.wake_at(end, t, tag(K_SINGLE, attempt, 0));
+                }
+                None => crosses.push(t),
+            }
+        }
+
+        // ---- Phase switch: mastership moves to the super node -----------
+        let switch = phase_end + 2 * eng.cluster.net_delay(64);
+
+        // ---- Single-master phase: all cross txns through node 0 ---------
+        for t in crosses {
+            self.super_node_txns += 1;
+            eng.txn_mut(t).home = SUPER_NODE;
+            eng.txn_mut(t).class = TxnClass::Remastered; // single-node via mastership switch
+            eng.load_declared_sets(t);
+            let reads = eng.txn(t).req.read_count();
+            let writes = eng.txn(t).req.write_count();
+            let cost = eng.op_cpu(reads, writes) + c.txn_overhead_us + c.install_us;
+            let (start, end) = eng.cpu_grant(SUPER_NODE, switch, cost);
+            eng.charge_phase(t, Phase::Scheduling, start - now);
+            eng.charge_phase(t, Phase::Execution, cost);
+            // Writes replicate from the super node back to the owners.
+            let bytes =
+                writes as u64 * (eng.config().sim.value_size as u64 + 32);
+            eng.metrics.replication_bytes += bytes;
+            eng.metrics.bytes_series.add(end, bytes as f64);
+            eng.charge_phase(t, Phase::Replication, eng.cluster.net_delay(bytes as u32));
+            let attempt = eng.txn(t).attempts;
+            eng.wake_at(end, t, tag(K_CROSS, attempt, 0));
+        }
+    }
+
+    fn on_wake(&mut self, eng: &mut Engine, txn: TxnId, tagv: u32) {
+        let (kind, attempt, _) = untag(tagv);
+        if !fresh(attempt, eng.txn(txn).attempts) {
+            return;
+        }
+        match kind {
+            K_SINGLE => {
+                // Execute + OCC commit at the owner.
+                let home = eng.txn(txn).home;
+                match eng.exec_local_ops(home, txn) {
+                    Ok(_) => {
+                        if eng.validate_at(home, txn) {
+                            eng.install_at(home, txn);
+                            eng.commit(txn);
+                        } else {
+                            eng.abort_defer(txn);
+                        }
+                    }
+                    Err(OpFail::Locked) => eng.abort_defer(txn),
+                    Err(_) => eng.abort_defer(txn),
+                }
+            }
+            K_CROSS => {
+                // Serial single-master phase: conflict-free by construction.
+                eng.install_unchecked(txn);
+                eng.commit(txn);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_common::{SimConfig, SECOND};
+    use lion_workloads::{YcsbConfig, YcsbWorkload};
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            nodes: 4,
+            partitions_per_node: 4,
+            keys_per_partition: 256,
+            value_size: 32,
+            batch_size: 64,
+            ..Default::default()
+        }
+    }
+
+    fn ycsb(cross: f64, seed: u64) -> Box<YcsbWorkload> {
+        Box::new(YcsbWorkload::new(
+            YcsbConfig::for_cluster(4, 4, 256).with_mix(cross, 0.0).with_seed(seed),
+        ))
+    }
+
+    #[test]
+    fn star_routes_cross_txns_to_super_node() {
+        let mut eng = Engine::new(cfg(), ycsb(0.8, 51));
+        let mut proto = Star::new();
+        let r = eng.run(&mut proto, 2 * SECOND);
+        assert!(r.commits > 300, "commits {}", r.commits);
+        assert!(proto.super_node_txns > 0);
+        // cross txns counted as converted (mastership switch), not 2PC
+        assert!(r.class_fractions[2] < 0.05, "no distributed 2PC in Star: {:?}", r.class_fractions);
+        // super node holds a full replica set
+        for p in 0..eng.cluster.n_partitions() {
+            assert!(eng
+                .cluster
+                .placement
+                .has_replica(lion_common::PartitionId(p as u32), SUPER_NODE));
+        }
+    }
+
+    #[test]
+    fn super_node_is_the_bottleneck() {
+        // With everything cross-partition, node 0's workers serialize the
+        // whole cluster: throughput must be far below the 0%-cross case.
+        let t_low = {
+            let mut eng = Engine::new(cfg(), ycsb(0.0, 52));
+            eng.run(&mut Star::new(), 2 * SECOND).throughput_tps
+        };
+        let t_high = {
+            let mut eng = Engine::new(cfg(), ycsb(1.0, 53));
+            eng.run(&mut Star::new(), 2 * SECOND).throughput_tps
+        };
+        assert!(
+            t_low > t_high * 1.5,
+            "super node saturation expected: low {t_low:.0} vs high {t_high:.0}"
+        );
+    }
+
+    #[test]
+    fn star_throughput_is_stable_across_mid_cross_ratios() {
+        // The paper notes Star's throughput "remains stable when varying the
+        // cross-ratio" in the mid range (no 2PC cliff).
+        let mk = |cross: f64, seed| {
+            let mut eng = Engine::new(cfg(), ycsb(cross, seed));
+            eng.run(&mut Star::new(), 2 * SECOND).throughput_tps
+        };
+        let t20 = mk(0.2, 54);
+        let t50 = mk(0.5, 55);
+        assert!(
+            t20 / t50 < 2.2,
+            "no 2PC-style collapse between 20% and 50%: {t20:.0} vs {t50:.0}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! A figure-shaped smoke benchmark: one Fig. 7-style point per protocol
+//! class, asserting the harness wiring end-to-end under Criterion timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lion_bench::{run_job, Job, ProtoKind};
+use lion_common::SimConfig;
+use lion_workloads::TpccConfig;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_points");
+    group.sample_size(10);
+
+    let sim = SimConfig {
+        nodes: 4,
+        partitions_per_node: 4,
+        keys_per_partition: 2_000,
+        value_size: 64,
+        clients_per_node: 8,
+        batch_size: 128,
+        ..Default::default()
+    };
+
+    group.bench_function("fig7b_tpcc_lion_point", |b| {
+        let job = Job {
+            label: "Lion".into(),
+            proto: ProtoKind::LionStd,
+            sim: sim.clone(),
+            workload: lion_bench::WorkloadSpec::Tpcc(
+                TpccConfig::for_cluster(4, 4).with_mix(0.5, 0.8),
+            ),
+            horizon: 200_000,
+        };
+        b.iter(|| run_job(&job).commits)
+    });
+
+    group.bench_function("fig9a_ycsb_star_point", |b| {
+        let job = Job {
+            label: "Star".into(),
+            proto: ProtoKind::Star,
+            sim: sim.clone(),
+            workload: lion_bench::WorkloadSpec::Ycsb(
+                lion_workloads::YcsbConfig::for_cluster(4, 4, 2_000).with_mix(0.5, 0.8),
+            ),
+            horizon: 200_000,
+        };
+        b.iter(|| run_job(&job).commits)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

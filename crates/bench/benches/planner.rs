@@ -1,0 +1,72 @@
+//! Planner micro-benchmarks: heat-graph construction, clump generation, and
+//! Algorithm 1 at realistic sweep sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lion_common::{PartitionId, Placement};
+use lion_planner::{generate_clumps, rearrange, schism_plan, HeatGraph, PlannerConfig};
+
+fn synth_graph(n_parts: usize, n_txns: usize) -> (HeatGraph, Placement) {
+    let placement = Placement::round_robin(n_parts, 4, 2);
+    let mut g = HeatGraph::new(n_parts);
+    for i in 0..n_txns {
+        let a = PartitionId((i % n_parts) as u32);
+        let b = PartitionId(((i % n_parts) ^ 1) as u32);
+        g.add_txn(&[a, b], 1.0, &placement, 4.0);
+    }
+    (g, placement)
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    for &n_parts in &[48usize, 240] {
+        group.bench_with_input(
+            BenchmarkId::new("graph_build", n_parts),
+            &n_parts,
+            |b, &n| {
+                let placement = Placement::round_robin(n, 4, 2);
+                b.iter(|| {
+                    let mut g = HeatGraph::new(n);
+                    for i in 0..10_000usize {
+                        let a = PartitionId((i % n) as u32);
+                        let pb = PartitionId(((i % n) ^ 1) as u32);
+                        g.add_txn(&[a, pb], 1.0, &placement, 4.0);
+                    }
+                    g
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("clump_generation", n_parts),
+            &n_parts,
+            |b, &n| {
+                let (g, _) = synth_graph(n, 10_000);
+                b.iter(|| generate_clumps(&g, 2.0, 24))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rearrange", n_parts),
+            &n_parts,
+            |b, &n| {
+                let (g, placement) = synth_graph(n, 10_000);
+                let cfg = PlannerConfig::default();
+                let freq = g.normalized_weights();
+                b.iter(|| {
+                    let clumps = generate_clumps(&g, 2.0, 24);
+                    rearrange(clumps, &placement, &freq, &cfg, true)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("schism_plan", n_parts),
+            &n_parts,
+            |b, &n| {
+                let (g, placement) = synth_graph(n, 10_000);
+                b.iter(|| schism_plan(&g, &placement, 0.25))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Predictor micro-benchmarks: LSTM forward/training and a full prediction
+//! round (the per-planner-tick cost of §IV-C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lion_common::{PartitionId, TxnRecord};
+use lion_predictor::{Lstm, PredictorConfig, WorkloadPredictor};
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor");
+    group.sample_size(20);
+
+    // The paper's model shape: 2 layers x 20 hidden units.
+    let net = Lstm::new(20, 2, 7);
+    let window: Vec<f64> = (0..10).map(|i| (i as f64 * 0.3).sin()).collect();
+    group.bench_function("lstm_forward_2x20_w10", |b| b.iter(|| net.predict(&window)));
+
+    group.bench_function("lstm_train_step_2x20", |b| {
+        let mut net = Lstm::new(20, 2, 8);
+        b.iter(|| net.train_step(&window, 0.5, 0.01))
+    });
+
+    group.bench_function("predict_round_4_classes", |b| {
+        let sec = 1_000_000u64;
+        let mut records = Vec::new();
+        for class in 0..4u64 {
+            for t in 0..40u64 {
+                for k in 0..10 {
+                    records.push(TxnRecord {
+                        at: t * sec + k,
+                        parts: vec![PartitionId(class as u32 * 2), PartitionId(class as u32 * 2 + 1)],
+                    });
+                }
+            }
+        }
+        b.iter(|| {
+            let mut pred = WorkloadPredictor::new(PredictorConfig {
+                sample_interval_us: sec,
+                window: 8,
+                hidden: 8,
+                train_epochs: 5,
+                ..Default::default()
+            });
+            pred.observe(&records);
+            pred.predict(40 * sec)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

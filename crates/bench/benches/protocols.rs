@@ -1,0 +1,49 @@
+//! Protocol throughput micro-benchmarks: short simulated runs per protocol
+//! (wall time per simulated 200 ms of cluster work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lion_bench::{run_job, Job, ProtoKind};
+use lion_common::SimConfig;
+use lion_workloads::YcsbConfig;
+
+fn small_job(proto: ProtoKind, cross: f64) -> Job {
+    let sim = SimConfig {
+        nodes: 4,
+        partitions_per_node: 4,
+        keys_per_partition: 2_000,
+        value_size: 64,
+        clients_per_node: 8,
+        batch_size: 128,
+        ..Default::default()
+    };
+    Job {
+        label: proto.label().into(),
+        proto,
+        sim,
+        workload: lion_bench::WorkloadSpec::Ycsb(
+            YcsbConfig::for_cluster(4, 4, 2_000).with_mix(cross, 0.0),
+        ),
+        horizon: 200_000,
+    }
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols_200ms_sim");
+    group.sample_size(10);
+    for (name, proto) in [
+        ("2PC", ProtoKind::TwoPc),
+        ("LionStd", ProtoKind::LionStd),
+        ("LionBatch", ProtoKind::LionFull),
+        ("Calvin", ProtoKind::Calvin),
+        ("Aria", ProtoKind::Aria),
+        ("Star", ProtoKind::Star),
+    ] {
+        group.bench_function(format!("{name}_cross50"), |b| {
+            b.iter(|| run_job(&small_job(proto, 0.5)).commits)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Storage micro-benchmarks: OCC operations, replication apply, snapshots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lion_common::{PartitionId, TxnId};
+use lion_storage::{ReplicaStore, Table};
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+
+    group.bench_function("occ_read", |b| {
+        let t = Table::populated(10_000, 100);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7) % 10_000;
+            t.occ_read(k, TxnId(1))
+        })
+    });
+
+    group.bench_function("occ_lock_install", |b| {
+        let mut t = Table::populated(10_000, 100);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7) % 10_000;
+            t.occ_lock(k, TxnId(1));
+            t.occ_install(k, TxnId(1), Table::synth_value(k, 2, 100))
+        })
+    });
+
+    group.bench_function("replication_roundtrip_100_writes", |b| {
+        b.iter(|| {
+            let mut primary = ReplicaStore::new_primary(PartitionId(0), 1_000, 100);
+            let mut secondary = ReplicaStore::new_secondary(PartitionId(0), 1_000, 100);
+            for k in 0..100u64 {
+                primary.table.occ_lock(k, TxnId(k));
+                let v = primary.table.occ_install(k, TxnId(k), Table::synth_value(k, 9, 100));
+                primary.log.append(PartitionId(0), k, v, Table::synth_value(k, 9, 100));
+            }
+            let entries = primary.log.take_pending();
+            secondary.apply_entries(&entries);
+            secondary.applied_lsn
+        })
+    });
+
+    group.bench_function("snapshot_10k_rows", |b| {
+        let t = Table::populated(10_000, 100);
+        b.iter(|| t.snapshot().len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,495 @@
+//! One experiment per paper table/figure (§VI). Each function assembles the
+//! sweep, runs it on the pool, and renders the same rows/series the paper
+//! plots.
+
+use crate::harness::{
+    base_sim, run_all, run_job, tpcc_spec, ycsb_sched_spec, ycsb_spec, Job, ProtoKind, Scale,
+    WorkloadSpec,
+};
+use lion_core::LionConfig;
+use lion_engine::RunReport;
+use lion_workloads::Schedule;
+use std::fmt::Write as _;
+
+/// Cross-partition sweep points (% of cross-partition transactions).
+const CROSS_POINTS: [f64; 5] = [0.0, 0.2, 0.5, 0.8, 1.0];
+
+fn kilo(v: f64) -> String {
+    format!("{:>8.1}", v / 1000.0)
+}
+
+/// Renders a protocols × sweep matrix of throughputs (k txn/s).
+fn matrix(
+    title: &str,
+    cols: &[String],
+    rows: &[(&str, Vec<&RunReport>)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title}");
+    let _ = write!(out, "{:<10}", "protocol");
+    for c in cols {
+        let _ = write!(out, "{c:>9}");
+    }
+    let _ = writeln!(out, "   (throughput, k txn/s)");
+    for (name, reports) in rows {
+        let _ = write!(out, "{name:<10}");
+        for r in reports {
+            let _ = write!(out, " {}", kilo(r.throughput_tps));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn sweep_jobs(
+    protos: &[ProtoKind],
+    mk_workload: impl Fn(f64, u64) -> WorkloadSpec,
+    nodes: usize,
+    horizon: u64,
+) -> (Vec<Job>, Vec<String>) {
+    let mut jobs = Vec::new();
+    let cols: Vec<String> =
+        CROSS_POINTS.iter().map(|c| format!("{:.0}%", c * 100.0)).collect();
+    for proto in protos {
+        for (i, &cross) in CROSS_POINTS.iter().enumerate() {
+            jobs.push(Job {
+                label: format!("{}/{}", proto.label(), cols[i]),
+                proto: *proto,
+                sim: base_sim(nodes),
+                workload: mk_workload(cross, 1000 + i as u64),
+                horizon,
+            });
+        }
+    }
+    (jobs, cols)
+}
+
+fn render_sweep(
+    title: &str,
+    protos: &[ProtoKind],
+    cols: Vec<String>,
+    reports: &[RunReport],
+) -> String {
+    let per = cols.len();
+    let rows: Vec<(&str, Vec<&RunReport>)> = protos
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| (p.label(), reports[pi * per..(pi + 1) * per].iter().collect()))
+        .collect();
+    matrix(title, &cols, &rows)
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+/// Table I: the qualitative comparison matrix (static content).
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table I: comparison of Lion with existing approaches");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<26} {:<9} {:<11} {:<10} {:<12}",
+        "system", "key design", "adaptive", "mig.-free", "balanced", "constraints"
+    );
+    for (sys, design, ad, mf, lb, cons) in [
+        ("2PC", "distributed transactions", "n/a", "n/a", "n/a", "none"),
+        ("Schism", "offline repartitioning", "no", "no", "yes", "n/a"),
+        ("Leap", "aggressive migration", "yes", "no", "no", "n/a"),
+        ("Clay", "periodical migration", "yes", "no", "yes", "n/a"),
+        ("Hermes", "deterministic migration", "yes", "no", "yes", "in batches"),
+        ("Star", "full replication", "no", "yes", "no", "in batches"),
+        ("Lion", "adaptive replication", "yes", "yes", "yes", "none"),
+    ] {
+        let _ = writeln!(out, "{sys:<10} {design:<26} {ad:<9} {mf:<11} {lb:<10} {cons:<12}");
+    }
+    out
+}
+
+/// Table II: the ablation variant settings, straight from the configs.
+pub fn table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table II: ablation variants");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<22} {:<11} {:<6}",
+        "variant", "partitioning", "prediction", "batch"
+    );
+    let _ = writeln!(out, "{:<10} {:<22} {:<11} {:<6}", "2PC", "-", "-", "-");
+    for cfg in LionConfig::all_variants() {
+        let part = match cfg.partitioning {
+            lion_core::Partitioning::Rearrange => "replica rearrangement",
+            lion_core::Partitioning::Schism => "Schism",
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:<22} {:<11} {:<6}",
+            cfg.name,
+            part,
+            if cfg.prediction { "yes" } else { "-" },
+            if cfg.batch { "yes" } else { "-" }
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6: ablation, uniform YCSB, cross-partition sweep
+// ---------------------------------------------------------------------
+
+/// Fig. 6: throughput of every ablation variant vs cross-partition ratio.
+pub fn fig6(scale: Scale) -> String {
+    let protos = ProtoKind::ablation_set();
+    let (jobs, cols) =
+        sweep_jobs(&protos, |c, s| ycsb_spec(4, c, 0.0, s), 4, scale.steady_us);
+    let reports = run_all(jobs);
+    render_sweep("Fig. 6: ablation (uniform YCSB)", &protos, cols, &reports)
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 / Fig. 9: cross-partition sweeps, skewed YCSB + TPC-C
+// ---------------------------------------------------------------------
+
+/// Fig. 7: standard-execution protocols, skewed workloads.
+pub fn fig7(scale: Scale) -> String {
+    let protos = ProtoKind::standard_set();
+    let (jobs_a, cols) =
+        sweep_jobs(&protos, |c, s| ycsb_spec(4, c, 0.8, s), 4, scale.steady_us);
+    let (jobs_b, _) =
+        sweep_jobs(&protos, |c, _| tpcc_spec(4, c, 0.8), 4, scale.steady_us);
+    let ra = run_all(jobs_a);
+    let rb = run_all(jobs_b);
+    let mut out = render_sweep("Fig. 7a: skewed YCSB (standard)", &protos, cols.clone(), &ra);
+    out.push_str(&render_sweep("Fig. 7b: skewed TPC-C (standard)", &protos, cols, &rb));
+    out
+}
+
+/// Fig. 9: batch-execution protocols, skewed workloads.
+pub fn fig9(scale: Scale) -> String {
+    let protos = ProtoKind::batch_set();
+    let (jobs_a, cols) =
+        sweep_jobs(&protos, |c, s| ycsb_spec(4, c, 0.8, s), 4, scale.steady_us);
+    let (jobs_b, _) =
+        sweep_jobs(&protos, |c, _| tpcc_spec(4, c, 0.8), 4, scale.steady_us);
+    let ra = run_all(jobs_a);
+    let rb = run_all(jobs_b);
+    let mut out = render_sweep("Fig. 9a: skewed YCSB (batch)", &protos, cols.clone(), &ra);
+    out.push_str(&render_sweep("Fig. 9b: skewed TPC-C (batch)", &protos, cols, &rb));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 / Fig. 10: dynamic workloads (throughput over time)
+// ---------------------------------------------------------------------
+
+fn timeline(title: &str, protos: &[ProtoKind], reports: &[RunReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} (k txn/s per second)");
+    let secs = reports.iter().map(|r| r.throughput_series.len()).max().unwrap_or(0);
+    let _ = write!(out, "{:<10}", "t(s)");
+    for s in 0..secs {
+        let _ = write!(out, "{s:>7}");
+    }
+    let _ = writeln!(out);
+    for (p, r) in protos.iter().zip(reports) {
+        let _ = write!(out, "{:<10}", p.label());
+        for s in 0..secs {
+            let v = r.throughput_series.get(s).copied().unwrap_or(0.0);
+            let _ = write!(out, "{:>7.0}", v / 1000.0);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn dynamic_jobs(protos: &[ProtoKind], schedule: Schedule, horizon: u64) -> Vec<Job> {
+    protos
+        .iter()
+        .map(|p| Job {
+            label: p.label().into(),
+            proto: *p,
+            sim: base_sim(4),
+            workload: ycsb_sched_spec(4, schedule.clone(), 77),
+            horizon,
+        })
+        .collect()
+}
+
+/// Fig. 8: dynamic workloads, standard protocols.
+pub fn fig8(scale: Scale) -> String {
+    let protos = ProtoKind::standard_set();
+    let period = scale.period_us;
+    let horizon = period * 4;
+    let a = run_all(dynamic_jobs(&protos, Schedule::interval_shift(period, 3, 9, 0.5), horizon));
+    let b = run_all(dynamic_jobs(&protos, Schedule::position_shift(period, 0.8, 16), horizon));
+    let mut out = timeline(
+        &format!("Fig. 8a: varying hotspot interval (period {}s)", period / 1_000_000),
+        &protos,
+        &a,
+    );
+    out.push_str(&timeline(
+        &format!("Fig. 8b: varying hotspot position A-D (period {}s)", period / 1_000_000),
+        &protos,
+        &b,
+    ));
+    out
+}
+
+/// Fig. 10: dynamic workloads, batch protocols.
+pub fn fig10(scale: Scale) -> String {
+    let protos = ProtoKind::batch_set();
+    let period = scale.period_us;
+    let horizon = period * 4;
+    let a = run_all(dynamic_jobs(&protos, Schedule::interval_shift(period, 3, 9, 0.5), horizon));
+    let b = run_all(dynamic_jobs(&protos, Schedule::position_shift(period, 0.8, 16), horizon));
+    let mut out = timeline(
+        &format!("Fig. 10a: varying hotspot interval, batch (period {}s)", period / 1_000_000),
+        &protos,
+        &a,
+    );
+    out.push_str(&timeline(
+        &format!("Fig. 10b: varying hotspot position A-D, batch (period {}s)", period / 1_000_000),
+        &protos,
+        &b,
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 11: scalability
+// ---------------------------------------------------------------------
+
+/// Fig. 11: throughput vs node count (100% cross, uniform).
+pub fn fig11(scale: Scale) -> String {
+    let sizes = [4usize, 6, 8, 10];
+    let mut out = String::new();
+    for (title, protos) in [
+        ("Fig. 11a: scalability (standard)", ProtoKind::standard_set()),
+        ("Fig. 11b: scalability (batch)", ProtoKind::batch_set()),
+    ] {
+        let mut jobs = Vec::new();
+        for proto in &protos {
+            for &n in &sizes {
+                jobs.push(Job {
+                    label: format!("{}/{}", proto.label(), n),
+                    proto: *proto,
+                    sim: base_sim(n),
+                    workload: ycsb_spec(n as u32, 1.0, 0.0, 42),
+                    horizon: scale.steady_us,
+                });
+            }
+        }
+        let reports = run_all(jobs);
+        let cols: Vec<String> = sizes.iter().map(|n| format!("{n} nodes")).collect();
+        let rows: Vec<(&str, Vec<&RunReport>)> = protos
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                (p.label(), reports[pi * sizes.len()..(pi + 1) * sizes.len()].iter().collect())
+            })
+            .collect();
+        out.push_str(&matrix(title, &cols, &rows));
+        // scalability factor: T(10)/T(4)
+        for (name, rs) in &rows {
+            let f = rs.last().expect("sizes").throughput_tps
+                / rs.first().expect("sizes").throughput_tps.max(1.0);
+            let _ = writeln!(out, "   {name:<10} speedup 4→10 nodes: {f:.2}x");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 12: migration/remastering analysis (adaptation timeline)
+// ---------------------------------------------------------------------
+
+/// Fig. 12: Lion's adaptation timeline — throughput and network bytes per
+/// transaction around a predicted workload switch.
+pub fn fig12(scale: Scale) -> String {
+    let period = scale.period_us * 2;
+    let sched = Schedule::Cycle(vec![
+        lion_workloads::PhaseCfg {
+            duration_us: period,
+            cross_ratio: 0.8,
+            skew_factor: 0.0,
+            offset: 0,
+        },
+        lion_workloads::PhaseCfg {
+            duration_us: period,
+            cross_ratio: 0.8,
+            skew_factor: 0.0,
+            offset: 9,
+        },
+    ]);
+    let job = Job {
+        label: "Lion".into(),
+        proto: ProtoKind::LionStd,
+        sim: base_sim(4),
+        workload: ycsb_sched_spec(4, sched, 78),
+        horizon: period * 2,
+    };
+    let r = run_job(&job);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Fig. 12: adaptation analysis (workload switch at t={}s)",
+        period / 1_000_000
+    );
+    let _ = writeln!(out, "{:<6} {:>12} {:>14}", "t(s)", "ktxn/s", "bytes/txn");
+    for (s, (tput, bpt)) in
+        r.throughput_series.iter().zip(&r.bytes_per_txn_series).enumerate()
+    {
+        let _ = writeln!(out, "{:<6} {:>12.1} {:>14.0}", s, tput / 1000.0, bpt);
+    }
+    let _ = writeln!(out, "total remasters: {}  replica adds: {}", r.remasters, r.replica_adds);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 13: prediction + batch-optimization analysis
+// ---------------------------------------------------------------------
+
+/// Fig. 13a: adaptation with and without the predictor.
+pub fn fig13a(scale: Scale) -> String {
+    let period = scale.period_us;
+    let sched = Schedule::interval_shift(period, 3, 9, 1.0);
+    let jobs = vec![
+        Job {
+            label: "Baseline".into(),
+            proto: ProtoKind::LionR,
+            sim: base_sim(4),
+            workload: ycsb_sched_spec(4, sched.clone(), 79),
+            horizon: period * 6,
+        },
+        Job {
+            label: "With Predictor".into(),
+            proto: ProtoKind::LionRW,
+            sim: base_sim(4),
+            workload: ycsb_sched_spec(4, sched, 79),
+            horizon: period * 6,
+        },
+    ];
+    let reports = run_all(jobs);
+    let mut out = String::new();
+    let _ = writeln!(out, "== Fig. 13a: impact of pre-replication (k txn/s per second)");
+    let secs = reports[0].throughput_series.len().max(reports[1].throughput_series.len());
+    let _ = write!(out, "{:<16}", "t(s)");
+    for s in 0..secs {
+        let _ = write!(out, "{s:>6}");
+    }
+    let _ = writeln!(out);
+    for r in &reports {
+        let _ = write!(out, "{:<16}", r.protocol);
+        for s in 0..secs {
+            let v = r.throughput_series.get(s).copied().unwrap_or(0.0);
+            let _ = write!(out, "{:>6.0}", v / 1000.0);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "total commits: baseline {} vs with-predictor {}",
+        reports[0].commits, reports[1].commits
+    );
+    out
+}
+
+/// Fig. 13b: throughput vs remastering duration, non-batch vs batch.
+pub fn fig13b(scale: Scale) -> String {
+    let delays = [500u64, 1_500, 2_000, 3_000, 3_500];
+    let mut jobs = Vec::new();
+    for proto in [ProtoKind::LionStd, ProtoKind::LionFull] {
+        for &d in &delays {
+            jobs.push(Job {
+                label: format!("{}/{}", proto.label(), d),
+                proto,
+                sim: base_sim(4).with_remaster_delay(d),
+                workload: ycsb_spec(4, 0.8, 0.5, 80),
+                horizon: scale.steady_us,
+            });
+        }
+    }
+    let reports = run_all(jobs);
+    let cols: Vec<String> = delays.iter().map(|d| format!("{d}us")).collect();
+    let rows = vec![
+        ("Non-batch", reports[..delays.len()].iter().collect()),
+        ("Batch", reports[delays.len()..].iter().collect()),
+    ];
+    matrix("Fig. 13b: impact of remastering duration", &cols, &rows)
+}
+
+// ---------------------------------------------------------------------
+// Fig. 14: latency + phase breakdown
+// ---------------------------------------------------------------------
+
+/// Fig. 14: latency percentiles (a) and normalized phase breakdown (b) for
+/// the batch protocols.
+pub fn fig14(scale: Scale) -> String {
+    let protos = ProtoKind::batch_set();
+    let jobs: Vec<Job> = protos
+        .iter()
+        .map(|p| Job {
+            label: p.label().into(),
+            proto: *p,
+            sim: base_sim(4),
+            workload: ycsb_spec(4, 0.5, 0.0, 81),
+            horizon: scale.steady_us,
+        })
+        .collect();
+    let reports = run_all(jobs);
+    let mut out = String::new();
+    let _ = writeln!(out, "== Fig. 14a: latency percentiles (us)");
+    let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8}", "protocol", "p10", "p50", "p95");
+    for r in &reports {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>8}",
+            r.protocol, r.latency_p[0], r.latency_p[1], r.latency_p[2]
+        );
+    }
+    let _ = writeln!(out, "\n== Fig. 14b: normalized runtime breakdown");
+    for r in &reports {
+        let _ = writeln!(out, "{}", r.phase_row());
+    }
+    out
+}
+
+/// Runs every experiment in sequence.
+pub fn all(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str(&table1());
+    out.push('\n');
+    out.push_str(&table2());
+    out.push('\n');
+    for (name, s) in [
+        ("fig6", fig6(scale)),
+        ("fig7", fig7(scale)),
+        ("fig8", fig8(scale)),
+        ("fig9", fig9(scale)),
+        ("fig10", fig10(scale)),
+        ("fig11", fig11(scale)),
+        ("fig12", fig12(scale)),
+        ("fig13a", fig13a(scale)),
+        ("fig13b", fig13b(scale)),
+        ("fig14", fig14(scale)),
+    ] {
+        let _ = name;
+        out.push_str(&s);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert!(t1.contains("Lion") && t1.contains("adaptive replication"));
+        let t2 = table2();
+        assert!(t2.contains("Lion(RW)"));
+        assert!(t2.contains("Schism"));
+    }
+}

@@ -1,0 +1,17 @@
+//! # lion-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of the
+//! paper's evaluation (§VI). `src/figures.rs` holds one experiment per
+//! table/figure; the `lion-bench` binary dispatches them; the Criterion
+//! benches under `benches/` micro-benchmark the planner, predictor, storage,
+//! and protocol hot paths.
+//!
+//! Absolute throughputs differ from the paper (the substrate is a calibrated
+//! simulator, not the authors' 10-node testbed); the *shapes* — who wins, by
+//! roughly what factor, where crossovers fall — are the reproduction target.
+//! EXPERIMENTS.md records paper-vs-measured for each experiment.
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{base_sim, run_all, run_job, Job, ProtoKind, Scale, WorkloadSpec};

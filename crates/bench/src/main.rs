@@ -1,0 +1,39 @@
+//! `lion-bench`: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|all] [--full]
+//! ```
+//!
+//! `--full` lengthens the runs (5 s steady-state, 15 s hotspot periods);
+//! the default quick scale finishes the whole suite in a few minutes.
+
+use lion_bench::figures;
+use lion_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::full() } else { Scale::quick() };
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+
+    let out = match which.as_str() {
+        "table1" => figures::table1(),
+        "table2" => figures::table2(),
+        "fig6" => figures::fig6(scale),
+        "fig7" => figures::fig7(scale),
+        "fig8" => figures::fig8(scale),
+        "fig9" => figures::fig9(scale),
+        "fig10" => figures::fig10(scale),
+        "fig11" => figures::fig11(scale),
+        "fig12" => figures::fig12(scale),
+        "fig13a" => figures::fig13a(scale),
+        "fig13b" => figures::fig13b(scale),
+        "fig14" => figures::fig14(scale),
+        "all" => figures::all(scale),
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("usage: lion-bench [table1|table2|fig6..fig14|all] [--full]");
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

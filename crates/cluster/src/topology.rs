@@ -1,0 +1,581 @@
+//! The simulated cluster: nodes, replica stores, adaptor operations.
+
+use crate::freq::FreqTracker;
+use lion_common::{NodeId, PartitionId, SimConfig, Time};
+use lion_sim::MultiServer;
+use lion_storage::ReplicaStore;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-µs cost of syncing one lagging log entry during remastering.
+const LAG_SYNC_US_PER_ENTRY: Time = 1;
+
+/// Errors from adaptor operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptorError {
+    /// Another remaster/migration is already in flight for the partition.
+    Busy(PartitionId),
+    /// The target node holds no replica of the partition.
+    NoReplica { part: PartitionId, node: NodeId },
+    /// The target node already is the primary.
+    AlreadyPrimary { part: PartitionId, node: NodeId },
+    /// The target node already holds (or is copying) a replica.
+    AlreadyHosted { part: PartitionId, node: NodeId },
+}
+
+impl fmt::Display for AdaptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptorError::Busy(p) => write!(f, "{p} already has a replica operation in flight"),
+            AdaptorError::NoReplica { part, node } => write!(f, "{node} holds no replica of {part}"),
+            AdaptorError::AlreadyPrimary { part, node } => {
+                write!(f, "{node} is already primary of {part}")
+            }
+            AdaptorError::AlreadyHosted { part, node } => {
+                write!(f, "{node} already hosts/copies a replica of {part}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptorError {}
+
+/// Runtime state of one partition: adaptor operations in flight.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionRuntime {
+    /// Operations on the partition cannot execute before this time
+    /// (remaster hand-off window / migration blackout).
+    pub blocked_until: Time,
+    /// Remaster target, if a remaster is in flight.
+    pub remastering: Option<NodeId>,
+    /// Migration target, if a migration is in flight.
+    pub migrating: Option<NodeId>,
+    /// Nodes currently receiving a background replica copy.
+    pub copying_to: Vec<NodeId>,
+}
+
+impl PartitionRuntime {
+    /// True when a remaster or migration is in flight.
+    pub fn transfer_in_flight(&self) -> bool {
+        self.remastering.is_some() || self.migrating.is_some()
+    }
+}
+
+/// The simulated cluster state shared by every protocol.
+pub struct Cluster {
+    /// Static configuration.
+    pub cfg: SimConfig,
+    /// Current replica placement (the "global router table" of §V).
+    pub placement: lion_common::Placement,
+    /// Per-node worker pools.
+    pub workers: Vec<MultiServer>,
+    /// Per-partition adaptor runtime state.
+    pub parts: Vec<PartitionRuntime>,
+    /// Access-frequency tracking for the cost model and eviction.
+    pub freq: FreqTracker,
+    stores: Vec<HashMap<u32, ReplicaStore>>,
+}
+
+impl Cluster {
+    /// Builds a cluster with the paper's default round-robin layout and
+    /// populated tables.
+    pub fn new(cfg: SimConfig) -> Self {
+        let n_parts = cfg.n_partitions();
+        let placement =
+            lion_common::Placement::round_robin(n_parts, cfg.nodes, cfg.replication_factor);
+        let workers = (0..cfg.nodes).map(|_| MultiServer::new(cfg.workers_per_node)).collect();
+        let mut stores: Vec<HashMap<u32, ReplicaStore>> =
+            (0..cfg.nodes).map(|_| HashMap::new()).collect();
+        for p in 0..n_parts {
+            let part = PartitionId(p as u32);
+            let primary = placement.primary_of(part);
+            stores[primary.idx()].insert(
+                part.0,
+                ReplicaStore::new_primary(part, cfg.keys_per_partition, cfg.value_size),
+            );
+            for &sec in placement.secondaries_of(part) {
+                stores[sec.idx()].insert(
+                    part.0,
+                    ReplicaStore::new_secondary(part, cfg.keys_per_partition, cfg.value_size),
+                );
+            }
+        }
+        let parts = vec![PartitionRuntime::default(); n_parts];
+        let freq = FreqTracker::new(n_parts);
+        Cluster { cfg, placement, workers, parts, freq, stores }
+    }
+
+    /// Node count.
+    pub fn n_nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    /// Partition count.
+    pub fn n_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.cfg.nodes as u16).map(NodeId)
+    }
+
+    /// Replica store hosted by `node` for `part`, if any.
+    pub fn store(&self, node: NodeId, part: PartitionId) -> Option<&ReplicaStore> {
+        self.stores[node.idx()].get(&part.0)
+    }
+
+    /// Mutable replica store.
+    pub fn store_mut(&mut self, node: NodeId, part: PartitionId) -> Option<&mut ReplicaStore> {
+        self.stores[node.idx()].get_mut(&part.0)
+    }
+
+    /// Mutable store of the current primary replica.
+    pub fn primary_store_mut(&mut self, part: PartitionId) -> &mut ReplicaStore {
+        let primary = self.placement.primary_of(part);
+        self.stores[primary.idx()].get_mut(&part.0).expect("primary store must exist")
+    }
+
+    /// Network delay for one message of `bytes` payload.
+    pub fn net_delay(&self, bytes: u32) -> Time {
+        self.cfg.net.delay(bytes)
+    }
+
+    /// Earliest time operations on `part` may execute.
+    pub fn available_at(&self, part: PartitionId) -> Time {
+        self.parts[part.idx()].blocked_until
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptor: remastering (§III)
+    // ------------------------------------------------------------------
+
+    /// Starts remastering `part` onto `to`. Returns the duration of the
+    /// hand-off window: the configured delay plus log-lag sync time. The
+    /// partition blocks for that window (new operations wait, §III).
+    pub fn begin_remaster(
+        &mut self,
+        part: PartitionId,
+        to: NodeId,
+        now: Time,
+    ) -> Result<Time, AdaptorError> {
+        if self.placement.is_primary(part, to) {
+            return Err(AdaptorError::AlreadyPrimary { part, node: to });
+        }
+        if !self.placement.has_secondary(part, to) {
+            return Err(AdaptorError::NoReplica { part, node: to });
+        }
+        let rt = &self.parts[part.idx()];
+        if rt.transfer_in_flight() {
+            return Err(AdaptorError::Busy(part));
+        }
+        let primary = self.placement.primary_of(part);
+        let head = self.store(primary, part).expect("primary store").log.head_lsn();
+        let lag = self.store(to, part).expect("secondary store").lag_behind(head);
+        let duration = self.cfg.remaster_delay_us + lag * LAG_SYNC_US_PER_ENTRY;
+        let rt = &mut self.parts[part.idx()];
+        rt.remastering = Some(to);
+        rt.blocked_until = rt.blocked_until.max(now + duration);
+        Ok(duration)
+    }
+
+    /// Completes an in-flight remaster: syncs the pending log to every
+    /// secondary, swaps roles, and updates the placement. Returns the wire
+    /// bytes spent on the lag sync (for network accounting).
+    pub fn finish_remaster(&mut self, part: PartitionId, now: Time) -> u64 {
+        let to = self.parts[part.idx()]
+            .remastering
+            .take()
+            .expect("finish_remaster without begin_remaster");
+        let old_primary = self.placement.primary_of(part);
+
+        // Sync the unshipped epoch buffer to all secondaries (the "lagging
+        // logs" of §III) so the new primary starts from a consistent state.
+        let pending = self.primary_store_mut(part).log.take_pending();
+        let bytes: u64 = pending.iter().map(|e| e.wire_bytes()).sum();
+        let secondaries: Vec<NodeId> = self.placement.secondaries_of(part).to_vec();
+        for sec in &secondaries {
+            if let Some(store) = self.store_mut(*sec, part) {
+                store.apply_entries(&pending);
+            }
+        }
+
+        let head = self.store(old_primary, part).expect("old primary").log.head_lsn();
+        self.stores[old_primary.idx()].get_mut(&part.0).expect("old primary").demote();
+        self.stores[to.idx()].get_mut(&part.0).expect("new primary").promote(head);
+        self.placement.remaster(part, to).expect("placement remaster");
+        self.freq.touch(part, to, now);
+        bytes * secondaries.len() as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptor: background replica addition (§III, §V AddRepReqHandler)
+    // ------------------------------------------------------------------
+
+    /// Starts copying a new secondary of `part` onto `to` in the background.
+    /// Returns `(copy duration, wire bytes)`. The partition stays fully
+    /// available: this is the non-intrusive path Lion relies on.
+    pub fn begin_add_replica(
+        &mut self,
+        part: PartitionId,
+        to: NodeId,
+        _now: Time,
+    ) -> Result<(Time, u64), AdaptorError> {
+        if self.placement.has_replica(part, to) || self.parts[part.idx()].copying_to.contains(&to)
+        {
+            return Err(AdaptorError::AlreadyHosted { part, node: to });
+        }
+        let primary = self.placement.primary_of(part);
+        let bytes =
+            self.store(primary, part).expect("primary store").table.bytes() + 16 * self.cfg.keys_per_partition;
+        let duration = self.cfg.migration_fixed_us / 2
+            + (bytes as f64 / self.cfg.net.bytes_per_us).ceil() as Time;
+        self.parts[part.idx()].copying_to.push(to);
+        Ok((duration, bytes))
+    }
+
+    /// Completes a background copy: registers the secondary and, when the
+    /// replica cap is exceeded, evicts the coldest other secondary
+    /// (§IV-B.2). Returns the evicted node, if any.
+    pub fn finish_add_replica(
+        &mut self,
+        part: PartitionId,
+        to: NodeId,
+        now: Time,
+    ) -> Option<NodeId> {
+        let rt = &mut self.parts[part.idx()];
+        let pos = rt
+            .copying_to
+            .iter()
+            .position(|&n| n == to)
+            .expect("finish_add_replica without begin_add_replica");
+        rt.copying_to.swap_remove(pos);
+
+        let primary = self.placement.primary_of(part);
+        let snapshot = {
+            let src = self.stores[primary.idx()].get(&part.0).expect("primary store");
+            ReplicaStore::from_snapshot(part, src)
+        };
+        self.stores[to.idx()].insert(part.0, snapshot);
+        self.placement.add_secondary(part, to).expect("placement add");
+        self.freq.touch(part, to, now);
+
+        if self.placement.replica_count(part) > self.cfg.max_replicas {
+            let victims: Vec<NodeId> = self
+                .placement
+                .secondaries_of(part)
+                .iter()
+                .copied()
+                .filter(|&n| n != to)
+                .collect();
+            if let Some(victim) = self.freq.coldest(part, &victims) {
+                self.remove_replica(part, victim).expect("evict secondary");
+                return Some(victim);
+            }
+        }
+        None
+    }
+
+    /// Provisions a secondary replica instantly and free of charge —
+    /// deployment-time setup only (e.g. Star's full-replica "super node"
+    /// exists before the workload starts; it is not built online).
+    pub fn install_secondary_free(&mut self, part: PartitionId, node: NodeId) -> Result<(), AdaptorError> {
+        if self.placement.has_replica(part, node) {
+            return Err(AdaptorError::AlreadyHosted { part, node });
+        }
+        let primary = self.placement.primary_of(part);
+        let snapshot = {
+            let src = self.stores[primary.idx()].get(&part.0).expect("primary store");
+            ReplicaStore::from_snapshot(part, src)
+        };
+        self.stores[node.idx()].insert(part.0, snapshot);
+        self.placement.add_secondary(part, node).expect("placement add");
+        Ok(())
+    }
+
+    /// Drops the secondary replica of `part` on `node` (delete-flag path).
+    pub fn remove_replica(&mut self, part: PartitionId, node: NodeId) -> Result<(), AdaptorError> {
+        if self.placement.is_primary(part, node) {
+            return Err(AdaptorError::AlreadyPrimary { part, node });
+        }
+        if !self.placement.has_secondary(part, node) {
+            return Err(AdaptorError::NoReplica { part, node });
+        }
+        self.placement.remove_secondary(part, node).expect("placement remove");
+        self.stores[node.idx()].remove(&part.0);
+        self.freq.forget(part, node);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptor: blocking migration (the baselines' expensive path)
+    // ------------------------------------------------------------------
+
+    /// Starts migrating the primary of `part` to `to` (full data move).
+    /// Returns `(duration, wire bytes)`; the partition blocks throughout.
+    pub fn begin_migration(
+        &mut self,
+        part: PartitionId,
+        to: NodeId,
+        now: Time,
+    ) -> Result<(Time, u64), AdaptorError> {
+        if self.placement.is_primary(part, to) {
+            return Err(AdaptorError::AlreadyPrimary { part, node: to });
+        }
+        if self.parts[part.idx()].transfer_in_flight() {
+            return Err(AdaptorError::Busy(part));
+        }
+        let primary = self.placement.primary_of(part);
+        let bytes = self.store(primary, part).expect("primary store").table.bytes()
+            + 16 * self.cfg.keys_per_partition;
+        let duration = self.cfg.migration_fixed_us
+            + (bytes as f64 / self.cfg.net.bytes_per_us).ceil() as Time;
+        let rt = &mut self.parts[part.idx()];
+        rt.migrating = Some(to);
+        rt.blocked_until = rt.blocked_until.max(now + duration);
+        Ok((duration, bytes))
+    }
+
+    /// Completes a migration: moves the primary's data to the target (the
+    /// source copy is dropped — a move, not a copy) and updates placement.
+    pub fn finish_migration(&mut self, part: PartitionId, now: Time) {
+        let to =
+            self.parts[part.idx()].migrating.take().expect("finish_migration without begin");
+        let old_primary = self.placement.primary_of(part);
+        if old_primary == to {
+            return; // placement changed underneath (e.g. racing remaster); no-op
+        }
+        // Flush unshipped entries to surviving secondaries before the move.
+        let pending = self.primary_store_mut(part).log.take_pending();
+        let secondaries: Vec<NodeId> = self.placement.secondaries_of(part).to_vec();
+        for sec in &secondaries {
+            if let Some(store) = self.store_mut(*sec, part) {
+                store.apply_entries(&pending);
+            }
+        }
+        let mut moved = self.stores[old_primary.idx()].remove(&part.0).expect("primary store");
+        if self.placement.has_secondary(part, to) {
+            // Target already held a copy: promote it in place with the moved
+            // (authoritative) table.
+            let head = moved.log.head_lsn();
+            let target = self.stores[to.idx()].get_mut(&part.0).expect("target store");
+            target.table = moved.table;
+            target.promote(head);
+            self.placement.remaster(part, to).expect("placement remaster");
+            self.placement.remove_secondary(part, old_primary).expect("drop source");
+        } else {
+            moved.applied_lsn = moved.log.head_lsn();
+            self.stores[to.idx()].insert(part.0, moved);
+            self.placement.migrate_primary(part, to).expect("placement migrate");
+        }
+        self.freq.touch(part, to, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch-based group replication (§V)
+    // ------------------------------------------------------------------
+
+    /// Ships every partition's pending log entries to its secondaries.
+    /// Returns the total wire bytes (for the Fig. 12b network accounting).
+    pub fn epoch_flush_all(&mut self) -> u64 {
+        let mut total = 0u64;
+        for p in 0..self.n_partitions() {
+            let part = PartitionId(p as u32);
+            let primary = self.placement.primary_of(part);
+            let pending = {
+                let store = self.stores[primary.idx()].get_mut(&part.0).expect("primary");
+                if store.log.pending().is_empty() {
+                    continue;
+                }
+                store.log.take_pending()
+            };
+            let bytes: u64 = pending.iter().map(|e| e.wire_bytes()).sum();
+            let secondaries: Vec<NodeId> = self.placement.secondaries_of(part).to_vec();
+            for sec in secondaries {
+                if let Some(store) = self.store_mut(sec, part) {
+                    store.apply_entries(&pending);
+                    total += bytes;
+                }
+            }
+        }
+        total
+    }
+
+    /// Checks cross-structure consistency (tests / debug).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.placement.validate().map_err(|e| e.to_string())?;
+        for p in 0..self.n_partitions() {
+            let part = PartitionId(p as u32);
+            let primary = self.placement.primary_of(part);
+            let store = self
+                .store(primary, part)
+                .ok_or_else(|| format!("{part}: primary node {primary} has no store"))?;
+            if store.role != lion_storage::ReplicaRole::Primary {
+                return Err(format!("{part}: store on {primary} is not primary"));
+            }
+            for &sec in self.placement.secondaries_of(part) {
+                let s = self
+                    .store(sec, part)
+                    .ok_or_else(|| format!("{part}: secondary {sec} has no store"))?;
+                if s.role != lion_storage::ReplicaRole::Secondary {
+                    return Err(format!("{part}: store on {sec} is not secondary"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_common::TxnId;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            nodes: 3,
+            partitions_per_node: 2,
+            keys_per_partition: 32,
+            value_size: 16,
+            replication_factor: 2,
+            max_replicas: 3,
+            ..Default::default()
+        }
+    }
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn construction_matches_placement() {
+        let c = Cluster::new(small_cfg());
+        c.check_invariants().unwrap();
+        assert_eq!(c.n_partitions(), 6);
+        assert!(c.store(n(0), p(0)).is_some());
+        assert!(c.store(n(1), p(0)).is_some(), "secondary store exists");
+        assert!(c.store(n(2), p(0)).is_none());
+    }
+
+    #[test]
+    fn remaster_lifecycle_swaps_roles() {
+        let mut c = Cluster::new(small_cfg());
+        let dur = c.begin_remaster(p(0), n(1), 100).unwrap();
+        assert_eq!(dur, c.cfg.remaster_delay_us);
+        assert_eq!(c.available_at(p(0)), 100 + dur);
+        // concurrent remaster on the same partition conflicts (§III)
+        assert_eq!(c.begin_remaster(p(0), n(1), 110), Err(AdaptorError::Busy(p(0))));
+        c.finish_remaster(p(0), 100 + dur);
+        assert_eq!(c.placement.primary_of(p(0)), n(1));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remaster_syncs_pending_log() {
+        let mut c = Cluster::new(small_cfg());
+        // commit a write on the primary without an epoch flush
+        let txn = TxnId(9);
+        {
+            let store = c.primary_store_mut(p(0));
+            store.table.occ_lock(5, txn);
+            let v = store.table.occ_install(5, txn, Box::new([7u8; 16]));
+            store.log.append(p(0), 5, v, Box::new([7u8; 16]));
+        }
+        let dur = c.begin_remaster(p(0), n(1), 0).unwrap();
+        assert!(dur > c.cfg.remaster_delay_us, "lag adds sync time");
+        let bytes = c.finish_remaster(p(0), dur);
+        assert!(bytes > 0);
+        let new_primary = c.store(n(1), p(0)).unwrap();
+        assert_eq!(new_primary.table.get(5).unwrap().value, vec![7u8; 16].into_boxed_slice());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remaster_requires_secondary() {
+        let mut c = Cluster::new(small_cfg());
+        assert_eq!(
+            c.begin_remaster(p(0), n(2), 0),
+            Err(AdaptorError::NoReplica { part: p(0), node: n(2) })
+        );
+        assert_eq!(
+            c.begin_remaster(p(0), n(0), 0),
+            Err(AdaptorError::AlreadyPrimary { part: p(0), node: n(0) })
+        );
+    }
+
+    #[test]
+    fn add_replica_does_not_block_partition() {
+        let mut c = Cluster::new(small_cfg());
+        let (dur, bytes) = c.begin_add_replica(p(0), n(2), 0).unwrap();
+        assert!(dur > 0 && bytes > 0);
+        assert_eq!(c.available_at(p(0)), 0, "background copy never blocks");
+        assert_eq!(
+            c.begin_add_replica(p(0), n(2), 1),
+            Err(AdaptorError::AlreadyHosted { part: p(0), node: n(2) })
+        );
+        let evicted = c.finish_add_replica(p(0), n(2), dur);
+        assert_eq!(evicted, None);
+        assert!(c.placement.has_secondary(p(0), n(2)));
+        assert!(c.store(n(2), p(0)).is_some());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replica_cap_evicts_coldest() {
+        let mut cfg = small_cfg();
+        cfg.nodes = 4;
+        cfg.max_replicas = 2; // primary + 1 secondary
+        let mut c = Cluster::new(cfg);
+        // p0: primary n0, secondary n1. Adding on n2 must evict n1.
+        let (dur, _) = c.begin_add_replica(p(0), n(2), 0).unwrap();
+        let evicted = c.finish_add_replica(p(0), n(2), dur);
+        assert_eq!(evicted, Some(n(1)));
+        assert!(!c.placement.has_secondary(p(0), n(1)));
+        assert!(c.store(n(1), p(0)).is_none());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migration_blocks_and_moves_data() {
+        let mut c = Cluster::new(small_cfg());
+        let (dur, bytes) = c.begin_migration(p(0), n(2), 50).unwrap();
+        assert!(bytes >= c.cfg.keys_per_partition * c.cfg.value_size as u64);
+        assert_eq!(c.available_at(p(0)), 50 + dur, "migration blocks the partition");
+        c.finish_migration(p(0), 50 + dur);
+        assert_eq!(c.placement.primary_of(p(0)), n(2));
+        assert!(c.store(n(0), p(0)).is_none(), "source copy dropped (move)");
+        assert!(c.store(n(2), p(0)).is_some());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migration_onto_secondary_promotes_in_place() {
+        let mut c = Cluster::new(small_cfg());
+        let (dur, _) = c.begin_migration(p(0), n(1), 0).unwrap();
+        c.finish_migration(p(0), dur);
+        assert_eq!(c.placement.primary_of(p(0)), n(1));
+        assert!(c.store(n(0), p(0)).is_none());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn epoch_flush_ships_to_all_secondaries() {
+        let mut c = Cluster::new(small_cfg());
+        let txn = TxnId(1);
+        {
+            let store = c.primary_store_mut(p(2));
+            store.table.occ_lock(0, txn);
+            let v = store.table.occ_install(0, txn, Box::new([3u8; 16]));
+            store.log.append(p(2), 0, v, Box::new([3u8; 16]));
+        }
+        let bytes = c.epoch_flush_all();
+        assert!(bytes > 0);
+        let sec = c.placement.secondaries_of(p(2))[0];
+        assert_eq!(c.store(sec, p(2)).unwrap().table.get(0).unwrap().value, vec![3u8; 16].into_boxed_slice());
+        // flushing again is free
+        assert_eq!(c.epoch_flush_all(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Simulation configuration.
+//!
+//! All knobs carry defaults calibrated to the paper's testbed (§VI-A): 8
+//! worker threads per executor node, ~937 Mbit/s links, 2 initial replicas
+//! per partition with a cap of 4, a 3000 µs remastering delay, 10 ms commit
+//! epochs and 10 k-transaction batches. DESIGN.md §5 documents the CPU cost
+//! calibration.
+
+use crate::Time;
+
+/// Network model: every message pays a fixed one-way latency plus a
+/// bandwidth-proportional serialization delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// One-way message latency in µs (LAN RTT ≈ 80 µs).
+    pub one_way_us: Time,
+    /// Link bandwidth in bytes per µs. 937 Mbit/s ≈ 117 B/µs, matching the
+    /// iperf3 measurement in §VI-A.
+    pub bytes_per_us: f64,
+    /// Fixed per-message framing overhead in bytes.
+    pub msg_overhead_bytes: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig { one_way_us: 40, bytes_per_us: 117.0, msg_overhead_bytes: 64 }
+    }
+}
+
+impl NetConfig {
+    /// Delay for a message carrying `payload` bytes.
+    pub fn delay(&self, payload: u32) -> Time {
+        let bytes = (payload + self.msg_overhead_bytes) as f64;
+        self.one_way_us + (bytes / self.bytes_per_us).ceil() as Time
+    }
+}
+
+/// CPU service demands, in µs, for the node worker model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Executing one read operation.
+    pub read_us: Time,
+    /// Executing one write operation (buffering + logging).
+    pub write_us: Time,
+    /// OCC validation of one transaction at one participant.
+    pub validate_us: Time,
+    /// Installing the write set of one transaction at one participant.
+    pub install_us: Time,
+    /// Fixed per-transaction overhead (parsing, context setup).
+    pub txn_overhead_us: Time,
+    /// Handling one network message (messenger thread work).
+    pub msg_handle_us: Time,
+    /// Lock-manager service time per transaction (deterministic protocols).
+    pub lock_mgr_us: Time,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            read_us: 3,
+            write_us: 4,
+            validate_us: 6,
+            install_us: 8,
+            txn_overhead_us: 18,
+            msg_handle_us: 2,
+            lock_mgr_us: 2,
+        }
+    }
+}
+
+/// Top-level simulated-cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Executor node count (paper default: 4; scalability sweep 4..10).
+    pub nodes: usize,
+    /// Partitions hosted per node at start (primaries, round-robin).
+    pub partitions_per_node: usize,
+    /// Rows per partition. Scaled down from the paper's 24 M/node; the access
+    /// distribution, not the raw size, drives behaviour.
+    pub keys_per_partition: u64,
+    /// Payload bytes per row.
+    pub value_size: u32,
+    /// Initial replicas per partition (k, paper default 2).
+    pub replication_factor: usize,
+    /// Maximum replicas per partition before eviction (paper default 4).
+    pub max_replicas: usize,
+    /// Worker threads per node (paper: 8).
+    pub workers_per_node: usize,
+    /// Closed-loop client contexts per node driving load.
+    pub clients_per_node: usize,
+    /// Network model.
+    pub net: NetConfig,
+    /// CPU service demands.
+    pub cpu: CpuConfig,
+    /// Remastering duration: log sync + leader hand-off (default 3000 µs,
+    /// swept 500–3500 in Fig. 13b).
+    pub remaster_delay_us: Time,
+    /// Fixed component of a partition migration, on top of data transfer.
+    /// Sized so the remaster-vs-migration cost gap stays realistic at the
+    /// scaled-down table sizes (paper-scale partitions are tens of MB: a
+    /// migration blackout is orders of magnitude longer than a remaster).
+    pub migration_fixed_us: Time,
+    /// Epoch-based group-commit interval (paper: 10 ms).
+    pub epoch_us: Time,
+    /// Transactions per batch for batch-execution protocols (paper: 10 k).
+    pub batch_size: usize,
+    /// Back-off before retrying an aborted transaction.
+    pub retry_backoff_us: Time,
+    /// RNG seed for deterministic runs.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 4,
+            partitions_per_node: 12,
+            keys_per_partition: 10_000,
+            value_size: 100,
+            replication_factor: 2,
+            max_replicas: 4,
+            workers_per_node: 8,
+            clients_per_node: 32,
+            net: NetConfig::default(),
+            cpu: CpuConfig::default(),
+            remaster_delay_us: 3_000,
+            migration_fixed_us: 10_000,
+            epoch_us: 10_000,
+            batch_size: 512,
+            retry_backoff_us: 50,
+            seed: 0xD1CE_5EED,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Total partition count.
+    pub fn n_partitions(&self) -> usize {
+        self.nodes * self.partitions_per_node
+    }
+
+    /// Bytes of one full partition copy (for migration/replica-add costs).
+    pub fn partition_bytes(&self) -> u64 {
+        self.keys_per_partition * (self.value_size as u64 + 16)
+    }
+
+    /// Total closed-loop clients.
+    pub fn total_clients(&self) -> usize {
+        self.nodes * self.clients_per_node
+    }
+
+    /// Builder-style override helpers, used heavily by the bench harness.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Override the per-node partition count.
+    pub fn with_partitions_per_node(mut self, p: usize) -> Self {
+        self.partitions_per_node = p;
+        self
+    }
+
+    /// Override the remastering delay (Fig. 13b sweep).
+    pub fn with_remaster_delay(mut self, us: Time) -> Self {
+        self.remaster_delay_us = us;
+        self
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SimConfig::default();
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.replication_factor, 2);
+        assert_eq!(c.max_replicas, 4);
+        assert_eq!(c.workers_per_node, 8);
+        assert_eq!(c.remaster_delay_us, 3_000);
+        assert_eq!(c.epoch_us, 10_000);
+    }
+
+    #[test]
+    fn net_delay_scales_with_bytes() {
+        let net = NetConfig::default();
+        let small = net.delay(0);
+        let big = net.delay(117_000);
+        assert!(small >= net.one_way_us);
+        assert!(big >= small + 1_000, "1000 µs of serialization for ~117 kB");
+    }
+
+    #[test]
+    fn partition_bytes_counts_overhead() {
+        let c = SimConfig { keys_per_partition: 10, value_size: 100, ..Default::default() };
+        assert_eq!(c.partition_bytes(), 10 * 116);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = SimConfig::default().with_nodes(10).with_remaster_delay(500).with_seed(7);
+        assert_eq!(c.nodes, 10);
+        assert_eq!(c.remaster_delay_us, 500);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.n_partitions(), 10 * c.partitions_per_node);
+    }
+}

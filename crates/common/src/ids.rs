@@ -1,0 +1,97 @@
+//! Strongly-typed identifiers.
+//!
+//! Small integer newtypes instead of raw `usize`s so that a partition id can
+//! never be confused with a node id. All ids are dense (allocated from 0) and
+//! index directly into `Vec`s throughout the workspace.
+
+use std::fmt;
+
+/// Identifies one executor node in the cluster (paper: `N1..Nn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+/// Identifies one logical data partition (paper: `P1..Pm`). A partition has
+/// one primary replica and one or more secondary replicas, each hosted by a
+/// distinct node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub u32);
+
+/// Identifies one transaction instance. A retried transaction keeps its id;
+/// retries are tracked separately by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+/// Identifies one closed-loop client context driving the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u32);
+
+/// A record key inside a partition. Keys are only unique *within* their
+/// partition; the pair (partition, key) addresses a row.
+pub type Key = u64;
+
+impl NodeId {
+    /// Returns the dense index of this node for `Vec` addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PartitionId {
+    /// Returns the dense index of this partition for `Vec` addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ClientId {
+    /// Returns the dense index of this client for `Vec` addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "N3");
+        assert_eq!(PartitionId(7).to_string(), "P7");
+        assert_eq!(TxnId(42).to_string(), "T42");
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(NodeId(9).idx(), 9);
+        assert_eq!(PartitionId(1234).idx(), 1234);
+        assert_eq!(ClientId(5).idx(), 5);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(PartitionId(0) < PartitionId(1));
+    }
+}

@@ -1,0 +1,31 @@
+//! # lion-common
+//!
+//! Shared vocabulary types for the Lion reproduction: identifiers, operations,
+//! transaction requests, the replica [`Placement`] map that every component
+//! (router, planner, adaptor) reasons about, and the configuration knobs that
+//! mirror the parameters of the paper's evaluation (§VI-A).
+//!
+//! This crate is dependency-light on purpose: the planner and predictor are
+//! pure algorithms over these types, which keeps them testable without the
+//! simulation engine.
+
+pub mod config;
+pub mod ids;
+pub mod ops;
+pub mod placement;
+pub mod workload;
+
+pub use config::{CpuConfig, NetConfig, SimConfig};
+pub use ids::{ClientId, Key, NodeId, PartitionId, TxnId};
+pub use ops::{Op, OpKind, Phase, TxnRecord, TxnRequest};
+pub use placement::{Placement, PlacementError};
+pub use workload::Workload;
+
+/// Virtual time in microseconds. The whole simulation runs on this clock.
+pub type Time = u64;
+
+/// One simulated second, in [`Time`] units.
+pub const SECOND: Time = 1_000_000;
+
+/// One simulated millisecond, in [`Time`] units.
+pub const MILLIS: Time = 1_000;

@@ -1,0 +1,188 @@
+//! Transaction operations and requests.
+//!
+//! A transaction is a list of key-level read/write [`Op`]s. The set of
+//! partitions it touches (the paper's `TxnParts`, §IV-A) is derived once at
+//! submission and reused by the router, planner, and predictor.
+
+use crate::ids::{Key, PartitionId};
+use crate::Time;
+
+/// Whether an operation reads or writes its row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Record the row version into the read set.
+    Read,
+    /// Buffer a new value; installed at commit.
+    Write,
+}
+
+/// One key-level operation of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Partition the row lives in.
+    pub partition: PartitionId,
+    /// Row key within the partition.
+    pub key: Key,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+impl Op {
+    /// Convenience constructor for a read.
+    pub fn read(partition: PartitionId, key: Key) -> Self {
+        Op { partition, key, kind: OpKind::Read }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(partition: PartitionId, key: Key) -> Self {
+        Op { partition, key, kind: OpKind::Write }
+    }
+}
+
+/// A transaction request: the declared read/write set.
+///
+/// Access sets are known up front, mirroring the paper's `TxnParts` extracted
+/// after SQL parsing (§IV-A); the deterministic baselines (Calvin, Aria,
+/// Hermes) additionally *require* declared sets.
+#[derive(Debug, Clone, Default)]
+pub struct TxnRequest {
+    /// Key-level operations, in program order.
+    pub ops: Vec<Op>,
+}
+
+impl TxnRequest {
+    /// Builds a request from operations.
+    pub fn new(ops: Vec<Op>) -> Self {
+        TxnRequest { ops }
+    }
+
+    /// Sorted, deduplicated partitions accessed by this transaction.
+    pub fn partitions(&self) -> Vec<PartitionId> {
+        let mut parts: Vec<PartitionId> = self.ops.iter().map(|o| o.partition).collect();
+        parts.sort_unstable();
+        parts.dedup();
+        parts
+    }
+
+    /// True when every operation targets a single partition.
+    pub fn is_single_partition(&self) -> bool {
+        match self.ops.first() {
+            None => true,
+            Some(first) => self.ops.iter().all(|o| o.partition == first.partition),
+        }
+    }
+
+    /// Number of write operations.
+    pub fn write_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind == OpKind::Write).count()
+    }
+
+    /// Number of read operations.
+    pub fn read_count(&self) -> usize {
+        self.ops.len() - self.write_count()
+    }
+}
+
+/// A routed-transaction record retained for workload analysis (§III, step
+/// "Workload analysis"): the planner drains batches of these to build the
+/// heat graph, and the predictor buckets them into arrival-rate series.
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// Submission time.
+    pub at: Time,
+    /// Sorted, deduplicated accessed partitions.
+    pub parts: Vec<PartitionId>,
+}
+
+/// Lifecycle phase labels used for the latency breakdown of Fig. 14b.
+///
+/// Every engine primitive (CPU slice, network hop) is tagged with the phase
+/// it belongs to; the metrics collector accumulates per-phase totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Waiting for a worker, router, sequencer or lock manager.
+    Scheduling,
+    /// Running read/write logic (local or remote).
+    Execution,
+    /// Validation, prepare/commit rounds, group-commit waits.
+    Commit,
+    /// Shipping state to secondary replicas (sync or async).
+    Replication,
+    /// Everything else (migration waits, remastering, retries).
+    Other,
+}
+
+impl Phase {
+    /// All phases in the order the paper's Fig. 14b stacks them.
+    pub const ALL: [Phase; 5] = [
+        Phase::Scheduling,
+        Phase::Execution,
+        Phase::Commit,
+        Phase::Replication,
+        Phase::Other,
+    ];
+
+    /// Dense index for accumulator arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            Phase::Scheduling => 0,
+            Phase::Execution => 1,
+            Phase::Commit => 2,
+            Phase::Replication => 3,
+            Phase::Other => 4,
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Scheduling => "scheduling",
+            Phase::Execution => "execution",
+            Phase::Commit => "commit",
+            Phase::Replication => "replication",
+            Phase::Other => "other",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId(i)
+    }
+
+    #[test]
+    fn partitions_sorted_and_deduped() {
+        let t = TxnRequest::new(vec![Op::read(p(3), 1), Op::write(p(1), 2), Op::read(p(3), 9)]);
+        assert_eq!(t.partitions(), vec![p(1), p(3)]);
+    }
+
+    #[test]
+    fn single_partition_detection() {
+        let t = TxnRequest::new(vec![Op::read(p(2), 1), Op::write(p(2), 5)]);
+        assert!(t.is_single_partition());
+        let t = TxnRequest::new(vec![Op::read(p(2), 1), Op::write(p(4), 5)]);
+        assert!(!t.is_single_partition());
+        assert!(TxnRequest::default().is_single_partition());
+    }
+
+    #[test]
+    fn read_write_counts() {
+        let t = TxnRequest::new(vec![Op::read(p(0), 1), Op::write(p(0), 2), Op::write(p(1), 3)]);
+        assert_eq!(t.read_count(), 1);
+        assert_eq!(t.write_count(), 2);
+    }
+
+    #[test]
+    fn phase_indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for ph in Phase::ALL {
+            assert!(!seen[ph.idx()], "duplicate index for {:?}", ph);
+            seen[ph.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,372 @@
+//! Replica placement map.
+//!
+//! [`Placement`] records, for every partition, which node hosts the primary
+//! replica and which nodes host secondaries (paper §II-A: `Np(v, p)` and
+//! `Ns(v, p)`). It is the single structure the router scores against, the
+//! planner rewrites, and the adaptor mutates — so its invariants are enforced
+//! here and property-tested.
+//!
+//! Invariants:
+//! * every partition has exactly one primary;
+//! * a node holds at most one replica of a given partition;
+//! * all referenced nodes exist.
+
+use crate::ids::{NodeId, PartitionId};
+use std::fmt;
+
+/// Errors returned by placement mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The target node already holds a replica of the partition.
+    AlreadyHosted { part: PartitionId, node: NodeId },
+    /// The target node holds no replica of the partition.
+    NoReplica { part: PartitionId, node: NodeId },
+    /// Attempted to remove the primary replica via `remove_secondary`.
+    IsPrimary { part: PartitionId, node: NodeId },
+    /// Node id out of range.
+    UnknownNode(NodeId),
+    /// Partition id out of range.
+    UnknownPartition(PartitionId),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::AlreadyHosted { part, node } => {
+                write!(f, "{node} already hosts a replica of {part}")
+            }
+            PlacementError::NoReplica { part, node } => {
+                write!(f, "{node} holds no replica of {part}")
+            }
+            PlacementError::IsPrimary { part, node } => {
+                write!(f, "{node} holds the primary of {part}; remaster first")
+            }
+            PlacementError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            PlacementError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Which nodes host each partition's replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    n_nodes: usize,
+    primary: Vec<NodeId>,
+    secondaries: Vec<Vec<NodeId>>,
+}
+
+impl Placement {
+    /// Builds the paper's default layout: primaries round-robin across nodes,
+    /// and `replication_factor - 1` secondaries on the following nodes
+    /// (§II-C: "a minimum of k replicas, distributed in a default round-robin
+    /// fashion").
+    pub fn round_robin(n_partitions: usize, n_nodes: usize, replication_factor: usize) -> Self {
+        assert!(n_nodes > 0, "cluster needs at least one node");
+        assert!(replication_factor >= 1, "need at least the primary replica");
+        assert!(
+            replication_factor <= n_nodes,
+            "replication factor {replication_factor} exceeds node count {n_nodes}"
+        );
+        let mut primary = Vec::with_capacity(n_partitions);
+        let mut secondaries = Vec::with_capacity(n_partitions);
+        for p in 0..n_partitions {
+            let home = p % n_nodes;
+            primary.push(NodeId(home as u16));
+            let secs = (1..replication_factor)
+                .map(|j| NodeId(((home + j) % n_nodes) as u16))
+                .collect();
+            secondaries.push(secs);
+        }
+        Placement { n_nodes, primary, secondaries }
+    }
+
+    /// Number of partitions tracked.
+    pub fn n_partitions(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Node hosting the primary replica of `part` (paper: `Np(v, p)`).
+    #[inline]
+    pub fn primary_of(&self, part: PartitionId) -> NodeId {
+        self.primary[part.idx()]
+    }
+
+    /// Nodes hosting secondary replicas of `part` (paper: `Ns(v, p)`).
+    #[inline]
+    pub fn secondaries_of(&self, part: PartitionId) -> &[NodeId] {
+        &self.secondaries[part.idx()]
+    }
+
+    /// True when `node` hosts the primary replica of `part`.
+    #[inline]
+    pub fn is_primary(&self, part: PartitionId, node: NodeId) -> bool {
+        self.primary_of(part) == node
+    }
+
+    /// True when `node` hosts a secondary replica of `part`.
+    #[inline]
+    pub fn has_secondary(&self, part: PartitionId, node: NodeId) -> bool {
+        self.secondaries[part.idx()].contains(&node)
+    }
+
+    /// True when `node` hosts any replica of `part`.
+    #[inline]
+    pub fn has_replica(&self, part: PartitionId, node: NodeId) -> bool {
+        self.is_primary(part, node) || self.has_secondary(part, node)
+    }
+
+    /// Total replicas (primary + secondaries) of `part`.
+    pub fn replica_count(&self, part: PartitionId) -> usize {
+        1 + self.secondaries[part.idx()].len()
+    }
+
+    /// All nodes holding a replica of `part`, primary first.
+    pub fn replica_nodes(&self, part: PartitionId) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.replica_count(part));
+        v.push(self.primary_of(part));
+        v.extend_from_slice(self.secondaries_of(part));
+        v
+    }
+
+    /// Number of primary replicas hosted on `node`.
+    pub fn primaries_on(&self, node: NodeId) -> usize {
+        self.primary.iter().filter(|&&n| n == node).count()
+    }
+
+    /// Partitions whose primary is hosted on `node`.
+    pub fn primary_partitions_on(&self, node: NodeId) -> Vec<PartitionId> {
+        self.primary
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == node)
+            .map(|(i, _)| PartitionId(i as u32))
+            .collect()
+    }
+
+    /// Promotes the secondary replica on `node` to primary; the previous
+    /// primary is demoted to a secondary (the paper's lightweight
+    /// *remastering*, §III). No data moves: both nodes already hold replicas.
+    pub fn remaster(&mut self, part: PartitionId, node: NodeId) -> Result<(), PlacementError> {
+        self.check(part, node)?;
+        if self.is_primary(part, node) {
+            return Ok(()); // idempotent: already primary
+        }
+        let secs = &mut self.secondaries[part.idx()];
+        let pos = secs
+            .iter()
+            .position(|&n| n == node)
+            .ok_or(PlacementError::NoReplica { part, node })?;
+        let old_primary = self.primary[part.idx()];
+        secs[pos] = old_primary;
+        self.primary[part.idx()] = node;
+        Ok(())
+    }
+
+    /// Registers a new secondary replica of `part` on `node` (the adaptor's
+    /// `AddRepReqHandler`, §V). The caller is responsible for data copy
+    /// timing; this only mutates the map.
+    pub fn add_secondary(&mut self, part: PartitionId, node: NodeId) -> Result<(), PlacementError> {
+        self.check(part, node)?;
+        if self.has_replica(part, node) {
+            return Err(PlacementError::AlreadyHosted { part, node });
+        }
+        self.secondaries[part.idx()].push(node);
+        Ok(())
+    }
+
+    /// Drops the secondary replica of `part` on `node` (replica-limit
+    /// eviction, §IV-B.2). Refuses to drop the primary.
+    pub fn remove_secondary(
+        &mut self,
+        part: PartitionId,
+        node: NodeId,
+    ) -> Result<(), PlacementError> {
+        self.check(part, node)?;
+        if self.is_primary(part, node) {
+            return Err(PlacementError::IsPrimary { part, node });
+        }
+        let secs = &mut self.secondaries[part.idx()];
+        let pos = secs
+            .iter()
+            .position(|&n| n == node)
+            .ok_or(PlacementError::NoReplica { part, node })?;
+        secs.swap_remove(pos);
+        Ok(())
+    }
+
+    /// Moves the primary of `part` to `node` even when `node` holds no
+    /// replica (full data *migration*, the expensive path of §IV-B.1 Case 3).
+    /// The old primary's replica is dropped, matching a move rather than a
+    /// copy.
+    pub fn migrate_primary(
+        &mut self,
+        part: PartitionId,
+        node: NodeId,
+    ) -> Result<(), PlacementError> {
+        self.check(part, node)?;
+        if self.is_primary(part, node) {
+            return Ok(());
+        }
+        if self.has_secondary(part, node) {
+            // Equivalent to a remaster followed by dropping the old primary's
+            // copy; keep the copy (cheaper and strictly more available).
+            return self.remaster(part, node);
+        }
+        self.primary[part.idx()] = node;
+        Ok(())
+    }
+
+    /// Checks all structural invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), PlacementError> {
+        for (i, &p) in self.primary.iter().enumerate() {
+            let part = PartitionId(i as u32);
+            if p.idx() >= self.n_nodes {
+                return Err(PlacementError::UnknownNode(p));
+            }
+            let secs = &self.secondaries[i];
+            for &s in secs {
+                if s.idx() >= self.n_nodes {
+                    return Err(PlacementError::UnknownNode(s));
+                }
+                if s == p {
+                    return Err(PlacementError::AlreadyHosted { part, node: s });
+                }
+            }
+            let mut sorted: Vec<NodeId> = secs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != secs.len() {
+                return Err(PlacementError::AlreadyHosted { part, node: p });
+            }
+        }
+        Ok(())
+    }
+
+    fn check(&self, part: PartitionId, node: NodeId) -> Result<(), PlacementError> {
+        if part.idx() >= self.primary.len() {
+            return Err(PlacementError::UnknownPartition(part));
+        }
+        if node.idx() >= self.n_nodes {
+            return Err(PlacementError::UnknownNode(node));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn round_robin_spreads_primaries() {
+        let pl = Placement::round_robin(8, 4, 2);
+        assert_eq!(pl.primary_of(p(0)), n(0));
+        assert_eq!(pl.primary_of(p(5)), n(1));
+        assert_eq!(pl.secondaries_of(p(0)), &[n(1)]);
+        assert_eq!(pl.secondaries_of(p(3)), &[n(0)]);
+        for node in 0..4 {
+            assert_eq!(pl.primaries_on(n(node)), 2);
+        }
+        pl.validate().unwrap();
+    }
+
+    #[test]
+    fn remaster_swaps_roles_without_changing_replica_set() {
+        let mut pl = Placement::round_robin(4, 4, 2);
+        let before: Vec<NodeId> = {
+            let mut v = pl.replica_nodes(p(0));
+            v.sort_unstable();
+            v
+        };
+        pl.remaster(p(0), n(1)).unwrap();
+        assert_eq!(pl.primary_of(p(0)), n(1));
+        assert!(pl.has_secondary(p(0), n(0)));
+        let after: Vec<NodeId> = {
+            let mut v = pl.replica_nodes(p(0));
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(before, after, "remastering must not move data");
+        pl.validate().unwrap();
+    }
+
+    #[test]
+    fn remaster_requires_replica() {
+        let mut pl = Placement::round_robin(4, 4, 2);
+        assert_eq!(
+            pl.remaster(p(0), n(3)),
+            Err(PlacementError::NoReplica { part: p(0), node: n(3) })
+        );
+    }
+
+    #[test]
+    fn remaster_is_idempotent_on_primary() {
+        let mut pl = Placement::round_robin(4, 4, 2);
+        pl.remaster(p(0), n(0)).unwrap();
+        assert_eq!(pl.primary_of(p(0)), n(0));
+    }
+
+    #[test]
+    fn add_and_remove_secondary() {
+        let mut pl = Placement::round_robin(4, 4, 2);
+        pl.add_secondary(p(0), n(2)).unwrap();
+        assert_eq!(pl.replica_count(p(0)), 3);
+        assert!(pl.has_secondary(p(0), n(2)));
+        assert_eq!(
+            pl.add_secondary(p(0), n(2)),
+            Err(PlacementError::AlreadyHosted { part: p(0), node: n(2) })
+        );
+        pl.remove_secondary(p(0), n(2)).unwrap();
+        assert_eq!(pl.replica_count(p(0)), 2);
+        assert_eq!(
+            pl.remove_secondary(p(0), n(0)),
+            Err(PlacementError::IsPrimary { part: p(0), node: n(0) })
+        );
+        pl.validate().unwrap();
+    }
+
+    #[test]
+    fn migrate_to_fresh_node_moves_primary() {
+        let mut pl = Placement::round_robin(4, 4, 2);
+        pl.migrate_primary(p(0), n(3)).unwrap();
+        assert_eq!(pl.primary_of(p(0)), n(3));
+        // secondary on n(1) untouched
+        assert!(pl.has_secondary(p(0), n(1)));
+        pl.validate().unwrap();
+    }
+
+    #[test]
+    fn migrate_prefers_remaster_when_replica_exists() {
+        let mut pl = Placement::round_robin(4, 4, 2);
+        pl.migrate_primary(p(0), n(1)).unwrap();
+        assert_eq!(pl.primary_of(p(0)), n(1));
+        assert!(pl.has_secondary(p(0), n(0)), "old primary kept as secondary");
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut pl = Placement::round_robin(2, 2, 1);
+        assert_eq!(pl.add_secondary(p(9), n(0)), Err(PlacementError::UnknownPartition(p(9))));
+        assert_eq!(pl.add_secondary(p(0), n(9)), Err(PlacementError::UnknownNode(n(9))));
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn replication_factor_cannot_exceed_nodes() {
+        let _ = Placement::round_robin(2, 2, 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! The workload abstraction the engine's closed-loop clients draw from.
+
+use crate::ops::TxnRequest;
+use crate::Time;
+
+/// A transaction generator.
+///
+/// Implementations own their RNG state so that runs are reproducible from the
+/// seed alone. `now` lets dynamic workloads (Fig. 8/10 hotspot schedules)
+/// shift their access patterns over virtual time.
+pub trait Workload: Send {
+    /// Generates the next transaction request submitted at virtual time `now`.
+    fn next_txn(&mut self, now: Time) -> TxnRequest;
+
+    /// Short name for reports.
+    fn name(&self) -> &str {
+        "workload"
+    }
+}
+
+/// Blanket implementation so closures can serve as ad-hoc workloads in tests.
+impl<F> Workload for F
+where
+    F: FnMut(Time) -> TxnRequest + Send,
+{
+    fn next_txn(&mut self, now: Time) -> TxnRequest {
+        self(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PartitionId;
+    use crate::ops::Op;
+
+    #[test]
+    fn closure_workload() {
+        let mut w = |_now: Time| TxnRequest::new(vec![Op::read(PartitionId(0), 1)]);
+        let t = Workload::next_txn(&mut w, 0);
+        assert_eq!(t.ops.len(), 1);
+        assert_eq!(Workload::name(&w), "workload");
+    }
+}

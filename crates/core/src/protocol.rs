@@ -1,0 +1,547 @@
+//! The Lion protocol (§III): cost-model routing, single-node fast path,
+//! inline remastering, 2PC fallback, and the §IV-D batch optimization.
+//!
+//! Execution of one transaction follows the three cases of §III exactly:
+//!
+//! 1. the router found a node with **all primaries** → execute there and
+//!    commit locally, skipping the prepare phase;
+//! 2. the node lacks some primaries but holds **secondaries** → remaster
+//!    them to the node (inline in standard mode; asynchronously before the
+//!    batch's execution phase in batch mode), then run as case 1;
+//! 3. otherwise → regular distributed transaction with 2PC. Remastering
+//!    conflicts (another transfer in flight toward a different node) also
+//!    fall back to 2PC, as §III prescribes.
+
+use crate::config::LionConfig;
+use crate::router::route_txn;
+use lion_cluster::AdaptorError;
+use lion_engine::{Engine, OpFail, Protocol, TickKind, TxnClass};
+use lion_planner::TxnPlacementClass;
+use lion_predictor::WorkloadPredictor;
+use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
+use std::collections::HashMap;
+
+// Continuation kinds (attempt-stamped, see lion-baselines::tags for the
+// packing scheme, re-implemented here to keep lion-core standalone).
+const K_ROUTED: u8 = 1;
+const K_GROUP: u8 = 2;
+const K_BLOCKED: u8 = 3;
+const K_PREP: u8 = 4;
+const K_PREP_REPL: u8 = 5;
+const K_LOC_COMMIT: u8 = 6;
+const K_COMMIT: u8 = 7;
+
+const COORD_IDX: u16 = 0xFFFF;
+
+#[inline]
+fn tag(kind: u8, attempt: u32, idx: u16) -> u32 {
+    ((kind as u32) << 24) | ((attempt & 0xFF) << 16) | idx as u32
+}
+
+#[inline]
+fn untag(t: u32) -> (u8, u32, u16) {
+    ((t >> 24) as u8, (t >> 16) & 0xFF, (t & 0xFFFF) as u16)
+}
+
+/// The Lion protocol.
+pub struct Lion {
+    pub(crate) cfg: LionConfig,
+    pub(crate) predictor: WorkloadPredictor,
+    /// Router affinity: the planner's clump destination per partition.
+    /// "Transactions accessing the same partitions are deliberately routed
+    /// to the same node, which reduces ping-pong remastering" (§III) — the
+    /// affinity keeps routing stable while replica copies are in flight, so
+    /// the greedy cost model cannot undo the plan mid-transition.
+    pub(crate) affinity: HashMap<u32, NodeId>,
+    /// Diagnostics: plan rounds that produced adaptor actions.
+    pub plans_applied: u64,
+    /// Diagnostics: last workload-variation metric (Eq. 6).
+    pub last_wv: f64,
+    /// Diagnostics: pre-replication triggers.
+    pub pre_replications: u64,
+    /// Diagnostics: predicted transactions injected into the heat graph.
+    pub predicted_injected: u64,
+}
+
+impl Lion {
+    /// Builds Lion from a configuration (see [`LionConfig`] constructors).
+    pub fn new(cfg: LionConfig) -> Self {
+        Lion {
+            predictor: WorkloadPredictor::new(cfg.predictor),
+            cfg,
+            affinity: HashMap::new(),
+            plans_applied: 0,
+            last_wv: 0.0,
+            pre_replications: 0,
+            predicted_injected: 0,
+        }
+    }
+
+    /// Full Lion (batch + prediction), the paper's headline configuration.
+    pub fn full() -> Self {
+        Self::new(LionConfig::lion())
+    }
+
+    /// Standard-execution Lion for the non-batch comparisons.
+    pub fn standard() -> Self {
+        Self::new(LionConfig::lion_standard())
+    }
+
+    /// Configuration accessor.
+    pub fn config(&self) -> &LionConfig {
+        &self.cfg
+    }
+
+    fn t(&self, eng: &Engine, txn: TxnId, kind: u8, idx: u16) -> u32 {
+        tag(kind, eng.txn(txn).attempts, idx)
+    }
+
+    /// Consensus affinity of a transaction's partitions: the planned
+    /// destination when every accessed partition agrees on one.
+    fn affinity_of(&self, eng: &Engine, txn: TxnId) -> Option<NodeId> {
+        let parts = &eng.txn(txn).parts;
+        let mut dest: Option<NodeId> = None;
+        for p in parts {
+            match (self.affinity.get(&p.0), dest) {
+                (None, _) => return None,
+                (Some(&n), None) => dest = Some(n),
+                (Some(&n), Some(d)) if n != d => return None,
+                _ => {}
+            }
+        }
+        dest
+    }
+
+    /// Routes and dispatches one transaction (both modes).
+    fn submit_one(&mut self, eng: &mut Engine, txn: TxnId) {
+        let (home, class) = match self.affinity_of(eng, txn) {
+            Some(node) => {
+                // Deliberate routing to the planned clump destination.
+                let freq: Vec<f64> = (0..eng.cluster.placement.n_partitions())
+                    .map(|p| eng.cluster.freq.normalized(lion_common::PartitionId(p as u32)))
+                    .collect();
+                let (class, _) = lion_planner::execution_cost(
+                    &eng.cluster.placement,
+                    &freq,
+                    &eng.txn(txn).parts,
+                    node,
+                    self.cfg.planner.weights,
+                );
+                (node, class)
+            }
+            None => route_txn(eng, txn, self.cfg.planner.weights),
+        };
+        eng.txn_mut(txn).home = home;
+        eng.txn_mut(txn).step = 0;
+
+        // Batch optimization (§IV-D): issue every needed remaster for this
+        // transaction asynchronously, up front. The executor does not stall
+        // here — the partition-group walk below sleeps through any window
+        // that is still open when the group is reached.
+        if self.cfg.batch {
+            if let TxnPlacementClass::NeedsRemaster { .. } = class {
+                let parts = eng.txn(txn).parts.clone();
+                for part in parts {
+                    if eng.cluster.placement.is_primary(part, home)
+                        || !eng.cluster.placement.has_secondary(part, home)
+                        || self.affinity.get(&part.0).is_some_and(|&a| a != home)
+                    {
+                        continue;
+                    }
+                    match eng.remaster_async(part, home) {
+                        Ok(_) => {
+                            eng.txn_mut(txn).class = TxnClass::Remastered;
+                        }
+                        Err(AdaptorError::Busy(_))
+                            if eng.cluster.parts[part.idx()].remastering == Some(home) =>
+                        {
+                            // Another batch transaction already requested
+                            // the same transfer: ride along.
+                            eng.txn_mut(txn).class = TxnClass::Remastered;
+                        }
+                        Err(_) => {} // conflict: 2PC fallback at the group
+                    }
+                }
+            }
+        }
+
+        let bytes = 32 + 8 * eng.txn(txn).req.ops.len() as u32;
+        let t = self.t(eng, txn, K_ROUTED, 0);
+        eng.net(bytes, Phase::Scheduling, txn, t);
+    }
+
+    /// Advances to the current partition group or to the commit phase.
+    fn process_group(&mut self, eng: &mut Engine, txn: TxnId) {
+        let groups = eng.txn(txn).partition_groups();
+        let gi = eng.txn(txn).step as usize;
+        if gi >= groups.len() {
+            return self.begin_commit(eng, txn);
+        }
+        let (part, ops) = &groups[gi];
+        let part = *part;
+        let now = eng.now();
+
+        let avail = eng.cluster.available_at(part);
+        if avail > now {
+            // Blocked by an in-flight remaster/migration: new operations
+            // wait for the hand-off window (§III).
+            let t = self.t(eng, txn, K_BLOCKED, 0);
+            eng.sleep(avail - now + 1, Phase::Other, txn, t);
+            return;
+        }
+
+        let home = eng.txn(txn).home;
+        let primary = eng.cluster.placement.primary_of(part);
+        if primary == home {
+            for op in ops {
+                match eng.exec_op_at(home, txn, *op) {
+                    Ok(()) => {}
+                    Err(OpFail::Locked) => return eng.abort_retry(txn),
+                    Err(_) => {
+                        let t = self.t(eng, txn, K_BLOCKED, 0);
+                        return eng.sleep(10, Phase::Other, txn, t);
+                    }
+                }
+            }
+            let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count();
+            let writes = ops.len() - reads;
+            let mut cost = eng.op_cpu(reads, writes);
+            if gi == 0 {
+                cost += eng.config().sim.cpu.txn_overhead_us;
+            }
+            let t = self.t(eng, txn, K_GROUP, 0);
+            eng.cpu(home, Phase::Execution, cost, txn, t);
+        } else if !self.cfg.batch
+            && eng.cluster.placement.has_secondary(part, home)
+            && self.affinity.get(&part.0).is_none_or(|&a| a == home)
+            && route_txn(eng, txn, self.cfg.planner.weights).0 == home
+        {
+            // §III case 2 (standard mode): remaster the local secondary
+            // inline, then execute the group locally. Two guards prevent
+            // ping-pong remastering: a partition whose planned destination
+            // is elsewhere is left alone (deliberate routing), and a
+            // transaction whose home stopped being the router's best choice
+            // while it waited (the placement moved underneath it) executes
+            // the group via 2PC instead of dragging the primary back —
+            // "otherwise, they will execute through 2PC" (§III).
+            match eng.remaster_async(part, home) {
+                Ok(d) => {
+                    if eng.txn(txn).class == TxnClass::SingleNode {
+                        eng.txn_mut(txn).class = TxnClass::Remastered;
+                    }
+                    let t = self.t(eng, txn, K_BLOCKED, 0);
+                    eng.sleep(d + 1, Phase::Other, txn, t);
+                }
+                Err(AdaptorError::Busy(_))
+                    if eng.cluster.parts[part.idx()].remastering == Some(home) =>
+                {
+                    if eng.txn(txn).class == TxnClass::SingleNode {
+                        eng.txn_mut(txn).class = TxnClass::Remastered;
+                    }
+                    let wait = eng.cluster.available_at(part).saturating_sub(now) + 1;
+                    let t = self.t(eng, txn, K_BLOCKED, 0);
+                    eng.sleep(wait, Phase::Other, txn, t);
+                }
+                Err(_) => {
+                    // Remastering conflict toward another node: "others
+                    // resort to committing as distributed transactions".
+                    self.remote_group(eng, txn, gi);
+                }
+            }
+        } else {
+            self.remote_group(eng, txn, gi);
+        }
+    }
+
+    /// §III case 3: remote execution at the partition's primary.
+    fn remote_group(&mut self, eng: &mut Engine, txn: TxnId, gi: usize) {
+        let groups = eng.txn(txn).partition_groups();
+        let (part, ops) = &groups[gi];
+        let primary = eng.cluster.placement.primary_of(*part);
+        eng.txn_mut(txn).class = TxnClass::Distributed;
+        if !eng.txn(txn).participants.contains(&primary) {
+            eng.txn_mut(txn).participants.push(primary);
+        }
+        let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count();
+        let writes = ops.len() - reads;
+        let req = 24 * ops.len() as u32;
+        let resp = 16 + (reads as u32) * eng.config().sim.value_size;
+        let cpu = eng.op_cpu(reads, writes) + eng.config().sim.cpu.msg_handle_us;
+        let t = self.t(eng, txn, K_GROUP, 1);
+        let home = eng.txn(txn).home;
+        eng.remote_round(home, primary, req, resp, cpu, Phase::Execution, txn, t);
+    }
+
+    fn finish_group(&mut self, eng: &mut Engine, txn: TxnId, remote: bool) {
+        if remote {
+            let groups = eng.txn(txn).partition_groups();
+            let gi = eng.txn(txn).step as usize;
+            let (part, ops) = &groups[gi];
+            let primary = eng.cluster.placement.primary_of(*part);
+            for op in ops {
+                match eng.exec_op_at(primary, txn, *op) {
+                    Ok(()) => {}
+                    Err(OpFail::Locked) => return eng.abort_retry(txn),
+                    Err(_) => {
+                        let t = self.t(eng, txn, K_BLOCKED, 0);
+                        return eng.sleep(10, Phase::Other, txn, t);
+                    }
+                }
+            }
+        }
+        eng.txn_mut(txn).step += 1;
+        self.process_group(eng, txn);
+    }
+
+    fn begin_commit(&mut self, eng: &mut Engine, txn: TxnId) {
+        let home = eng.txn(txn).home;
+        let c = eng.config().sim.cpu;
+        if eng.txn(txn).participants.is_empty() {
+            // Single-node: "the transaction can be directly committed,
+            // omitting the prepare phase" (§III).
+            let t = self.t(eng, txn, K_LOC_COMMIT, 0);
+            eng.cpu(home, Phase::Commit, c.validate_us + c.install_us, txn, t);
+        } else {
+            let n = eng.txn(txn).participants.len() as u32 + 1;
+            eng.join_begin(txn, n);
+            let t = self.t(eng, txn, K_PREP, COORD_IDX);
+            eng.cpu(home, Phase::Commit, c.validate_us, txn, t);
+            let participants = eng.txn(txn).participants.clone();
+            for (i, p) in participants.into_iter().enumerate() {
+                let t = self.t(eng, txn, K_PREP, i as u16);
+                eng.remote_round(home, p, 48, 16, c.validate_us, Phase::Commit, txn, t);
+            }
+        }
+    }
+
+    fn prepare_branch(&mut self, eng: &mut Engine, txn: TxnId, idx: u16) {
+        let node = if idx == COORD_IDX {
+            eng.txn(txn).home
+        } else {
+            eng.txn(txn).participants[idx as usize]
+        };
+        if eng.validate_at(node, txn) {
+            let t = self.t(eng, txn, K_PREP_REPL, idx);
+            eng.replicate_prepare(node, txn, t);
+        } else {
+            self.branch_done(eng, txn, false);
+        }
+    }
+
+    fn branch_done(&mut self, eng: &mut Engine, txn: TxnId, ok: bool) {
+        match eng.join_arrive(txn, ok) {
+            None => {}
+            Some(true) => self.commit_distributed(eng, txn),
+            Some(false) => {
+                let n = eng.txn(txn).participants.len() as u32;
+                for _ in 0..n {
+                    eng.net_fire_and_forget(16);
+                }
+                if self.cfg.batch {
+                    eng.abort_defer(txn);
+                } else {
+                    eng.abort_retry(txn);
+                }
+            }
+        }
+    }
+
+    fn commit_distributed(&mut self, eng: &mut Engine, txn: TxnId) {
+        let home = eng.txn(txn).home;
+        let participants = eng.txn(txn).participants.clone();
+        for p in participants {
+            eng.net_fire_and_forget(32);
+            eng.install_at(p, txn);
+        }
+        eng.install_at(home, txn);
+        let c = eng.config().sim.cpu;
+        let t = self.t(eng, txn, K_COMMIT, 0);
+        eng.cpu(home, Phase::Commit, c.install_us, txn, t);
+    }
+}
+
+impl Protocol for Lion {
+    fn name(&self) -> &'static str {
+        self.cfg.name
+    }
+
+    fn batch_mode(&self) -> bool {
+        self.cfg.batch
+    }
+
+    fn on_submit(&mut self, eng: &mut Engine, txn: TxnId) {
+        self.submit_one(eng, txn);
+    }
+
+    fn on_batch(&mut self, eng: &mut Engine, batch: &[TxnId]) {
+        for &t in batch {
+            self.submit_one(eng, t);
+        }
+    }
+
+    fn on_wake(&mut self, eng: &mut Engine, txn: TxnId, tagv: u32) {
+        let (kind, attempt, idx) = untag(tagv);
+        if attempt != (eng.txn(txn).attempts & 0xFF) {
+            return; // stale wake from an aborted attempt
+        }
+        match kind {
+            K_ROUTED => self.process_group(eng, txn),
+            K_GROUP => self.finish_group(eng, txn, idx == 1),
+            K_BLOCKED => self.process_group(eng, txn),
+            K_PREP => self.prepare_branch(eng, txn, idx),
+            K_PREP_REPL => self.branch_done(eng, txn, true),
+            K_LOC_COMMIT => {
+                let home = eng.txn(txn).home;
+                if eng.validate_at(home, txn) {
+                    eng.install_at(home, txn);
+                    eng.commit(txn);
+                } else if self.cfg.batch {
+                    eng.abort_defer(txn);
+                } else {
+                    eng.abort_retry(txn);
+                }
+            }
+            K_COMMIT => eng.commit(txn),
+            _ => unreachable!("unknown continuation kind {kind}"),
+        }
+    }
+
+    fn on_tick(&mut self, eng: &mut Engine, kind: TickKind) {
+        if kind == TickKind::Planner {
+            self.plan_tick(eng);
+        }
+    }
+}
+
+/// Helper shared with tests: virtual time of one second.
+#[allow(dead_code)]
+pub(crate) const SECOND: Time = 1_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_baselines::two_pc;
+    use lion_common::{SimConfig, SECOND};
+    use lion_engine::Engine;
+    use lion_workloads::{YcsbConfig, YcsbWorkload};
+
+    fn cfg(nodes: usize) -> SimConfig {
+        SimConfig {
+            nodes,
+            partitions_per_node: 4,
+            keys_per_partition: 2048,
+            value_size: 32,
+            clients_per_node: 6,
+            batch_size: 64,
+            ..Default::default()
+        }
+    }
+
+    fn ycsb(nodes: u32, cross: f64, skew: f64, seed: u64) -> Box<YcsbWorkload> {
+        Box::new(YcsbWorkload::new(
+            YcsbConfig::for_cluster(nodes, 4, 2048).with_mix(cross, skew).with_seed(seed),
+        ))
+    }
+
+    /// The headline behaviour: on a 100% cross-partition workload with
+    /// stable co-access pairs, Lion converts almost everything to
+    /// single-node execution and beats 2PC.
+    #[test]
+    fn lion_localizes_cross_partition_workload() {
+        let horizon = 8 * SECOND;
+        let mut eng_lion = Engine::new(cfg(4), ycsb(4, 1.0, 0.0, 61));
+        let mut lion = Lion::standard();
+        let r_lion = eng_lion.run(&mut lion, horizon);
+
+        let mut eng_2pc = Engine::new(cfg(4), ycsb(4, 1.0, 0.0, 61));
+        let r_2pc = eng_2pc.run(&mut two_pc(), horizon);
+
+        assert!(r_lion.commits > 1000);
+        assert!(
+            r_lion.throughput_tps > r_2pc.throughput_tps * 1.3,
+            "Lion {:.0} tps must beat 2PC {:.0} tps",
+            r_lion.throughput_tps,
+            r_2pc.throughput_tps
+        );
+        // adaptation actually happened
+        assert!(lion.plans_applied > 0);
+        assert!(r_lion.remasters > 0, "co-location via remastering");
+        // by the end most txns are single-node; over the whole run the
+        // distributed share must be well below 2PC's ~100%
+        assert!(
+            r_lion.class_fractions[2] < 0.5,
+            "distributed fraction {:?}",
+            r_lion.class_fractions
+        );
+        eng_lion.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lion_single_partition_workload_stays_single_node() {
+        let mut eng = Engine::new(cfg(2), ycsb(2, 0.0, 0.0, 62));
+        let r = eng.run(&mut Lion::standard(), 2 * SECOND);
+        assert!(r.commits > 500);
+        assert!(r.class_fractions[0] > 0.95, "{:?}", r.class_fractions);
+        assert_eq!(r.migrations, 0, "Lion never migrates");
+    }
+
+    #[test]
+    fn lion_batch_mode_converts_with_async_remastering() {
+        let mut eng = Engine::new(cfg(4), ycsb(4, 1.0, 0.0, 63));
+        let mut lion = Lion::full();
+        let r = eng.run(&mut lion, 8 * SECOND);
+        assert!(r.commits > 1000, "commits {}", r.commits);
+        assert!(r.remasters > 0);
+        assert!(
+            r.class_fractions[2] < 0.5,
+            "batch Lion localizes too: {:?}",
+            r.class_fractions
+        );
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lion_spreads_skewed_load() {
+        let mut eng = Engine::new(cfg(4), ycsb(4, 0.5, 0.8, 64));
+        let r = eng.run(&mut Lion::standard(), 8 * SECOND);
+        assert!(r.commits > 1000);
+        // primaries must have moved off the hot node
+        let on_hot = eng.cluster.placement.primaries_on(lion_common::NodeId(0));
+        assert!(
+            on_hot < 4 + 4, // started with 4; should not have grown
+            "hot node still holds {on_hot} primaries"
+        );
+        // busy time should not be concentrated on one node
+        let busy: Vec<u64> =
+            (0..4).map(|n| eng.cluster.workers[n].busy_total()).collect();
+        let max = *busy.iter().max().unwrap() as f64;
+        let avg = busy.iter().sum::<u64>() as f64 / 4.0;
+        assert!(max / avg < 2.5, "load still skewed: {busy:?}");
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lion_s_variant_migrates_instead_of_replicating() {
+        let mut eng = Engine::new(cfg(4), ycsb(4, 1.0, 0.0, 65));
+        let mut lion_s = Lion::new(crate::config::LionConfig::lion_s());
+        let r = eng.run(&mut lion_s, 6 * SECOND);
+        assert!(r.commits > 500);
+        assert!(r.migrations > 0, "Schism strategy migrates");
+        assert_eq!(r.replica_adds, 0, "Schism never adds replicas");
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remastering_machinery_is_exercised_under_churn() {
+        // Long remaster windows + heavy skewed cross traffic: conversions
+        // must happen, and anything that hit an in-flight transfer must
+        // have completed correctly (invariants hold, commits flow).
+        let mut c = cfg(4);
+        c.remaster_delay_us = 8000;
+        let mut eng = Engine::new(c, ycsb(4, 1.0, 0.5, 66));
+        let r = eng.run(&mut Lion::standard(), 4 * SECOND);
+        assert!(r.commits > 300);
+        assert!(r.remasters > 0, "remastering must fire under this workload");
+        eng.cluster.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,1027 @@
+//! The discrete-event transaction engine.
+
+use crate::metrics::Metrics;
+use crate::protocol::{Protocol, TickKind};
+use crate::report::RunReport;
+use crate::txn::{ReadEntry, TxnClass, TxnCtx, WriteEntry};
+use lion_cluster::{AdaptorError, Cluster};
+use lion_common::{
+    ClientId, NodeId, Op, OpKind, PartitionId, Phase, SimConfig, Time, TxnId, TxnRecord,
+    TxnRequest, Workload,
+};
+use lion_sim::EventQueue;
+use lion_storage::{OpOutcome, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Engine-level configuration on top of the cluster's [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Cluster + protocol timing knobs.
+    pub sim: SimConfig,
+    /// Planner tick interval (workload analysis + rearrangement, §III).
+    pub plan_interval_us: Time,
+    /// Monitoring tick interval (load sampling).
+    pub monitor_interval_us: Time,
+    /// Retained routed-transaction records between planner drains.
+    pub history_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            sim: SimConfig::default(),
+            plan_interval_us: 2_000_000,
+            monitor_interval_us: 1_000_000,
+            history_cap: 60_000,
+        }
+    }
+}
+
+impl From<SimConfig> for EngineConfig {
+    fn from(sim: SimConfig) -> Self {
+        EngineConfig { sim, ..Default::default() }
+    }
+}
+
+/// Why a data operation could not run right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpFail {
+    /// The partition is blocked by an in-flight remaster/migration; retry
+    /// after the given time.
+    Blocked {
+        /// Earliest time the partition is available again.
+        until: Time,
+    },
+    /// The node no longer hosts the primary (placement moved underneath).
+    NotPrimary {
+        /// Current primary holder.
+        primary: NodeId,
+    },
+    /// The row is prepare-locked by a conflicting transaction.
+    Locked,
+}
+
+/// Adaptor completions scheduled on the virtual clock.
+#[derive(Debug, Clone, Copy)]
+enum AdaptorFinish {
+    Remaster(PartitionId),
+    AddReplica { part: PartitionId, node: NodeId, then_remaster: bool },
+    Migrate(PartitionId),
+}
+
+/// Engine events.
+enum Ev {
+    ClientNext(ClientId),
+    Wake { txn: TxnId, tag: u32 },
+    Retry(TxnId),
+    Epoch,
+    Plan,
+    Monitor,
+    Adaptor(AdaptorFinish),
+    BatchArm,
+}
+
+/// The simulation engine: cluster + event queue + transaction contexts.
+pub struct Engine {
+    /// The simulated cluster (placement, stores, workers, adaptor state).
+    pub cluster: Cluster,
+    /// Metrics collected so far.
+    pub metrics: Metrics,
+    /// Deterministic RNG for protocol-side choices.
+    pub rng: SmallRng,
+    cfg: EngineConfig,
+    queue: EventQueue<Ev>,
+    txns: HashMap<u64, TxnCtx>,
+    workload: Box<dyn Workload>,
+    next_txn: u64,
+    history: Vec<TxnRecord>,
+    horizon: Time,
+    batch_mode: bool,
+    batch_outstanding: usize,
+    deferred: Vec<TxnId>,
+    window_busy: Vec<Time>,
+    submitted: u64,
+}
+
+impl Engine {
+    /// Builds an engine over a fresh cluster and the given workload.
+    pub fn new(cfg: impl Into<EngineConfig>, workload: Box<dyn Workload>) -> Self {
+        let cfg: EngineConfig = cfg.into();
+        let cluster = Cluster::new(cfg.sim.clone());
+        let nodes = cfg.sim.nodes;
+        Engine {
+            rng: SmallRng::seed_from_u64(cfg.sim.seed),
+            cluster,
+            metrics: Metrics::new(),
+            cfg,
+            queue: EventQueue::new(),
+            txns: HashMap::new(),
+            workload,
+            next_txn: 0,
+            history: Vec::new(),
+            horizon: 0,
+            batch_mode: false,
+            batch_outstanding: 0,
+            deferred: Vec::new(),
+            window_busy: vec![0; nodes],
+            submitted: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Immutable transaction context.
+    pub fn txn(&self, id: TxnId) -> &TxnCtx {
+        &self.txns[&id.0]
+    }
+
+    /// Mutable transaction context.
+    pub fn txn_mut(&mut self, id: TxnId) -> &mut TxnCtx {
+        self.txns.get_mut(&id.0).expect("live transaction")
+    }
+
+    /// True when the context is still live (not committed).
+    pub fn is_live(&self, id: TxnId) -> bool {
+        self.txns.contains_key(&id.0)
+    }
+
+    /// The executor node that "owns" a client (Leap executes transactions at
+    /// the node they arrive on).
+    pub fn origin_node(&self, client: ClientId) -> NodeId {
+        NodeId((client.idx() % self.cfg.sim.nodes) as u16)
+    }
+
+    /// Total submitted transactions.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Busy µs per node accumulated during the last monitoring window.
+    pub fn node_window_busy(&self) -> &[Time] {
+        &self.window_busy
+    }
+
+    /// Drains the routed-transaction records accumulated since the last call
+    /// (the planner's analysis batch B).
+    pub fn drain_history(&mut self) -> Vec<TxnRecord> {
+        std::mem::take(&mut self.history)
+    }
+
+    // ----------------------------------------------------------------
+    // Main loop
+    // ----------------------------------------------------------------
+
+    /// Runs the protocol until the virtual clock reaches `horizon`, then
+    /// summarizes the run.
+    pub fn run(&mut self, proto: &mut dyn Protocol, horizon: Time) -> RunReport {
+        self.horizon = horizon;
+        self.batch_mode = proto.batch_mode();
+        self.queue.schedule(self.cfg.sim.epoch_us, Ev::Epoch);
+        self.queue.schedule(self.cfg.plan_interval_us, Ev::Plan);
+        self.queue.schedule(self.cfg.monitor_interval_us, Ev::Monitor);
+        if self.batch_mode {
+            self.queue.schedule(0, Ev::BatchArm);
+        } else {
+            for c in 0..self.cfg.sim.total_clients() {
+                // Slight stagger avoids a same-instant thundering herd.
+                self.queue.schedule((c % 97) as Time, Ev::ClientNext(ClientId(c as u32)));
+            }
+        }
+
+        while let Some(at) = self.queue.peek_time() {
+            if at >= horizon {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked");
+            match ev {
+                Ev::ClientNext(client) => {
+                    let id = self.create_txn(client);
+                    proto.on_submit(self, id);
+                }
+                Ev::Wake { txn, tag } => {
+                    if self.is_live(txn) {
+                        proto.on_wake(self, txn, tag);
+                    }
+                }
+                Ev::Retry(txn) => {
+                    if self.is_live(txn) {
+                        proto.on_submit(self, txn);
+                    }
+                }
+                Ev::Epoch => {
+                    let now = self.now();
+                    let bytes = self.cluster.epoch_flush_all();
+                    self.metrics.replication_bytes += bytes;
+                    self.metrics.bytes_series.add(now, bytes as f64);
+                    self.queue.schedule(self.cfg.sim.epoch_us, Ev::Epoch);
+                }
+                Ev::Plan => {
+                    proto.on_tick(self, TickKind::Planner);
+                    self.cluster.freq.roll_window();
+                    self.queue.schedule(self.cfg.plan_interval_us, Ev::Plan);
+                }
+                Ev::Monitor => {
+                    for (n, w) in self.window_busy.iter_mut().enumerate() {
+                        *w = self.cluster.workers[n].take_window_busy();
+                    }
+                    proto.on_tick(self, TickKind::Monitor);
+                    self.queue.schedule(self.cfg.monitor_interval_us, Ev::Monitor);
+                }
+                Ev::Adaptor(fin) => self.finish_adaptor(fin),
+                Ev::BatchArm => {
+                    let batch = self.arm_batch();
+                    if !batch.is_empty() {
+                        self.batch_outstanding = batch.len();
+                        proto.on_batch(self, &batch);
+                    }
+                }
+            }
+        }
+        RunReport::build(proto.name(), self, horizon)
+    }
+
+    fn create_txn(&mut self, client: ClientId) -> TxnId {
+        let now = self.now();
+        let req = self.workload.next_txn(now);
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.submitted += 1;
+        let ctx = TxnCtx::new(id, client, req, now);
+        if self.history.len() < self.cfg.history_cap {
+            self.history.push(TxnRecord { at: now, parts: ctx.parts.clone() });
+        }
+        self.txns.insert(id.0, ctx);
+        id
+    }
+
+    fn arm_batch(&mut self) -> Vec<TxnId> {
+        let now = self.now();
+        if now >= self.horizon {
+            return Vec::new();
+        }
+        let mut batch: Vec<TxnId> = Vec::with_capacity(self.cfg.sim.batch_size);
+        batch.append(&mut self.deferred);
+        while batch.len() < self.cfg.sim.batch_size {
+            // Batch distributors pull from the open stream (§IV-D buffers
+            // until the batch size or time window is reached).
+            let client = ClientId((batch.len() % self.cfg.sim.total_clients()) as u32);
+            batch.push(self.create_txn(client));
+        }
+        batch
+    }
+
+    fn finish_adaptor(&mut self, fin: AdaptorFinish) {
+        let now = self.now();
+        match fin {
+            AdaptorFinish::Remaster(part) => {
+                let to = self.cluster.parts[part.idx()].remastering;
+                if std::env::var_os("LION_TRACE").is_some() {
+                    eprintln!("[{now}] remaster {part} -> {to:?}");
+                }
+                let bytes = self.cluster.finish_remaster(part, now);
+                self.metrics.remasters += 1;
+                self.metrics.remaster_series.incr(now);
+                self.metrics.replication_bytes += bytes;
+                self.metrics.bytes_series.add(now, bytes as f64);
+            }
+            AdaptorFinish::AddReplica { part, node, then_remaster } => {
+                let evicted = self.cluster.finish_add_replica(part, node, now);
+                self.metrics.replica_adds += 1;
+                if evicted.is_some() {
+                    self.metrics.replica_evictions += 1;
+                }
+                if then_remaster {
+                    match self.cluster.begin_remaster(part, node, now) {
+                        Ok(d) => self.queue.schedule(d, Ev::Adaptor(AdaptorFinish::Remaster(part))),
+                        Err(AdaptorError::AlreadyPrimary { .. }) => {}
+                        Err(_) => self.metrics.remaster_conflicts += 1,
+                    }
+                }
+            }
+            AdaptorFinish::Migrate(part) => {
+                self.cluster.finish_migration(part, now);
+                self.metrics.migrations += 1;
+                self.metrics.migration_series.incr(now);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Timing primitives
+    // ----------------------------------------------------------------
+
+    /// Occupies one of `node`'s workers for `dur` µs, waking `(txn, tag)` on
+    /// completion. Queue wait is booked as `Scheduling`; service as `phase`.
+    pub fn cpu(&mut self, node: NodeId, phase: Phase, dur: Time, txn: TxnId, tag: u32) {
+        let now = self.now();
+        let grant = self.cluster.workers[node.idx()].acquire(now, dur);
+        let wait = grant.queue_wait(now);
+        let ctx = self.txn_mut(txn);
+        ctx.phase_us[Phase::Scheduling.idx()] += wait;
+        ctx.phase_us[phase.idx()] += dur;
+        self.queue.schedule_at(grant.end, Ev::Wake { txn, tag });
+    }
+
+    /// One-way message of `bytes` payload; wakes `(txn, tag)` on delivery.
+    pub fn net(&mut self, bytes: u32, phase: Phase, txn: TxnId, tag: u32) {
+        let now = self.now();
+        let d = self.cluster.net_delay(bytes);
+        self.metrics.add_bytes(now, (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64);
+        self.txn_mut(txn).phase_us[phase.idx()] += d;
+        self.queue.schedule(d, Ev::Wake { txn, tag });
+    }
+
+    /// Accounting-only one-way message (no wake), e.g. 2PC commit decisions
+    /// whose acks the coordinator does not wait for.
+    pub fn net_fire_and_forget(&mut self, bytes: u32) {
+        let now = self.now();
+        self.metrics.add_bytes(now, (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64);
+    }
+
+    /// Request/response round from `from` to a remote node including remote
+    /// CPU: request latency + worker queueing + service + response latency,
+    /// as a single scheduled wake (the worker slot is reserved at request
+    /// arrival). The origin node is charged message-handling CPU for the
+    /// send and the response — the coordination work that makes distributed
+    /// transactions expensive on their coordinator.
+    pub fn remote_round(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes_req: u32,
+        bytes_resp: u32,
+        remote_cpu: Time,
+        phase: Phase,
+        txn: TxnId,
+        tag: u32,
+    ) {
+        let now = self.now();
+        let overhead = self.cfg.sim.net.msg_overhead_bytes;
+        let handling = 2 * self.cfg.sim.cpu.msg_handle_us;
+        let _ = self.cluster.workers[from.idx()].acquire(now, handling);
+        let d1 = self.cluster.net_delay(bytes_req);
+        let grant = self.cluster.workers[to.idx()].acquire(now + d1, remote_cpu);
+        let d2 = self.cluster.net_delay(bytes_resp);
+        self.metrics.add_bytes(now, (bytes_req + overhead) as u64 + (bytes_resp + overhead) as u64);
+        let ctx = self.txn_mut(txn);
+        ctx.phase_us[Phase::Scheduling.idx()] += grant.queue_wait(now + d1);
+        ctx.phase_us[phase.idx()] += d1 + remote_cpu + d2;
+        self.queue.schedule_at(grant.end + d2, Ev::Wake { txn, tag });
+    }
+
+    /// Pure wait (remaster hand-off, migration blackout, barrier).
+    pub fn sleep(&mut self, dur: Time, phase: Phase, txn: TxnId, tag: u32) {
+        self.txn_mut(txn).phase_us[phase.idx()] += dur;
+        self.queue.schedule(dur, Ev::Wake { txn, tag });
+    }
+
+    /// Wake `(txn, tag)` at an absolute virtual time (batch protocols that
+    /// compute completion times arithmetically).
+    pub fn wake_at(&mut self, at: Time, txn: TxnId, tag: u32) {
+        self.queue.schedule_at(at, Ev::Wake { txn, tag });
+    }
+
+    /// Books `us` of `phase` time on `txn` without scheduling anything
+    /// (batch protocols account phases while computing times arithmetically).
+    pub fn charge_phase(&mut self, txn: TxnId, phase: Phase, us: Time) {
+        self.txn_mut(txn).phase_us[phase.idx()] += us;
+    }
+
+    /// Acquires a worker at `node` without scheduling a wake; returns the
+    /// service interval. Batch protocols compose these grants into
+    /// per-transaction completion times.
+    pub fn cpu_grant(&mut self, node: NodeId, at: Time, dur: Time) -> (Time, Time) {
+        let grant = self.cluster.workers[node.idx()].acquire(at, dur);
+        (grant.start, grant.end)
+    }
+
+    // ----------------------------------------------------------------
+    // Fan-out joins
+    // ----------------------------------------------------------------
+
+    /// Starts a fan-out of `n` branches on `txn`.
+    pub fn join_begin(&mut self, txn: TxnId, n: u32) {
+        let ctx = self.txn_mut(txn);
+        ctx.pending = n;
+        ctx.failed = false;
+    }
+
+    /// Records one branch arrival. Returns `None` while branches remain,
+    /// `Some(all_ok)` when the last branch lands.
+    pub fn join_arrive(&mut self, txn: TxnId, ok: bool) -> Option<bool> {
+        let ctx = self.txn_mut(txn);
+        debug_assert!(ctx.pending > 0, "join_arrive without join_begin");
+        ctx.pending -= 1;
+        ctx.failed |= !ok;
+        if ctx.pending == 0 {
+            Some(!ctx.failed)
+        } else {
+            None
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Data operations (instantaneous state transitions; timing is the
+    // protocol's job via the primitives above)
+    // ----------------------------------------------------------------
+
+    /// Executes one declared operation at `node` (which must currently hold
+    /// the primary): reads record versions, writes are buffered.
+    pub fn exec_op_at(&mut self, node: NodeId, txn: TxnId, op: Op) -> Result<(), OpFail> {
+        let now = self.now();
+        let part = op.partition;
+        let until = self.cluster.available_at(part);
+        if until > now {
+            return Err(OpFail::Blocked { until });
+        }
+        if !self.cluster.placement.is_primary(part, node) {
+            return Err(OpFail::NotPrimary { primary: self.cluster.placement.primary_of(part) });
+        }
+        self.cluster.freq.record_access(part, node, now);
+        match op.kind {
+            OpKind::Read => {
+                let store = self.cluster.store_mut(node, part).expect("primary store");
+                match store.table.occ_read(op.key, txn) {
+                    OpOutcome::Ok { version } => {
+                        self.txn_mut(txn).read_set.push(ReadEntry {
+                            part,
+                            key: op.key,
+                            version,
+                        });
+                        Ok(())
+                    }
+                    _ => Err(OpFail::Locked),
+                }
+            }
+            OpKind::Write => {
+                self.txn_mut(txn).write_set.push(WriteEntry { part, key: op.key });
+                Ok(())
+            }
+        }
+    }
+
+    /// Executes every operation of `txn` whose partition primary is at
+    /// `node`. Stops at the first failure.
+    pub fn exec_local_ops(&mut self, node: NodeId, txn: TxnId) -> Result<usize, OpFail> {
+        let ops: Vec<Op> = self
+            .txn(txn)
+            .req
+            .ops
+            .iter()
+            .copied()
+            .filter(|o| self.cluster.placement.is_primary(o.partition, node))
+            .collect();
+        let n = ops.len();
+        for op in ops {
+            self.exec_op_at(node, txn, op)?;
+        }
+        Ok(n)
+    }
+
+    /// CPU demand for executing `n_reads` + `n_writes` operations.
+    pub fn op_cpu(&self, n_reads: usize, n_writes: usize) -> Time {
+        let c = &self.cfg.sim.cpu;
+        c.read_us * n_reads as u64 + c.write_us * n_writes as u64
+    }
+
+    /// OCC validation at `node`: prepare-locks the write set and validates
+    /// the read set for partitions whose primary is at `node`. On failure,
+    /// locks taken here are released and `false` is returned.
+    pub fn validate_at(&mut self, node: NodeId, txn: TxnId) -> bool {
+        let id = txn;
+        let writes: Vec<WriteEntry> = self
+            .txn(txn)
+            .write_set
+            .iter()
+            .copied()
+            .filter(|w| self.cluster.placement.is_primary(w.part, node))
+            .collect();
+        let reads: Vec<ReadEntry> = self
+            .txn(txn)
+            .read_set
+            .iter()
+            .copied()
+            .filter(|r| self.cluster.placement.is_primary(r.part, node))
+            .collect();
+
+        let mut locked: Vec<WriteEntry> = Vec::with_capacity(writes.len());
+        let mut ok = true;
+        for w in &writes {
+            let store = self.cluster.store_mut(node, w.part).expect("primary store");
+            if store.table.occ_lock(w.key, id).is_ok() {
+                locked.push(*w);
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            for r in &reads {
+                let store = self.cluster.store(node, r.part).expect("primary store");
+                if !store.table.occ_validate_read(r.key, r.version, id).is_ok() {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            for w in locked {
+                if let Some(store) = self.cluster.store_mut(node, w.part) {
+                    store.table.occ_unlock(w.key, id);
+                }
+            }
+        }
+        ok
+    }
+
+    /// Installs `txn`'s writes at `node` (partitions whose primary is
+    /// local): stores synthesized payloads, bumps versions, appends to the
+    /// replication log. Must follow a successful [`Engine::validate_at`].
+    ///
+    /// A partition whose primary moved away between prepare-validation and
+    /// the commit decision (a remaster raced the 2PC window) can no longer
+    /// install here; its prepare-locks are released on every replica holder
+    /// instead — leaving them would poison the rows forever once the
+    /// partition remasters back.
+    pub fn install_at(&mut self, node: NodeId, txn: TxnId) {
+        let value_size = self.cfg.sim.value_size;
+        let attempt = self.txn(txn).attempts as u64;
+        let writes: Vec<WriteEntry> = self.txn(txn).write_set.clone();
+        for w in writes {
+            if !self.cluster.placement.is_primary(w.part, node) {
+                if self.cluster.store(node, w.part).is_some() {
+                    for holder in self.cluster.placement.replica_nodes(w.part) {
+                        if let Some(store) = self.cluster.store_mut(holder, w.part) {
+                            store.table.occ_unlock(w.key, txn);
+                        }
+                    }
+                }
+                continue;
+            }
+            let stamp = txn.0.wrapping_mul(31).wrapping_add(attempt);
+            let value = Table::synth_value(w.key, stamp, value_size);
+            let store = self.cluster.store_mut(node, w.part).expect("primary store");
+            let version = store.table.occ_install(w.key, txn, value.clone());
+            store.log.append(w.part, w.key, version, value);
+        }
+    }
+
+    /// Installs `txn`'s writes directly at their current primaries without
+    /// prepare-locks. Used by protocols whose write phase is conflict-free by
+    /// construction (Star's serial single-master phase, deterministic
+    /// protocols whose lock schedule already serialized the writers).
+    pub fn install_unchecked(&mut self, txn: TxnId) {
+        let value_size = self.cfg.sim.value_size;
+        let attempt = self.txn(txn).attempts as u64;
+        let writes: Vec<WriteEntry> = self.txn(txn).write_set.clone();
+        for w in writes {
+            let stamp = txn.0.wrapping_mul(31).wrapping_add(attempt);
+            let value = Table::synth_value(w.key, stamp, value_size);
+            let primary = self.cluster.placement.primary_of(w.part);
+            let store = self.cluster.store_mut(primary, w.part).expect("primary store");
+            let version = store.table.occ_install(w.key, txn, value.clone());
+            store.log.append(w.part, w.key, version, value);
+        }
+    }
+
+    /// Records the write set of `txn` from its declared ops without
+    /// executing reads (deterministic protocols declare sets up front).
+    pub fn load_declared_sets(&mut self, txn: TxnId) {
+        let ops: Vec<Op> = self.txn(txn).req.ops.clone();
+        for op in ops {
+            match op.kind {
+                OpKind::Read => {}
+                OpKind::Write => {
+                    self.txn_mut(txn).write_set.push(WriteEntry { part: op.partition, key: op.key })
+                }
+            }
+        }
+    }
+
+    /// Releases any prepare-locks `txn` may hold anywhere (abort path). Scans
+    /// every replica holder so racing placement changes cannot leak locks.
+    pub fn release_all(&mut self, txn: TxnId) {
+        let writes: Vec<WriteEntry> = self.txn(txn).write_set.clone();
+        for w in writes {
+            for node in self.cluster.placement.replica_nodes(w.part) {
+                if let Some(store) = self.cluster.store_mut(node, w.part) {
+                    store.table.occ_unlock(w.key, txn);
+                }
+            }
+        }
+    }
+
+    /// Synchronous prepare-log replication at a participant (§II-A: "each
+    /// participant ... replicates its prepare log to the corresponding
+    /// secondary replicas"). Books the max secondary round trip as
+    /// `Replication` time and wakes `(txn, tag)`.
+    pub fn replicate_prepare(&mut self, node: NodeId, txn: TxnId, tag: u32) {
+        let parts: Vec<PartitionId> = {
+            let ctx = self.txn(txn);
+            let mut ps: Vec<PartitionId> = ctx
+                .write_set
+                .iter()
+                .map(|w| w.part)
+                .filter(|&p| self.cluster.placement.is_primary(p, node))
+                .collect();
+            ps.sort_unstable();
+            ps.dedup();
+            ps
+        };
+        let now = self.now();
+        let overhead = self.cfg.sim.net.msg_overhead_bytes as u64;
+        let mut max_rtt = 0;
+        for part in parts {
+            let writes_here =
+                self.txn(txn).write_set.iter().filter(|w| w.part == part).count() as u32;
+            let bytes = writes_here * (self.cfg.sim.value_size + 32);
+            let n_secs = self.cluster.placement.secondaries_of(part).len() as u64;
+            if n_secs == 0 {
+                continue;
+            }
+            let rtt = self.cluster.net_delay(bytes) + self.cluster.net_delay(0);
+            max_rtt = max_rtt.max(rtt);
+            self.metrics
+                .add_bytes(now, n_secs * (bytes as u64 + 2 * overhead));
+        }
+        if max_rtt == 0 {
+            // No secondaries / read-only at this participant: complete now.
+            self.queue.schedule(0, Ev::Wake { txn, tag });
+        } else {
+            self.txn_mut(txn).phase_us[Phase::Replication.idx()] += max_rtt;
+            self.queue.schedule(max_rtt, Ev::Wake { txn, tag });
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Completion
+    // ----------------------------------------------------------------
+
+    /// Commits `txn`: records metrics, frees the context, and (standard
+    /// mode) immediately re-arms the issuing client.
+    pub fn commit(&mut self, txn: TxnId) {
+        let now = self.now();
+        let ctx = self.txns.remove(&txn.0).expect("live transaction");
+        self.metrics.commits += 1;
+        self.metrics.commits_series.incr(now);
+        self.metrics.latency.record(now.saturating_sub(ctx.start));
+        match ctx.class {
+            TxnClass::SingleNode => self.metrics.single_node += 1,
+            TxnClass::Remastered => self.metrics.remastered += 1,
+            TxnClass::Distributed => self.metrics.distributed += 1,
+        }
+        for (i, &us) in ctx.phase_us.iter().enumerate() {
+            self.metrics.phase_us[i] += us as u128;
+        }
+        if self.batch_mode {
+            self.batch_done_one();
+        } else {
+            self.queue.schedule(1, Ev::ClientNext(ctx.client));
+        }
+    }
+
+    /// Aborts the current attempt and schedules a retry after the configured
+    /// back-off (standard mode).
+    pub fn abort_retry(&mut self, txn: TxnId) {
+        let now = self.now();
+        self.metrics.aborts += 1;
+        self.release_all(txn);
+        let backoff = self.cfg.sim.retry_backoff_us;
+        self.txn_mut(txn).reset_for_retry(now + backoff);
+        self.queue.schedule(backoff, Ev::Retry(txn));
+    }
+
+    /// Aborts the current attempt and defers the transaction to the next
+    /// batch (Aria-style carry-over; batch mode only).
+    pub fn abort_defer(&mut self, txn: TxnId) {
+        debug_assert!(self.batch_mode, "defer is a batch-mode operation");
+        let now = self.now();
+        self.metrics.aborts += 1;
+        self.release_all(txn);
+        self.txn_mut(txn).reset_for_retry(now);
+        self.deferred.push(txn);
+        self.batch_done_one();
+    }
+
+    fn batch_done_one(&mut self) {
+        debug_assert!(self.batch_outstanding > 0);
+        self.batch_outstanding -= 1;
+        if self.batch_outstanding == 0 {
+            self.queue.schedule(1, Ev::BatchArm);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Adaptor scheduling
+    // ----------------------------------------------------------------
+
+    /// Starts an asynchronous remaster; the placement flips after the
+    /// returned duration. Conflicting requests surface as `Err` (the caller
+    /// decides whether to fall back to 2PC, §III).
+    pub fn remaster_async(&mut self, part: PartitionId, to: NodeId) -> Result<Time, AdaptorError> {
+        let now = self.now();
+        match self.cluster.begin_remaster(part, to, now) {
+            Ok(d) => {
+                self.queue.schedule(d, Ev::Adaptor(AdaptorFinish::Remaster(part)));
+                Ok(d)
+            }
+            Err(e) => {
+                if matches!(e, AdaptorError::Busy(_)) {
+                    self.metrics.remaster_conflicts += 1;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Starts a background replica copy; optionally chains a remaster once
+    /// the copy lands (the planner's AddReplica action).
+    pub fn add_replica_async(
+        &mut self,
+        part: PartitionId,
+        to: NodeId,
+        then_remaster: bool,
+    ) -> Result<Time, AdaptorError> {
+        let now = self.now();
+        let (d, bytes) = self.cluster.begin_add_replica(part, to, now)?;
+        self.metrics.migration_bytes += bytes;
+        self.metrics.bytes_series.add(now, bytes as f64);
+        self.queue
+            .schedule(d, Ev::Adaptor(AdaptorFinish::AddReplica { part, node: to, then_remaster }));
+        Ok(d)
+    }
+
+    /// Starts a blocking migration of `part`'s primary to `to`.
+    pub fn migrate_async(&mut self, part: PartitionId, to: NodeId) -> Result<Time, AdaptorError> {
+        let now = self.now();
+        let (d, bytes) = self.cluster.begin_migration(part, to, now)?;
+        self.metrics.migration_bytes += bytes;
+        self.metrics.bytes_series.add(now, bytes as f64);
+        self.queue.schedule(d, Ev::Adaptor(AdaptorFinish::Migrate(part)));
+        Ok(d)
+    }
+
+    /// Test/bench helper: submit one transaction directly with a caller-built
+    /// request (bypasses the workload).
+    pub fn inject_txn(&mut self, client: ClientId, req: TxnRequest) -> TxnId {
+        let now = self.now();
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.submitted += 1;
+        let ctx = TxnCtx::new(id, client, req, now);
+        self.history.push(TxnRecord { at: now, parts: ctx.parts.clone() });
+        self.txns.insert(id.0, ctx);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_common::SECOND;
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig {
+            nodes: 2,
+            partitions_per_node: 2,
+            keys_per_partition: 64,
+            value_size: 16,
+            clients_per_node: 2,
+            ..Default::default()
+        }
+    }
+
+    fn uniform_workload(parts: usize) -> Box<dyn Workload> {
+        let mut i = 0u64;
+        Box::new(move |_now: Time| {
+            i += 1;
+            let p = PartitionId((i % parts as u64) as u32);
+            TxnRequest::new(vec![Op::read(p, i % 64), Op::write(p, (i + 1) % 64)])
+        })
+    }
+
+    /// The simplest possible protocol: execute everything at the primary of
+    /// the first partition, one CPU slice, then commit.
+    struct TrivialProto;
+    impl Protocol for TrivialProto {
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+        fn on_submit(&mut self, eng: &mut Engine, txn: TxnId) {
+            let home = eng.cluster.placement.primary_of(eng.txn(txn).parts[0]);
+            eng.txn_mut(txn).home = home;
+            match eng.exec_local_ops(home, txn) {
+                Ok(_) => {
+                    let cpu = eng.op_cpu(1, 1) + eng.config().sim.cpu.txn_overhead_us;
+                    eng.cpu(home, Phase::Execution, cpu, txn, 1);
+                }
+                Err(_) => eng.abort_retry(txn),
+            }
+        }
+        fn on_wake(&mut self, eng: &mut Engine, txn: TxnId, tag: u32) {
+            assert_eq!(tag, 1);
+            let home = eng.txn(txn).home;
+            if eng.validate_at(home, txn) {
+                eng.install_at(home, txn);
+                eng.commit(txn);
+            } else {
+                eng.abort_retry(txn);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_commits_transactions() {
+        let mut eng = Engine::new(tiny_cfg(), uniform_workload(4));
+        let report = eng.run(&mut TrivialProto, SECOND / 2);
+        assert!(report.commits > 100, "got {}", report.commits);
+        assert_eq!(report.commits, eng.metrics.single_node);
+        assert!(report.throughput_tps > 0.0);
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn epoch_flush_replicates_writes() {
+        let mut eng = Engine::new(tiny_cfg(), uniform_workload(4));
+        eng.run(&mut TrivialProto, SECOND / 4);
+        assert!(eng.metrics.replication_bytes > 0, "epoch flushes shipped bytes");
+        // After the final epoch flush, secondaries lag only by the last
+        // unflushed epoch; force one more flush and check sync.
+        let extra = eng.cluster.epoch_flush_all();
+        let _ = extra;
+        for p in 0..eng.cluster.n_partitions() {
+            let part = PartitionId(p as u32);
+            let primary = eng.cluster.placement.primary_of(part);
+            let head = eng.cluster.store(primary, part).unwrap().log.head_lsn();
+            for &s in eng.cluster.placement.secondaries_of(part) {
+                assert_eq!(
+                    eng.cluster.store(s, part).unwrap().lag_behind(head),
+                    0,
+                    "secondary {s} of {part} must be in sync after flush"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_writes_abort_and_retry() {
+        // Single key hammered by every client: version conflicts must abort
+        // some attempts, and retries must eventually commit.
+        let wl = Box::new(move |_now: Time| {
+            TxnRequest::new(vec![Op::read(PartitionId(0), 0), Op::write(PartitionId(0), 0)])
+        });
+        let mut cfg = tiny_cfg();
+        cfg.clients_per_node = 8;
+        let mut eng = Engine::new(cfg, wl);
+        let report = eng.run(&mut TrivialProto, SECOND / 4);
+        assert!(report.commits > 0);
+        // trivially validating/installing in one wake: no interleaving
+        // between validate and install of a single txn, so no aborts here —
+        // the version check itself is exercised in the 2PC protocol tests.
+        let key_version = {
+            let part = PartitionId(0);
+            let primary = eng.cluster.placement.primary_of(part);
+            eng.cluster.store(primary, part).unwrap().table.get(0).unwrap().version
+        };
+        assert_eq!(key_version, report.commits + 1, "every commit bumped the version once");
+    }
+
+    #[test]
+    fn remaster_async_flips_placement_after_delay() {
+        let mut eng = Engine::new(tiny_cfg(), uniform_workload(4));
+        let part = PartitionId(0);
+        let sec = eng.cluster.placement.secondaries_of(part)[0];
+        // drive the engine with a protocol that triggers a remaster once
+        struct Remasterer {
+            target: NodeId,
+            part: PartitionId,
+            fired: bool,
+        }
+        impl Protocol for Remasterer {
+            fn name(&self) -> &'static str {
+                "remasterer"
+            }
+            fn on_submit(&mut self, eng: &mut Engine, txn: TxnId) {
+                if !self.fired {
+                    self.fired = true;
+                    eng.remaster_async(self.part, self.target).unwrap();
+                }
+                eng.txn_mut(txn).class = TxnClass::SingleNode;
+                eng.cpu(NodeId(0), Phase::Execution, 10, txn, 0);
+            }
+            fn on_wake(&mut self, eng: &mut Engine, txn: TxnId, _tag: u32) {
+                eng.commit(txn);
+            }
+        }
+        let mut proto = Remasterer { target: sec, part, fired: false };
+        eng.run(&mut proto, SECOND / 10);
+        assert_eq!(eng.cluster.placement.primary_of(part), sec);
+        assert_eq!(eng.metrics.remasters, 1);
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn join_helper_counts_branches() {
+        let mut eng = Engine::new(tiny_cfg(), uniform_workload(4));
+        let id = eng.inject_txn(ClientId(0), TxnRequest::new(vec![Op::read(PartitionId(0), 1)]));
+        eng.join_begin(id, 3);
+        assert_eq!(eng.join_arrive(id, true), None);
+        assert_eq!(eng.join_arrive(id, false), None);
+        assert_eq!(eng.join_arrive(id, true), Some(false), "one branch failed");
+        eng.join_begin(id, 1);
+        assert_eq!(eng.join_arrive(id, true), Some(true));
+    }
+
+    #[test]
+    fn blocked_partition_rejects_ops() {
+        let mut eng = Engine::new(tiny_cfg(), uniform_workload(4));
+        let part = PartitionId(0);
+        let sec = eng.cluster.placement.secondaries_of(part)[0];
+        eng.cluster.begin_remaster(part, sec, 0).unwrap();
+        let id = eng.inject_txn(ClientId(0), TxnRequest::new(vec![Op::read(part, 1)]));
+        let err = eng.exec_op_at(NodeId(0), id, Op::read(part, 1)).unwrap_err();
+        assert!(matches!(err, OpFail::Blocked { .. }));
+    }
+
+    /// Regression: a remaster racing the 2PC commit window must not leak
+    /// prepare-locks. Before the fix, `install_at` silently skipped
+    /// partitions whose primary had moved, leaving the row locked on the
+    /// demoted store forever — and permanently unavailable once the
+    /// partition remastered back ("poisoned rows").
+    #[test]
+    fn remaster_during_commit_window_releases_locks() {
+        let mut eng = Engine::new(tiny_cfg(), uniform_workload(4));
+        let part = PartitionId(0);
+        let home = NodeId(0);
+        let sec = eng.cluster.placement.secondaries_of(part)[0];
+        let txn = eng.inject_txn(
+            ClientId(0),
+            TxnRequest::new(vec![Op::read(part, 1), Op::write(part, 1)]),
+        );
+        eng.exec_op_at(home, txn, Op::read(part, 1)).unwrap();
+        eng.exec_op_at(home, txn, Op::write(part, 1)).unwrap();
+        assert!(eng.validate_at(home, txn), "prepare-lock taken at the old primary");
+
+        // Remaster completes between prepare and commit.
+        let d = eng.cluster.begin_remaster(part, sec, eng.now()).unwrap();
+        eng.cluster.finish_remaster(part, d);
+        assert_eq!(eng.cluster.placement.primary_of(part), sec);
+
+        // Commit decision arrives at the old primary: no install possible,
+        // but the lock must be released everywhere.
+        eng.install_at(home, txn);
+        for holder in eng.cluster.placement.replica_nodes(part) {
+            let row = eng.cluster.store(holder, part).unwrap().table.get(1).unwrap();
+            assert!(row.lock.is_none(), "lock leaked on {holder}");
+        }
+        // A later transaction can lock the row at the new primary.
+        let txn2 = eng.inject_txn(
+            ClientId(1),
+            TxnRequest::new(vec![Op::write(part, 1)]),
+        );
+        eng.txn_mut(txn2).write_set.push(crate::txn::WriteEntry { part, key: 1 });
+        assert!(eng.validate_at(sec, txn2), "row must not be poisoned");
+    }
+
+    #[test]
+    fn batch_mode_arms_batches() {
+        struct BatchNoop;
+        impl Protocol for BatchNoop {
+            fn name(&self) -> &'static str {
+                "batch-noop"
+            }
+            fn batch_mode(&self) -> bool {
+                true
+            }
+            fn on_submit(&mut self, _: &mut Engine, _: TxnId) {}
+            fn on_wake(&mut self, eng: &mut Engine, txn: TxnId, _tag: u32) {
+                eng.commit(txn);
+            }
+            fn on_batch(&mut self, eng: &mut Engine, batch: &[TxnId]) {
+                for &t in batch {
+                    let home = eng.cluster.placement.primary_of(eng.txn(t).parts[0]);
+                    eng.txn_mut(t).home = home;
+                    let _ = eng.exec_local_ops(home, t);
+                    eng.cpu(home, Phase::Execution, 20, t, 0);
+                }
+            }
+        }
+        let mut cfg = tiny_cfg();
+        cfg.batch_size = 32;
+        let mut eng = Engine::new(cfg, uniform_workload(4));
+        let report = eng.run(&mut BatchNoop, SECOND / 5);
+        assert!(report.commits >= 64, "at least two batches: {}", report.commits);
+        assert_eq!(report.commits % 32, 0, "whole batches commit");
+    }
+}

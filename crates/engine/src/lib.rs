@@ -1,0 +1,29 @@
+//! # lion-engine
+//!
+//! The transaction-processing engine every protocol (Lion and all eight
+//! baselines) runs on. It drives the discrete-event simulation:
+//!
+//! * closed-loop clients (standard mode) or batch arming (batch mode, §IV-D);
+//! * CPU primitives against each node's worker pool and network primitives
+//!   against the latency+bandwidth model;
+//! * OCC data access: versioned reads, prepare-locking, validation, install,
+//!   with real per-row state so contention and aborts emerge from the data;
+//! * epoch-based group replication (§V) and the adaptor operations
+//!   (remaster / add-replica / migrate) scheduled on the virtual clock;
+//! * metrics: throughput/network time series, latency histograms, and the
+//!   per-phase breakdown behind Fig. 14b.
+//!
+//! Protocols implement the [`Protocol`] trait as explicit state machines:
+//! the engine wakes them with `(txn, tag)` continuations.
+
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod report;
+pub mod txn;
+
+pub use engine::{Engine, EngineConfig, OpFail};
+pub use metrics::Metrics;
+pub use protocol::{Protocol, TickKind};
+pub use report::RunReport;
+pub use txn::{TxnClass, TxnCtx};

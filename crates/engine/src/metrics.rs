@@ -1,0 +1,170 @@
+//! Run metrics: counters, latency histogram, per-phase totals, time series.
+
+use lion_common::{Phase, Time};
+use lion_sim::{Histogram, TimeSeries};
+
+/// Time-series bucket width (1 simulated second), matching the granularity
+/// of the paper's timeline figures.
+pub const SERIES_BUCKET_US: Time = 1_000_000;
+
+/// All metrics collected during a run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts (each retry re-counts).
+    pub aborts: u64,
+    /// Transactions that committed on a single node without remastering.
+    pub single_node: u64,
+    /// Transactions converted to single-node via remastering.
+    pub remastered: u64,
+    /// Transactions executed as distributed 2PC.
+    pub distributed: u64,
+    /// Completed remaster operations.
+    pub remasters: u64,
+    /// Remaster requests rejected because another was in flight (§III
+    /// remastering conflicts).
+    pub remaster_conflicts: u64,
+    /// Completed background replica additions.
+    pub replica_adds: u64,
+    /// Secondary replicas evicted by the replica cap.
+    pub replica_evictions: u64,
+    /// Completed blocking migrations.
+    pub migrations: u64,
+    /// Total message bytes (requests, acks, prepare/commit rounds).
+    pub msg_bytes: u64,
+    /// Replication bytes (epoch flushes + remaster lag sync).
+    pub replication_bytes: u64,
+    /// Migration / replica-copy bytes.
+    pub migration_bytes: u64,
+    /// Commit-latency histogram (µs).
+    pub latency: Histogram,
+    /// Per-phase accumulated µs across committed and aborted work.
+    pub phase_us: [u128; 5],
+    /// Commits per second.
+    pub commits_series: TimeSeries,
+    /// Network bytes per second (all classes combined).
+    pub bytes_series: TimeSeries,
+    /// Remasters per second.
+    pub remaster_series: TimeSeries,
+    /// Migrations per second.
+    pub migration_series: TimeSeries,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Metrics {
+            commits: 0,
+            aborts: 0,
+            single_node: 0,
+            remastered: 0,
+            distributed: 0,
+            remasters: 0,
+            remaster_conflicts: 0,
+            replica_adds: 0,
+            replica_evictions: 0,
+            migrations: 0,
+            msg_bytes: 0,
+            replication_bytes: 0,
+            migration_bytes: 0,
+            latency: Histogram::new(),
+            phase_us: [0; 5],
+            commits_series: TimeSeries::new(SERIES_BUCKET_US),
+            bytes_series: TimeSeries::new(SERIES_BUCKET_US),
+            remaster_series: TimeSeries::new(SERIES_BUCKET_US),
+            migration_series: TimeSeries::new(SERIES_BUCKET_US),
+        }
+    }
+
+    /// Records bytes on the wire at time `at`.
+    pub fn add_bytes(&mut self, at: Time, bytes: u64) {
+        self.msg_bytes += bytes;
+        self.bytes_series.add(at, bytes as f64);
+    }
+
+    /// Adds to a phase accumulator.
+    pub fn add_phase(&mut self, phase: Phase, us: u64) {
+        self.phase_us[phase.idx()] += us as u128;
+    }
+
+    /// Total accumulated phase time.
+    pub fn phase_total(&self) -> u128 {
+        self.phase_us.iter().sum()
+    }
+
+    /// Normalized per-phase fractions (Fig. 14b bars).
+    pub fn phase_fractions(&self) -> [f64; 5] {
+        let total = self.phase_total().max(1) as f64;
+        let mut out = [0.0; 5];
+        for (i, &v) in self.phase_us.iter().enumerate() {
+            out[i] = v as f64 / total;
+        }
+        out
+    }
+
+    /// Abort rate over attempts.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Network bytes per committed transaction (Fig. 12b's metric).
+    pub fn bytes_per_txn(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            (self.msg_bytes + self.replication_bytes + self.migration_bytes) as f64
+                / self.commits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_fractions_sum_to_one() {
+        let mut m = Metrics::new();
+        m.add_phase(Phase::Execution, 30);
+        m.add_phase(Phase::Commit, 50);
+        m.add_phase(Phase::Replication, 20);
+        let f = m.phase_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((f[Phase::Commit.idx()] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_rate_and_bytes_per_txn() {
+        let mut m = Metrics::new();
+        assert_eq!(m.abort_rate(), 0.0);
+        assert_eq!(m.bytes_per_txn(), 0.0);
+        m.commits = 8;
+        m.aborts = 2;
+        m.msg_bytes = 700;
+        m.replication_bytes = 100;
+        assert!((m.abort_rate() - 0.2).abs() < 1e-9);
+        assert!((m.bytes_per_txn() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_series_accumulates() {
+        let mut m = Metrics::new();
+        m.add_bytes(0, 100);
+        m.add_bytes(500_000, 200);
+        m.add_bytes(1_200_000, 50);
+        assert_eq!(m.msg_bytes, 350);
+        assert_eq!(m.bytes_series.buckets(), &[300.0, 50.0]);
+    }
+}

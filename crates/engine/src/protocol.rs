@@ -1,0 +1,48 @@
+//! The protocol trait: the state-machine interface every transaction
+//! processing scheme implements on top of the engine.
+
+use crate::engine::Engine;
+use lion_common::TxnId;
+
+/// Periodic engine ticks delivered to the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickKind {
+    /// Planner interval: workload analysis + replica rearrangement (§III).
+    Planner,
+    /// Monitoring interval (1 s): load sampling (Clay's detector, Fig. 8
+    /// timelines).
+    Monitor,
+}
+
+/// A transaction-processing protocol driven by engine events.
+///
+/// Protocols are *state machines*: [`Protocol::on_submit`] starts a
+/// transaction, and every asynchronous primitive the protocol invokes on the
+/// engine (CPU slice, network round, remaster wait, …) later calls
+/// [`Protocol::on_wake`] with the protocol-chosen `tag` to continue it.
+pub trait Protocol {
+    /// Protocol name for reports (matches the paper's legend names).
+    fn name(&self) -> &'static str;
+
+    /// True for batch-execution protocols (Star, Calvin, Hermes, Aria,
+    /// Lotus, Lion-batch): the engine arms whole batches instead of running
+    /// closed-loop clients.
+    fn batch_mode(&self) -> bool {
+        false
+    }
+
+    /// A new transaction was submitted (standard mode) or resubmitted after
+    /// an abort.
+    fn on_submit(&mut self, eng: &mut Engine, txn: TxnId);
+
+    /// An asynchronous step completed; `tag` is whatever the protocol passed
+    /// when scheduling it.
+    fn on_wake(&mut self, eng: &mut Engine, txn: TxnId, tag: u32);
+
+    /// A periodic tick fired.
+    fn on_tick(&mut self, _eng: &mut Engine, _kind: TickKind) {}
+
+    /// A batch was armed (batch mode only): all transactions are live in the
+    /// engine; the protocol must drive each to `commit` or `defer`.
+    fn on_batch(&mut self, _eng: &mut Engine, _batch: &[TxnId]) {}
+}

@@ -1,0 +1,137 @@
+//! Run summaries: the numbers the experiment harness prints per figure.
+
+use crate::engine::Engine;
+use lion_common::{Phase, Time};
+
+/// Aggregated results of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Protocol legend name.
+    pub protocol: String,
+    /// Simulated duration (µs).
+    pub duration_us: Time,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Throughput in transactions/second.
+    pub throughput_tps: f64,
+    /// Mean commit latency (µs).
+    pub mean_latency_us: f64,
+    /// p10/p50/p95/p99 commit latency (µs).
+    pub latency_p: [Time; 4],
+    /// Fraction of commits per §III class: single-node / remastered /
+    /// distributed.
+    pub class_fractions: [f64; 3],
+    /// Per-phase normalized runtime (Fig. 14b).
+    pub phase_fractions: [f64; 5],
+    /// Total network bytes over commits (Fig. 12b aggregate).
+    pub bytes_per_txn: f64,
+    /// Remasters / migrations / replica adds performed.
+    pub remasters: u64,
+    /// Completed migrations.
+    pub migrations: u64,
+    /// Completed background replica additions.
+    pub replica_adds: u64,
+    /// Abort rate over attempts.
+    pub abort_rate: f64,
+    /// Commits per second, per 1 s bucket (timeline figures).
+    pub throughput_series: Vec<f64>,
+    /// Network bytes per committed transaction, per 1 s bucket (Fig. 12b).
+    pub bytes_per_txn_series: Vec<f64>,
+}
+
+impl RunReport {
+    /// Builds the report from the engine state after a run.
+    pub fn build(protocol: &str, eng: &Engine, duration_us: Time) -> Self {
+        let m = &eng.metrics;
+        let secs = (duration_us as f64 / 1_000_000.0).max(1e-9);
+        let commits = m.commits;
+        let class_total = (m.single_node + m.remastered + m.distributed).max(1) as f64;
+        let throughput_series = m.commits_series.rates_per_sec();
+        let bytes_per_txn_series = m.bytes_series.ratio(&m.commits_series);
+        RunReport {
+            protocol: protocol.to_string(),
+            duration_us,
+            commits,
+            aborts: m.aborts,
+            throughput_tps: commits as f64 / secs,
+            mean_latency_us: m.latency.mean(),
+            latency_p: [
+                m.latency.quantile(0.10),
+                m.latency.quantile(0.50),
+                m.latency.quantile(0.95),
+                m.latency.quantile(0.99),
+            ],
+            class_fractions: [
+                m.single_node as f64 / class_total,
+                m.remastered as f64 / class_total,
+                m.distributed as f64 / class_total,
+            ],
+            phase_fractions: m.phase_fractions(),
+            bytes_per_txn: m.bytes_per_txn(),
+            remasters: m.remasters,
+            migrations: m.migrations,
+            replica_adds: m.replica_adds,
+            abort_rate: m.abort_rate(),
+            throughput_series,
+            bytes_per_txn_series,
+        }
+    }
+
+    /// One-line summary for harness tables.
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:<10} {:>10.0} tps  p50={:>6}us p95={:>7}us  single={:>5.1}% remaster={:>5.1}% dist={:>5.1}%  abort={:>5.2}%  bytes/txn={:>6.0}",
+            self.protocol,
+            self.throughput_tps,
+            self.latency_p[1],
+            self.latency_p[2],
+            self.class_fractions[0] * 100.0,
+            self.class_fractions[1] * 100.0,
+            self.class_fractions[2] * 100.0,
+            self.abort_rate * 100.0,
+            self.bytes_per_txn,
+        )
+    }
+
+    /// Phase breakdown as labeled percentages (Fig. 14b row).
+    pub fn phase_row(&self) -> String {
+        let mut s = format!("{:<10}", self.protocol);
+        for ph in Phase::ALL {
+            s.push_str(&format!(
+                " {}={:.1}%",
+                ph.label(),
+                self.phase_fractions[ph.idx()] * 100.0
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_common::{Op, PartitionId, SimConfig, TxnRequest, Workload};
+
+    fn workload() -> Box<dyn Workload> {
+        Box::new(|_now| TxnRequest::new(vec![Op::read(PartitionId(0), 1)]))
+    }
+
+    #[test]
+    fn report_from_fresh_engine_is_zeroed() {
+        let cfg = SimConfig {
+            nodes: 2,
+            partitions_per_node: 1,
+            keys_per_partition: 8,
+            ..Default::default()
+        };
+        let eng = Engine::new(cfg, workload());
+        let r = RunReport::build("x", &eng, 1_000_000);
+        assert_eq!(r.commits, 0);
+        assert_eq!(r.throughput_tps, 0.0);
+        assert_eq!(r.bytes_per_txn, 0.0);
+        assert!(!r.summary_row().is_empty());
+        assert!(r.phase_row().contains("execution"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-transaction runtime context.
+
+use lion_common::{ClientId, Key, NodeId, PartitionId, Time, TxnId, TxnRequest};
+
+/// How a transaction ultimately executed, for the single-node-conversion
+/// statistics the paper reports (§III cases 1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnClass {
+    /// All primaries local at the executor: direct single-node execution.
+    SingleNode,
+    /// Converted to single-node via one or more remasters.
+    Remastered,
+    /// Executed as a distributed transaction with 2PC.
+    Distributed,
+}
+
+/// One read-set entry: the version observed at execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadEntry {
+    /// Partition of the row.
+    pub part: PartitionId,
+    /// Row key.
+    pub key: Key,
+    /// Version observed by the read.
+    pub version: u64,
+}
+
+/// One write-set entry (value synthesised at install).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// Partition of the row.
+    pub part: PartitionId,
+    /// Row key.
+    pub key: Key,
+}
+
+/// Engine-owned state of one in-flight transaction. Protocols use `step`,
+/// `pending`, and `scratch` as state-machine scratch space; everything else
+/// is shared bookkeeping.
+#[derive(Debug, Clone)]
+pub struct TxnCtx {
+    /// Transaction id (stable across retries).
+    pub id: TxnId,
+    /// Closed-loop client that issued it (standard mode).
+    pub client: ClientId,
+    /// Declared operations.
+    pub req: TxnRequest,
+    /// Sorted distinct partitions accessed.
+    pub parts: Vec<PartitionId>,
+    /// First submission time (latency is measured from here).
+    pub start: Time,
+    /// Current attempt's start time.
+    pub attempt_start: Time,
+    /// Attempt number (1 = first execution).
+    pub attempts: u32,
+    /// OCC read set.
+    pub read_set: Vec<ReadEntry>,
+    /// OCC write set.
+    pub write_set: Vec<WriteEntry>,
+    /// Outstanding fan-out count (join helper).
+    pub pending: u32,
+    /// Whether any branch of the current fan-out failed.
+    pub failed: bool,
+    /// Executor / coordinator node chosen by the router.
+    pub home: NodeId,
+    /// Remote 2PC participants (primaries of non-local partitions).
+    pub participants: Vec<NodeId>,
+    /// Execution classification for statistics.
+    pub class: TxnClass,
+    /// Protocol scratch: current phase / partition-group index.
+    pub step: u32,
+    /// Protocol scratch: free-form.
+    pub scratch: u64,
+    /// Accumulated per-phase time for the latency breakdown (µs).
+    pub phase_us: [u64; 5],
+}
+
+impl TxnCtx {
+    /// Creates a fresh context.
+    pub fn new(id: TxnId, client: ClientId, req: TxnRequest, now: Time) -> Self {
+        let parts = req.partitions();
+        TxnCtx {
+            id,
+            client,
+            req,
+            parts,
+            start: now,
+            attempt_start: now,
+            attempts: 1,
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            pending: 0,
+            failed: false,
+            home: NodeId(0),
+            participants: Vec::new(),
+            class: TxnClass::SingleNode,
+            step: 0,
+            scratch: 0,
+            phase_us: [0; 5],
+        }
+    }
+
+    /// Resets per-attempt state for a retry, keeping `id`/`start`/`attempts`.
+    pub fn reset_for_retry(&mut self, now: Time) {
+        self.read_set.clear();
+        self.write_set.clear();
+        self.pending = 0;
+        self.failed = false;
+        self.participants.clear();
+        self.class = TxnClass::SingleNode;
+        self.step = 0;
+        self.scratch = 0;
+        self.attempt_start = now;
+        self.attempts += 1;
+    }
+
+    /// Groups the transaction's ops by partition, preserving first-touch
+    /// order: the executor processes one group at a time (and 2PC sends one
+    /// message per participant group, as in Fig. 1).
+    pub fn partition_groups(&self) -> Vec<(PartitionId, Vec<lion_common::Op>)> {
+        let mut groups: Vec<(PartitionId, Vec<lion_common::Op>)> = Vec::new();
+        for op in &self.req.ops {
+            match groups.iter_mut().find(|(p, _)| *p == op.partition) {
+                Some((_, ops)) => ops.push(*op),
+                None => groups.push((op.partition, vec![*op])),
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_common::Op;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId(i)
+    }
+
+    #[test]
+    fn partition_groups_preserve_first_touch_order() {
+        let req = TxnRequest::new(vec![
+            Op::read(p(2), 1),
+            Op::write(p(0), 2),
+            Op::read(p(2), 3),
+            Op::write(p(1), 4),
+        ]);
+        let ctx = TxnCtx::new(TxnId(1), ClientId(0), req, 0);
+        let groups = ctx.partition_groups();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, p(2));
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, p(0));
+        assert_eq!(groups[2].0, p(1));
+    }
+
+    #[test]
+    fn retry_resets_attempt_state() {
+        let req = TxnRequest::new(vec![Op::read(p(0), 1)]);
+        let mut ctx = TxnCtx::new(TxnId(1), ClientId(0), req, 100);
+        ctx.read_set.push(ReadEntry { part: p(0), key: 1, version: 3 });
+        ctx.pending = 2;
+        ctx.failed = true;
+        ctx.class = TxnClass::Distributed;
+        ctx.reset_for_retry(500);
+        assert!(ctx.read_set.is_empty());
+        assert_eq!(ctx.pending, 0);
+        assert!(!ctx.failed);
+        assert_eq!(ctx.class, TxnClass::SingleNode);
+        assert_eq!(ctx.attempts, 2);
+        assert_eq!(ctx.start, 100, "latency still measured from first submit");
+        assert_eq!(ctx.attempt_start, 500);
+    }
+}

@@ -1,0 +1,188 @@
+//! Clump generation (§IV-A, Fig. 3b).
+//!
+//! Starting from the hottest unvisited vertex, the clustering pass expands
+//! across neighbors whose connection weight exceeds the threshold α, grouping
+//! strongly co-accessed partitions into a *clump* — the unit the
+//! rearrangement algorithm places on a node. Weakly-connected vertices end up
+//! in their own singleton clumps.
+
+use crate::graph::HeatGraph;
+use lion_common::{NodeId, PartitionId};
+use std::collections::VecDeque;
+
+/// A set of co-accessed partitions to be placed on one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clump {
+    /// Member partitions (`c.pids`).
+    pub parts: Vec<PartitionId>,
+    /// Weighted sum of member vertices (`c.w`), used for load balancing.
+    pub weight: f64,
+    /// Destination chosen by the rearrangement algorithm (`c.n`).
+    pub dest: Option<NodeId>,
+}
+
+impl Clump {
+    /// Builds a clump over `parts` with total weight `weight`.
+    pub fn new(parts: Vec<PartitionId>, weight: f64) -> Self {
+        Clump { parts, weight, dest: None }
+    }
+}
+
+/// Groups the graph's accessed partitions into clumps.
+///
+/// `alpha` is the co-access threshold: a neighbor joins the growing clump
+/// when its connecting edge weight is `>= alpha`. The scan order follows the
+/// `hVertices` hottest-first queue, and expansion is breadth-first so that a
+/// chain `a—b—c` with strong links lands in a single clump. `max_size`
+/// bounds a clump's partition count — a safety valve for pathological
+/// workloads whose co-access graph is one giant connected component, which
+/// no placement could localize on a single node anyway.
+pub fn generate_clumps(graph: &HeatGraph, alpha: f64, max_size: usize) -> Vec<Clump> {
+    let mut visited = vec![false; graph.n_partitions()];
+    let mut clumps = Vec::new();
+
+    for seed in graph.hot_vertices() {
+        if visited[seed.idx()] {
+            continue;
+        }
+        visited[seed.idx()] = true;
+        let mut parts = vec![seed];
+        let mut weight = graph.vertex_weight(seed);
+        let mut frontier = VecDeque::from([seed]);
+
+        'grow: while let Some(v) = frontier.pop_front() {
+            // Deterministic expansion order: sort neighbors by descending
+            // weight then id (HashMap iteration order is arbitrary).
+            let mut neigh: Vec<(PartitionId, f64)> = graph
+                .neighbors(v)
+                .filter(|(adj, w)| !visited[adj.idx()] && *w >= alpha)
+                .collect();
+            neigh.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0 .0.cmp(&b.0 .0)));
+            for (adj, _) in neigh {
+                if visited[adj.idx()] {
+                    continue;
+                }
+                if parts.len() >= max_size {
+                    break 'grow;
+                }
+                visited[adj.idx()] = true;
+                parts.push(adj);
+                weight += graph.vertex_weight(adj);
+                frontier.push_back(adj);
+            }
+        }
+        clumps.push(Clump::new(parts, weight));
+    }
+    clumps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_common::Placement;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId(i)
+    }
+
+    /// Fig. 3 example: expect clumps {P1,P2} w=4, {P3} w=1, {P4} w=2, {P5} w=2
+    /// (0-indexed).
+    #[test]
+    fn fig3_clumps() {
+        let placement = Placement::round_robin(5, 3, 1);
+        let mut g = HeatGraph::new(5);
+        for parts in [
+            vec![p(0), p(1)],
+            vec![p(2)],
+            vec![p(3)],
+            vec![p(0), p(1)],
+            vec![p(4)],
+            vec![p(3)],
+            vec![p(4)],
+        ] {
+            g.add_txn(&parts, 1.0, &placement, 1.0);
+        }
+        let mut clumps = generate_clumps(&g, 1.0, usize::MAX);
+        clumps.sort_by(|a, b| a.parts[0].0.cmp(&b.parts[0].0));
+        assert_eq!(clumps.len(), 4);
+        let c1 = &clumps[0];
+        let mut pids = c1.parts.clone();
+        pids.sort_unstable();
+        assert_eq!(pids, vec![p(0), p(1)]);
+        assert_eq!(c1.weight, 4.0);
+        assert_eq!(clumps[1].parts, vec![p(2)]);
+        assert_eq!(clumps[1].weight, 1.0);
+        assert_eq!(clumps[2].weight, 2.0);
+        assert_eq!(clumps[3].weight, 2.0);
+    }
+
+    #[test]
+    fn clumps_partition_the_accessed_vertices() {
+        let placement = Placement::round_robin(8, 2, 1);
+        let mut g = HeatGraph::new(8);
+        g.add_txn(&[p(0), p(1)], 3.0, &placement, 1.0);
+        g.add_txn(&[p(1), p(2)], 3.0, &placement, 1.0);
+        g.add_txn(&[p(4)], 1.0, &placement, 1.0);
+        let clumps = generate_clumps(&g, 2.0, usize::MAX);
+        let mut all: Vec<PartitionId> = clumps.iter().flat_map(|c| c.parts.clone()).collect();
+        all.sort_unstable();
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(all, dedup, "clumps must be disjoint");
+        assert_eq!(all, vec![p(0), p(1), p(2), p(4)], "and cover accessed vertices");
+    }
+
+    #[test]
+    fn transitive_chains_merge_into_one_clump() {
+        let placement = Placement::round_robin(4, 2, 1);
+        let mut g = HeatGraph::new(4);
+        g.add_txn(&[p(0), p(1)], 5.0, &placement, 1.0);
+        g.add_txn(&[p(1), p(2)], 5.0, &placement, 1.0);
+        g.add_txn(&[p(2), p(3)], 5.0, &placement, 1.0);
+        let clumps = generate_clumps(&g, 4.0, usize::MAX);
+        assert_eq!(clumps.len(), 1);
+        assert_eq!(clumps[0].parts.len(), 4);
+    }
+
+    #[test]
+    fn weak_edges_split_clumps() {
+        let placement = Placement::round_robin(4, 2, 1);
+        let mut g = HeatGraph::new(4);
+        g.add_txn(&[p(0), p(1)], 10.0, &placement, 1.0);
+        g.add_txn(&[p(2), p(3)], 1.0, &placement, 1.0); // below alpha
+        let clumps = generate_clumps(&g, 5.0, usize::MAX);
+        assert_eq!(clumps.len(), 3, "strong pair + two weak singletons");
+        assert!(clumps.iter().any(|c| c.parts.len() == 2));
+    }
+
+    #[test]
+    fn hottest_seed_is_expanded_first() {
+        let placement = Placement::round_robin(4, 2, 1);
+        let mut g = HeatGraph::new(4);
+        g.add_txn(&[p(2), p(3)], 10.0, &placement, 1.0); // hottest pair
+        g.add_txn(&[p(0), p(1)], 2.0, &placement, 1.0);
+        let clumps = generate_clumps(&g, 1.0, usize::MAX);
+        assert_eq!(clumps[0].parts[0], p(2), "seeded from hottest vertex");
+        assert_eq!(clumps[0].weight, 20.0);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_clumps() {
+        let g = HeatGraph::new(10);
+        assert!(generate_clumps(&g, 1.0, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn size_cap_bounds_clumps() {
+        // a strongly-connected chain of 6 vertices with cap 3
+        let placement = Placement::round_robin(6, 2, 1);
+        let mut g = HeatGraph::new(6);
+        for i in 0..5 {
+            g.add_txn(&[p(i), p(i + 1)], 10.0, &placement, 1.0);
+        }
+        let clumps = generate_clumps(&g, 1.0, 3);
+        assert!(clumps.iter().all(|c| c.parts.len() <= 3), "{clumps:?}");
+        let total: usize = clumps.iter().map(|c| c.parts.len()).sum();
+        assert_eq!(total, 6, "all vertices still covered");
+    }
+}

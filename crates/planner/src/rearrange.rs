@@ -1,0 +1,449 @@
+//! Algorithm 1: the replica rearrangement algorithm (§IV-B.3).
+//!
+//! Two steps, exactly as the paper structures them:
+//!
+//! 1. **Clump dispatching** — `FindDstNode` assigns every clump to the node
+//!    with the lowest Eq. 3 cost, memoizing interim costs in `mc` and
+//!    tracking per-node balance factors `b`;
+//! 2. **Load fine-tuning** — while the balance check fails, clumps are moved
+//!    from overloaded nodes (`oN`) to idle nodes (`iN`), picking a clump
+//!    small enough to bridge the gap and the idle destination with the
+//!    lowest memoized cost, with a step budget `A` between balance
+//!    re-evaluations.
+
+use crate::clump::Clump;
+use crate::cost::{placement_cost, CostWeights};
+use lion_common::{NodeId, PartitionId, Placement};
+
+/// Planner tuning knobs (§IV defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Clump co-access threshold α (§IV-A).
+    pub alpha: f64,
+    /// Cross-node edge boost for the heat graph (e_c vs e_s, §IV-A).
+    pub cross_edge_boost: f64,
+    /// Cost weights for Eq. 3.
+    pub weights: CostWeights,
+    /// Permissible load imbalance ε; θ = avg·(1+ε) (§II-C).
+    pub epsilon: f64,
+    /// Fine-tuning step budget A between balance re-checks.
+    pub step_a: usize,
+    /// Weight wp of predicted transactions in the heat graph (§IV-C.1).
+    pub predicted_weight: f64,
+    /// Number of recent transactions analyzed per planning round (B).
+    pub history_cap: usize,
+    /// Safety cap on clump size (see [`crate::clump::generate_clumps`]).
+    pub max_clump_size: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            alpha: 2.0,
+            cross_edge_boost: 4.0,
+            weights: CostWeights::default(),
+            // Wide enough that integer-granular clump counts (e.g. 5 vs 4
+            // pairs per node) sit stably inside θ instead of oscillating.
+            epsilon: 0.4,
+            step_a: 8,
+            predicted_weight: 1.0,
+            history_cap: 4_000,
+            max_clump_size: 24,
+        }
+    }
+}
+
+/// How the adaptor realizes moving one partition to its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanAction {
+    /// Target holds a secondary: promote it (cheap, §IV-B.1 case 2).
+    Remaster,
+    /// Target holds nothing: background-copy a replica, then remaster once
+    /// the copy lands (Lion's non-intrusive path).
+    AddReplica,
+    /// Target holds nothing and the protocol is replica-oblivious: blocking
+    /// full-data migration (Schism/Clay-style, §IV-B.1 case 3).
+    Migrate,
+}
+
+/// One partition move of a reconfiguration plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// Partition to move.
+    pub part: PartitionId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Mechanism.
+    pub action: PlanAction,
+}
+
+/// The `RP` structure of §IV-B.1: clump→node assignments plus the per-
+/// partition actions realizing them.
+#[derive(Debug, Clone, Default)]
+pub struct ReconfigurationPlan {
+    /// Partition-level actions to hand the adaptors.
+    pub entries: Vec<PlanEntry>,
+    /// Final clump→node mapping (the router affinity table).
+    pub assignments: Vec<(Vec<PartitionId>, NodeId)>,
+    /// Total Eq. 3 cost of the plan (Eq. 2's objective value).
+    pub total_cost: f64,
+}
+
+impl ReconfigurationPlan {
+    /// Destination lookup per partition (None when unassigned this round).
+    pub fn dest_of(&self, part: PartitionId) -> Option<NodeId> {
+        self.assignments
+            .iter()
+            .find(|(parts, _)| parts.contains(&part))
+            .map(|&(_, n)| n)
+    }
+
+    /// Applies the plan's effect to a placement (used by tests and by the
+    /// dry-run invariant property tests; the engine applies it with timing).
+    pub fn apply_to(&self, placement: &mut Placement) {
+        for e in &self.entries {
+            match e.action {
+                PlanAction::Remaster => {
+                    let _ = placement.remaster(e.part, e.dest);
+                }
+                PlanAction::AddReplica => {
+                    let _ = placement.add_secondary(e.part, e.dest);
+                    let _ = placement.remaster(e.part, e.dest);
+                }
+                PlanAction::Migrate => {
+                    let _ = placement.migrate_primary(e.part, e.dest);
+                }
+            }
+        }
+    }
+}
+
+/// Per-node balance state for the fine-tuning phase.
+struct Balance {
+    load: Vec<f64>,
+    total: f64,
+}
+
+impl Balance {
+    fn new(n: usize) -> Self {
+        Balance { load: vec![0.0; n], total: 0.0 }
+    }
+    fn add(&mut self, node: NodeId, w: f64) {
+        self.load[node.idx()] += w;
+        self.total += w;
+    }
+    fn transfer(&mut self, from: NodeId, to: NodeId, w: f64) {
+        self.load[from.idx()] -= w;
+        self.load[to.idx()] += w;
+    }
+    fn avg(&self) -> f64 {
+        self.total / self.load.len() as f64
+    }
+    fn theta(&self, epsilon: f64) -> f64 {
+        self.avg() * (1.0 + epsilon)
+    }
+    /// `CheckBalance`: every node under θ.
+    fn balanced(&self, epsilon: f64) -> bool {
+        let theta = self.theta(epsilon);
+        self.load.iter().all(|&l| l <= theta + 1e-9)
+    }
+    /// `FindOINodes`: overloaded (> θ) and idle (< avg) nodes.
+    fn overloaded_and_idle(&self, epsilon: f64) -> (Vec<NodeId>, Vec<NodeId>) {
+        let theta = self.theta(epsilon);
+        let avg = self.avg();
+        let mut over: Vec<NodeId> = Vec::new();
+        let mut idle: Vec<NodeId> = Vec::new();
+        for (i, &l) in self.load.iter().enumerate() {
+            if l > theta + 1e-9 {
+                over.push(NodeId(i as u16));
+            } else if l < avg - 1e-9 {
+                idle.push(NodeId(i as u16));
+            }
+        }
+        // Most overloaded first.
+        over.sort_by(|a, b| self.load[b.idx()].partial_cmp(&self.load[a.idx()]).expect("finite"));
+        (over, idle)
+    }
+}
+
+/// `FindDstNode`: evaluates Eq. 3 across all nodes, memoizes the row into
+/// `mc`, and returns the cheapest node (ties broken toward the currently
+/// least-loaded node, then the lower id, for determinism).
+fn find_dst_node(
+    clump: &Clump,
+    placement: &Placement,
+    freq: &[f64],
+    weights: CostWeights,
+    balance: &Balance,
+    mc_row: &mut Vec<f64>,
+) -> NodeId {
+    let n_nodes = placement.n_nodes();
+    mc_row.clear();
+    mc_row.reserve(n_nodes);
+    let mut best = NodeId(0);
+    let mut best_cost = f64::INFINITY;
+    for n in 0..n_nodes as u16 {
+        let node = NodeId(n);
+        let cost = placement_cost(placement, freq, &clump.parts, node, weights);
+        mc_row.push(cost);
+        let better = cost < best_cost - 1e-12
+            || (cost < best_cost + 1e-12
+                && balance.load[node.idx()] < balance.load[best.idx()] - 1e-12);
+        if better {
+            best = node;
+            best_cost = cost;
+        }
+    }
+    best
+}
+
+/// Runs Algorithm 1 over the generated clumps.
+///
+/// `replica_aware` selects the emitted action for partitions lacking a
+/// replica at the destination: `AddReplica` (Lion) or `Migrate`
+/// (replica-oblivious baselines / ablations).
+pub fn rearrange(
+    mut clumps: Vec<Clump>,
+    placement: &Placement,
+    freq: &[f64],
+    cfg: &PlannerConfig,
+    replica_aware: bool,
+) -> ReconfigurationPlan {
+    let n_nodes = placement.n_nodes();
+    let mut balance = Balance::new(n_nodes);
+    let mut mc: Vec<Vec<f64>> = vec![Vec::new(); clumps.len()];
+    // Per-node clump index lists (the priority queues `q`), kept sorted by
+    // ascending weight lazily at pick time.
+    let mut q: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+
+    // ---- Step 1: clump dispatching --------------------------------------
+    for (i, clump) in clumps.iter_mut().enumerate() {
+        let dst = find_dst_node(clump, placement, freq, cfg.weights, &balance, &mut mc[i]);
+        clump.dest = Some(dst);
+        balance.add(dst, clump.weight);
+        q[dst.idx()].push(i);
+    }
+
+    // ---- Step 2: load fine-tuning ---------------------------------------
+    // Bounded by a global move budget for guaranteed termination.
+    let mut moves_left = clumps.len().saturating_mul(2).max(16);
+    'outer: while !balance.balanced(cfg.epsilon) && moves_left > 0 {
+        let (over, idle) = balance.overloaded_and_idle(cfg.epsilon);
+        if over.is_empty() || idle.is_empty() {
+            break;
+        }
+        let mut step = cfg.step_a;
+        let mut progressed = false;
+        while !balance.balanced(cfg.epsilon) && step > 0 && moves_left > 0 {
+            // PickClump: from the most overloaded node, the largest clump
+            // that fits within the gap to the average.
+            let mut picked: Option<(usize, NodeId, NodeId)> = None;
+            'pick: for &on in &over {
+                let gap = balance.load[on.idx()] - balance.avg();
+                if gap <= 0.0 {
+                    continue;
+                }
+                let mut candidates: Vec<usize> = q[on.idx()].clone();
+                candidates.sort_by(|&a, &b| {
+                    clumps[b].weight.partial_cmp(&clumps[a].weight).expect("finite")
+                });
+                for idx in candidates {
+                    if clumps[idx].dest != Some(on) || clumps[idx].weight > gap + 1e-9 {
+                        continue;
+                    }
+                    // Cheapest idle destination by the memoized cost row.
+                    let dest = idle
+                        .iter()
+                        .copied()
+                        .min_by(|a, b| {
+                            mc[idx][a.idx()].partial_cmp(&mc[idx][b.idx()]).expect("finite")
+                        })
+                        .expect("idle set non-empty");
+                    picked = Some((idx, on, dest));
+                    break 'pick;
+                }
+            }
+            let Some((idx, on, dest)) = picked else {
+                break 'outer; // no qualifying clump anywhere: give up
+            };
+            let w = clumps[idx].weight;
+            clumps[idx].dest = Some(dest);
+            balance.transfer(on, dest, w);
+            q[on.idx()].retain(|&i| i != idx);
+            q[dest.idx()].push(idx);
+            step -= 1;
+            moves_left -= 1;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // ---- Emit the plan ---------------------------------------------------
+    let mut plan = ReconfigurationPlan::default();
+    for (i, clump) in clumps.iter().enumerate() {
+        let dest = clump.dest.expect("dispatching assigned every clump");
+        plan.total_cost += mc[i][dest.idx()];
+        plan.assignments.push((clump.parts.clone(), dest));
+        for &part in &clump.parts {
+            if placement.is_primary(part, dest) {
+                continue; // case 1: free
+            }
+            let action = if placement.has_secondary(part, dest) {
+                PlanAction::Remaster
+            } else if replica_aware {
+                PlanAction::AddReplica
+            } else {
+                PlanAction::Migrate
+            };
+            plan.entries.push(PlanEntry { part, dest, action });
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Builds the Fig. 4b layout: 5 partitions over 3 nodes.
+    ///   P1(p0): primary N1, secondary N2 ; P2(p1): primary N3, secondary N1
+    ///   P3(p2): primary N2               ; P4(p3): primary N3
+    ///   P5(p4): primary N1, secondary N2
+    fn fig4_placement() -> Placement {
+        let mut pl = Placement::round_robin(5, 3, 1);
+        pl.migrate_primary(p(0), n(0)).unwrap();
+        pl.migrate_primary(p(1), n(2)).unwrap();
+        pl.migrate_primary(p(2), n(1)).unwrap();
+        pl.migrate_primary(p(3), n(2)).unwrap();
+        pl.migrate_primary(p(4), n(0)).unwrap();
+        pl.add_secondary(p(0), n(1)).unwrap();
+        pl.add_secondary(p(1), n(0)).unwrap();
+        pl.add_secondary(p(4), n(1)).unwrap();
+        pl
+    }
+
+    /// Fig. 4a clumps: C1{P1,P2} w4, C2{P3} w1, C3{P4} w2, C4{P5} w2.
+    fn fig4_clumps() -> Vec<Clump> {
+        vec![
+            Clump::new(vec![p(0), p(1)], 4.0),
+            Clump::new(vec![p(2)], 1.0),
+            Clump::new(vec![p(3)], 2.0),
+            Clump::new(vec![p(4)], 2.0),
+        ]
+    }
+
+    fn cfg() -> PlannerConfig {
+        PlannerConfig {
+            epsilon: 0.5, // avg = 3, θ = 4.5: N1's 6 triggers fine-tuning
+            weights: CostWeights { w_r: 1.0, w_m: 10.0 },
+            ..Default::default()
+        }
+    }
+
+    /// Example 2 end-to-end: dispatching sends C1→N1, C2→N2, C3→N3, C4→N1,
+    /// overloading N1 (weight 6); fine-tuning moves C4 to N2 at cost w_r,
+    /// ending with the Fig. 4d layout and a total cost of 2·w_r.
+    #[test]
+    fn example2_full_run() {
+        let pl = fig4_placement();
+        let plan = rearrange(fig4_clumps(), &pl, &[0.0; 5], &cfg(), true);
+
+        let dest_of = |part: PartitionId| plan.dest_of(part).unwrap();
+        assert_eq!(dest_of(p(0)), n(0), "C1 stays on N1");
+        assert_eq!(dest_of(p(1)), n(0));
+        assert_eq!(dest_of(p(2)), n(1), "C2 on N2 (free)");
+        assert_eq!(dest_of(p(3)), n(2), "C3 on N3 (free)");
+        assert_eq!(dest_of(p(4)), n(1), "C4 fine-tuned from N1 to N2");
+        assert!((plan.total_cost - 2.0).abs() < 1e-9, "2 * w_r, got {}", plan.total_cost);
+
+        // Actions: P2 remasters onto N1; P5 remasters onto N2.
+        assert_eq!(plan.entries.len(), 2);
+        assert!(plan
+            .entries
+            .contains(&PlanEntry { part: p(1), dest: n(0), action: PlanAction::Remaster }));
+        assert!(plan
+            .entries
+            .contains(&PlanEntry { part: p(4), dest: n(1), action: PlanAction::Remaster }));
+    }
+
+    #[test]
+    fn plan_apply_reaches_fig4d() {
+        let mut pl = fig4_placement();
+        let plan = rearrange(fig4_clumps(), &pl, &[0.0; 5], &cfg(), true);
+        plan.apply_to(&mut pl);
+        assert_eq!(pl.primary_of(p(0)), n(0));
+        assert_eq!(pl.primary_of(p(1)), n(0));
+        assert_eq!(pl.primary_of(p(2)), n(1));
+        assert_eq!(pl.primary_of(p(3)), n(2));
+        assert_eq!(pl.primary_of(p(4)), n(1));
+        pl.validate().unwrap();
+    }
+
+    #[test]
+    fn replica_oblivious_mode_migrates() {
+        let pl = Placement::round_robin(4, 2, 1); // no secondaries anywhere
+        let clumps = vec![Clump::new(vec![p(0), p(1)], 2.0)];
+        let plan = rearrange(clumps, &pl, &[0.0; 4], &PlannerConfig::default(), false);
+        // p0 primary N0, p1 primary N1: one of them must migrate.
+        assert_eq!(plan.entries.len(), 1);
+        assert_eq!(plan.entries[0].action, PlanAction::Migrate);
+    }
+
+    #[test]
+    fn replica_aware_mode_adds_replicas() {
+        let pl = Placement::round_robin(4, 2, 1);
+        let clumps = vec![Clump::new(vec![p(0), p(1)], 2.0)];
+        let plan = rearrange(clumps, &pl, &[0.0; 4], &PlannerConfig::default(), true);
+        assert_eq!(plan.entries.len(), 1);
+        assert_eq!(plan.entries[0].action, PlanAction::AddReplica);
+    }
+
+    #[test]
+    fn balanced_input_requires_no_moves() {
+        let pl = Placement::round_robin(4, 4, 2);
+        // one singleton clump per partition, each already home
+        let clumps: Vec<Clump> =
+            (0..4).map(|i| Clump::new(vec![p(i)], 1.0)).collect();
+        let plan = rearrange(clumps, &pl, &[0.0; 4], &PlannerConfig::default(), true);
+        assert!(plan.entries.is_empty(), "everything already in place: {:?}", plan.entries);
+        assert_eq!(plan.total_cost, 0.0);
+    }
+
+    #[test]
+    fn fine_tuning_respects_gap_sizes() {
+        // All four clumps are cheapest on N0; fine-tuning must spread them.
+        let mut pl = Placement::round_robin(4, 2, 2);
+        for i in 0..4 {
+            pl.migrate_primary(p(i), n(0)).unwrap();
+        }
+        let clumps: Vec<Clump> = (0..4).map(|i| Clump::new(vec![p(i)], 1.0)).collect();
+        let cfg = PlannerConfig { epsilon: 0.1, ..Default::default() };
+        let plan = rearrange(clumps, &pl, &[0.0; 4], &cfg, true);
+        let mut on_n1 = 0;
+        for (parts, dest) in &plan.assignments {
+            assert_eq!(parts.len(), 1);
+            if *dest == n(1) {
+                on_n1 += 1;
+            }
+        }
+        assert_eq!(on_n1, 2, "half the load moves to the idle node");
+    }
+
+    #[test]
+    fn single_node_cluster_never_fine_tunes() {
+        let pl = Placement::round_robin(3, 1, 1);
+        let clumps = vec![Clump::new(vec![p(0), p(1), p(2)], 9.0)];
+        let plan = rearrange(clumps, &pl, &[0.0; 3], &PlannerConfig::default(), true);
+        assert!(plan.entries.is_empty());
+        assert_eq!(plan.assignments[0].1, n(0));
+    }
+}

@@ -1,0 +1,175 @@
+//! A Schism-style workload-driven partitioner (§II-B.1, used by the
+//! `Lion(S)` / `Lion(SW)` ablation variants of Table II).
+//!
+//! Schism models the workload as a co-access graph and computes a balanced
+//! min-cut partitioning, then migrates data to realize it. We reproduce that
+//! with a deterministic greedy streaming partitioner (linear deterministic
+//! greedy: maximize edge affinity to the candidate node minus a load
+//! penalty, under a capacity cap). Crucially — and this is the property the
+//! ablation isolates — the result is *replica-oblivious*: realizing it
+//! always migrates data, never exploiting existing secondaries.
+
+use crate::graph::HeatGraph;
+use crate::rearrange::{PlanAction, PlanEntry, ReconfigurationPlan};
+use lion_common::{NodeId, PartitionId, Placement};
+
+/// Computes a balanced node assignment for every accessed partition.
+///
+/// Returns `assignment[p] = Some(node)` for accessed partitions, `None` for
+/// untouched ones. `slack` is the allowed overshoot over perfectly even load
+/// (0.25 ⇒ a node may carry 125% of the average).
+pub fn schism_partition(
+    graph: &HeatGraph,
+    n_nodes: usize,
+    slack: f64,
+) -> Vec<Option<NodeId>> {
+    assert!(n_nodes > 0);
+    let order = graph.hot_vertices();
+    let total_w: f64 = order.iter().map(|&v| graph.vertex_weight(v)).sum();
+    let cap = (total_w / n_nodes as f64) * (1.0 + slack);
+
+    let mut assignment: Vec<Option<NodeId>> = vec![None; graph.n_partitions()];
+    let mut load = vec![0.0f64; n_nodes];
+    // Load-penalty scale: an average-weight vertex's worth of affinity.
+    let lambda = if order.is_empty() { 1.0 } else { total_w / order.len() as f64 };
+
+    for v in order {
+        let w = graph.vertex_weight(v);
+        // Affinity of v to each node: total edge weight to already-placed
+        // neighbors.
+        let mut affinity = vec![0.0f64; n_nodes];
+        for (adj, ew) in graph.neighbors(v) {
+            if let Some(n) = assignment[adj.idx()] {
+                affinity[n.idx()] += ew;
+            }
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for n in 0..n_nodes {
+            if load[n] + w > cap && load[n] > 0.0 {
+                continue; // capacity-full node (always allow an empty node)
+            }
+            let score = affinity[n] - lambda * (load[n] / cap.max(1e-12));
+            match best {
+                Some((_, bs)) if score <= bs => {}
+                _ => best = Some((n, score)),
+            }
+        }
+        let n = best.map(|(n, _)| n).unwrap_or_else(|| {
+            // Everything at capacity: fall back to the least-loaded node.
+            load.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(n, _)| n)
+                .expect("n_nodes > 0")
+        });
+        assignment[v.idx()] = Some(NodeId(n as u16));
+        load[n] += w;
+    }
+    assignment
+}
+
+/// Emits a Schism reconfiguration plan: every accessed partition whose
+/// assigned node differs from its current primary is *migrated* (Schism
+/// "does not account for the placement of secondary replicas, leading to
+/// unnecessary migrations", §II-B.1).
+pub fn schism_plan(
+    graph: &HeatGraph,
+    placement: &Placement,
+    slack: f64,
+) -> ReconfigurationPlan {
+    let assignment = schism_partition(graph, placement.n_nodes(), slack);
+    let mut plan = ReconfigurationPlan::default();
+    let mut groups: Vec<Vec<PartitionId>> = vec![Vec::new(); placement.n_nodes()];
+    for (i, assigned) in assignment.iter().enumerate() {
+        let Some(dest) = *assigned else { continue };
+        let part = PartitionId(i as u32);
+        groups[dest.idx()].push(part);
+        if !placement.is_primary(part, dest) {
+            plan.entries.push(PlanEntry { part, dest, action: PlanAction::Migrate });
+            plan.total_cost += 1.0;
+        }
+    }
+    for (n, parts) in groups.into_iter().enumerate() {
+        if !parts.is_empty() {
+            plan.assignments.push((parts, NodeId(n as u16)));
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId(i)
+    }
+
+    fn pair_graph(pairs: &[(u32, u32, f64)], n: usize) -> HeatGraph {
+        let placement = Placement::round_robin(n, 2, 1);
+        let mut g = HeatGraph::new(n);
+        for &(a, b, w) in pairs {
+            g.add_txn(&[p(a), p(b)], w, &placement, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn co_accessed_pairs_land_together() {
+        // Two heavy pairs; a 2-node split should keep each pair intact.
+        let g = pair_graph(&[(0, 1, 10.0), (2, 3, 10.0)], 4);
+        let a = schism_partition(&g, 2, 0.5);
+        assert_eq!(a[0], a[1], "pair (0,1) must stay together");
+        assert_eq!(a[2], a[3], "pair (2,3) must stay together");
+        assert_ne!(a[0], a[2], "balance forces the pairs apart");
+    }
+
+    #[test]
+    fn untouched_partitions_stay_unassigned() {
+        let g = pair_graph(&[(0, 1, 1.0)], 4);
+        let a = schism_partition(&g, 2, 0.5);
+        assert!(a[0].is_some() && a[1].is_some());
+        assert!(a[2].is_none() && a[3].is_none());
+    }
+
+    #[test]
+    fn capacity_forces_spreading() {
+        // Six equal singletons over 3 nodes: each node gets two.
+        let placement = Placement::round_robin(6, 3, 1);
+        let mut g = HeatGraph::new(6);
+        for i in 0..6 {
+            g.add_txn(&[p(i)], 1.0, &placement, 1.0);
+        }
+        let a = schism_partition(&g, 3, 0.01);
+        let mut counts = [0usize; 3];
+        for n in a.iter().flatten() {
+            counts[n.idx()] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2], "got {counts:?}");
+    }
+
+    #[test]
+    fn plan_only_migrates() {
+        let placement = Placement::round_robin(4, 2, 2);
+        let mut g = HeatGraph::new(4);
+        // p0 (home N0) and p1 (home N1) co-accessed; p2/p3 provide filler
+        // load so capacity permits co-locating the pair.
+        g.add_txn(&[p(0), p(1)], 10.0, &placement, 1.0);
+        g.add_txn(&[p(2)], 10.0, &placement, 1.0);
+        g.add_txn(&[p(3)], 10.0, &placement, 1.0);
+        let plan = schism_plan(&g, &placement, 0.5);
+        let a = schism_partition(&g, 2, 0.5);
+        assert_eq!(a[0], a[1], "pair co-located");
+        assert!(!plan.entries.is_empty(), "at least one partition must move");
+        assert!(plan.entries.iter().all(|e| e.action == PlanAction::Migrate));
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_plan() {
+        let placement = Placement::round_robin(4, 2, 1);
+        let g = HeatGraph::new(4);
+        let plan = schism_plan(&g, &placement, 0.5);
+        assert!(plan.entries.is_empty());
+        assert!(plan.assignments.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Workload classification (§IV-C.1).
+//!
+//! "Two templates are deemed similar if their arrival rates increase and
+//! decrease simultaneously, a similarity evaluated by computing the cosine
+//! distance between their ar values. Templates with a calculated distance
+//! below a predefined threshold β are merged into the same workload class."
+//!
+//! Classification is greedy and deterministic: templates are visited in id
+//! order and join the first class whose *centroid* is within β, otherwise
+//! they found a new class.
+
+use crate::arrival::cosine_distance;
+use crate::template::{TemplateId, TemplateRegistry};
+use lion_common::Time;
+
+/// A merged workload class: member templates plus the aggregated rate curve
+/// predictions operate on.
+#[derive(Debug, Clone)]
+pub struct WorkloadClass {
+    /// Member templates.
+    pub members: Vec<TemplateId>,
+    /// Sum of member arrival-rate tails (the class's `ar` curve).
+    pub series: Vec<f64>,
+    /// Per-member lifetime arrival totals (sampling weights, §IV-C.1
+    /// reservoir sampling).
+    pub member_weights: Vec<f64>,
+}
+
+impl WorkloadClass {
+    /// Total arrivals across members in the classified window.
+    pub fn window_total(&self) -> f64 {
+        self.series.iter().sum()
+    }
+
+    /// Rate in the most recent bucket of the classified window.
+    pub fn current_rate(&self) -> f64 {
+        self.series.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Groups templates into workload classes over the last `window` buckets.
+///
+/// `beta` is the cosine-distance merge threshold. Centroids are the running
+/// mean of member curves, so a class's shape stays representative as it
+/// grows.
+pub fn classify_templates(
+    registry: &TemplateRegistry,
+    window: usize,
+    beta: f64,
+    now: Time,
+) -> Vec<WorkloadClass> {
+    let mut classes: Vec<WorkloadClass> = Vec::new();
+    let mut centroids: Vec<Vec<f64>> = Vec::new();
+
+    for id in registry.ids() {
+        let t = registry.template(id);
+        let tail = t.history.window_before(now, window);
+        if tail.iter().all(|&v| v == 0.0) {
+            continue; // idle template: nothing to classify this round
+        }
+        let mut joined = false;
+        for (ci, centroid) in centroids.iter_mut().enumerate() {
+            if cosine_distance(centroid, &tail) < beta {
+                let class = &mut classes[ci];
+                let k = class.members.len() as f64;
+                for (c, v) in centroid.iter_mut().zip(&tail) {
+                    *c = (*c * k + v) / (k + 1.0);
+                }
+                for (s, v) in class.series.iter_mut().zip(&tail) {
+                    *s += v;
+                }
+                class.members.push(id);
+                class.member_weights.push(t.history.total());
+                joined = true;
+                break;
+            }
+        }
+        if !joined {
+            centroids.push(tail.clone());
+            classes.push(WorkloadClass {
+                members: vec![id],
+                series: tail,
+                member_weights: vec![t.history.total()],
+            });
+        }
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_common::{PartitionId, TxnRecord};
+
+    fn feed(reg: &mut TemplateRegistry, parts: &[u32], times: &[u64]) {
+        for &at in times {
+            reg.observe(&TxnRecord {
+                at,
+                parts: parts.iter().map(|&p| PartitionId(p)).collect(),
+            });
+        }
+    }
+
+    /// Reproduces the Fig. 5b consolidation: templates active before t1 form
+    /// W1; templates that ramp up after t1 form W2.
+    #[test]
+    fn fig5_two_workload_classes() {
+        let sec = 1_000_000u64;
+        let mut reg = TemplateRegistry::new(sec);
+        // W1 members: active during seconds 0..4, idle after.
+        for parts in [&[1u32, 2][..], &[3], &[4], &[5]] {
+            feed(&mut reg, parts, &[0, sec, 2 * sec, 3 * sec]);
+        }
+        // W2 members: active during seconds 4..8.
+        for parts in [&[3u32, 4][..], &[5, 6]] {
+            feed(&mut reg, parts, &[4 * sec, 5 * sec, 6 * sec, 7 * sec]);
+        }
+        let classes = classify_templates(&reg, 8, 0.3, 8 * sec);
+        assert_eq!(classes.len(), 2, "expected W1 and W2, got {}", classes.len());
+        let sizes: Vec<usize> = classes.iter().map(|c| c.members.len()).collect();
+        assert!(sizes.contains(&4) && sizes.contains(&2), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn identical_curves_always_merge() {
+        let sec = 1_000_000u64;
+        let mut reg = TemplateRegistry::new(sec);
+        feed(&mut reg, &[1], &[0, sec, 2 * sec]);
+        feed(&mut reg, &[2], &[0, sec, 2 * sec]);
+        let classes = classify_templates(&reg, 3, 0.05, 3 * sec);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].members.len(), 2);
+        assert_eq!(classes[0].series, vec![2.0, 2.0, 2.0], "series sums members");
+    }
+
+    #[test]
+    fn idle_templates_are_skipped() {
+        let sec = 1_000_000u64;
+        let mut reg = TemplateRegistry::new(sec);
+        feed(&mut reg, &[1], &[0]);
+        feed(&mut reg, &[2], &[0]);
+        // window covers only recent (idle) buckets
+        let classes = classify_templates(&reg, 5, 0.3, 20 * sec);
+        assert!(classes.is_empty());
+    }
+
+    #[test]
+    fn beta_zero_separates_everything() {
+        let sec = 1_000_000u64;
+        let mut reg = TemplateRegistry::new(sec);
+        feed(&mut reg, &[1], &[0, sec]);
+        feed(&mut reg, &[2], &[0, 2 * sec]);
+        let classes = classify_templates(&reg, 3, 1e-12, 3 * sec);
+        assert_eq!(classes.len(), 2);
+    }
+
+    #[test]
+    fn class_stats() {
+        let sec = 1_000_000u64;
+        let mut reg = TemplateRegistry::new(sec);
+        feed(&mut reg, &[1], &[0, sec, sec, 2 * sec]);
+        let classes = classify_templates(&reg, 3, 0.3, 3 * sec);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].window_total(), 4.0);
+        assert_eq!(classes[0].current_rate(), 1.0);
+        assert_eq!(classes[0].member_weights, vec![4.0]);
+    }
+}

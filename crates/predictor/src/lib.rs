@@ -1,0 +1,30 @@
+//! # lion-predictor
+//!
+//! The workload prediction pipeline of §IV-C, built from scratch:
+//!
+//! * [`template`] — *template identification*: transactions accessing the
+//!   same partition set share a template whose arrival-rate history
+//!   (Eq. 5) is tracked per sampling interval;
+//! * [`classify`] — *workload classification*: templates whose arrival-rate
+//!   curves move together (cosine distance < β) merge into workload classes;
+//! * [`lstm`] / [`matrix`] — a small LSTM (2 layers × 20 hidden units by
+//!   default, matching §VI-A) trained on CPU with BPTT + Adam; gradient
+//!   checked against numerical differentiation;
+//! * [`predictor`] — *time-series prediction*: per-class forecasts, the
+//!   workload-variation metric `wv(t, h)` (Eq. 6) that triggers
+//!   pre-replication when it exceeds γ, and weighted reservoir sampling of
+//!   the templates injected into the planner's heat graph.
+
+pub mod arrival;
+pub mod classify;
+pub mod lstm;
+pub mod matrix;
+pub mod predictor;
+pub mod template;
+
+pub use arrival::ArrivalHistory;
+pub use classify::{classify_templates, WorkloadClass};
+pub use lstm::Lstm;
+pub use matrix::Mat;
+pub use predictor::{PredictionOutcome, PredictorConfig, WorkloadPredictor};
+pub use template::{TemplateId, TemplateRegistry};

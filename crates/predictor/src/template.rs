@@ -1,0 +1,174 @@
+//! Template identification (§IV-C.1).
+//!
+//! "Transactions accessing the same partitions receive the same label,
+//! forming identical templates. Once these templates are identified, we
+//! track the arrival rate history of each template instead of individual
+//! queries." — the registry interns partition sets and buckets arrivals.
+
+use crate::arrival::ArrivalHistory;
+use lion_common::{PartitionId, Time, TxnRecord};
+use std::collections::HashMap;
+
+/// Dense template identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TemplateId(pub u32);
+
+impl TemplateId {
+    /// Dense index for `Vec` addressing.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One identified template: a partition set and its arrival history.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Sorted partition set defining the template.
+    pub parts: Vec<PartitionId>,
+    /// Arrival-rate history (Eq. 5).
+    pub history: ArrivalHistory,
+}
+
+/// Interns partition-set templates and maintains their arrival histories.
+#[derive(Debug, Clone)]
+pub struct TemplateRegistry {
+    bucket_us: Time,
+    by_parts: HashMap<Vec<PartitionId>, TemplateId>,
+    templates: Vec<Template>,
+}
+
+impl TemplateRegistry {
+    /// Creates a registry sampling at `bucket_us` intervals.
+    pub fn new(bucket_us: Time) -> Self {
+        TemplateRegistry { bucket_us, by_parts: HashMap::new(), templates: Vec::new() }
+    }
+
+    /// Number of identified templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when no template has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Records one routed transaction, interning its template.
+    pub fn observe(&mut self, rec: &TxnRecord) -> TemplateId {
+        let id = match self.by_parts.get(&rec.parts) {
+            Some(&id) => id,
+            None => {
+                let id = TemplateId(self.templates.len() as u32);
+                self.by_parts.insert(rec.parts.clone(), id);
+                self.templates.push(Template {
+                    parts: rec.parts.clone(),
+                    history: ArrivalHistory::new(self.bucket_us),
+                });
+                id
+            }
+        };
+        self.templates[id.idx()].history.record(rec.at);
+        id
+    }
+
+    /// Records a whole batch.
+    pub fn observe_all(&mut self, records: &[TxnRecord]) {
+        for r in records {
+            self.observe(r);
+        }
+    }
+
+    /// Pads every template's history up to `now` so idle templates decay to
+    /// zero rate rather than holding their last value.
+    pub fn close_until(&mut self, now: Time) {
+        for t in &mut self.templates {
+            t.history.close_until(now);
+        }
+    }
+
+    /// Template accessor.
+    pub fn template(&self, id: TemplateId) -> &Template {
+        &self.templates[id.idx()]
+    }
+
+    /// All template ids.
+    pub fn ids(&self) -> impl Iterator<Item = TemplateId> {
+        (0..self.templates.len() as u32).map(TemplateId)
+    }
+
+    /// Drops templates with fewer than `min_total` lifetime arrivals,
+    /// compacting ids (memory hygiene for long runs; the paper notes
+    /// per-query tracking "can be costly").
+    pub fn prune(&mut self, min_total: f64) {
+        let keep: Vec<Template> =
+            self.templates.drain(..).filter(|t| t.history.total() >= min_total).collect();
+        self.by_parts.clear();
+        for (i, t) in keep.iter().enumerate() {
+            self.by_parts.insert(t.parts.clone(), TemplateId(i as u32));
+        }
+        self.templates = keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: Time, parts: &[u32]) -> TxnRecord {
+        TxnRecord { at, parts: parts.iter().map(|&p| PartitionId(p)).collect() }
+    }
+
+    #[test]
+    fn same_partition_set_same_template() {
+        let mut reg = TemplateRegistry::new(1_000_000);
+        let a = reg.observe(&rec(0, &[1, 2]));
+        let b = reg.observe(&rec(500, &[1, 2]));
+        let c = reg.observe(&rec(800, &[3]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.template(a).history.total(), 2.0);
+    }
+
+    #[test]
+    fn histories_bucket_by_time() {
+        let mut reg = TemplateRegistry::new(1_000_000);
+        reg.observe(&rec(0, &[1]));
+        reg.observe(&rec(2_000_000, &[1]));
+        let t = reg.template(TemplateId(0));
+        assert_eq!(t.history.series(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn close_until_pads_all_templates() {
+        let mut reg = TemplateRegistry::new(1_000_000);
+        reg.observe(&rec(0, &[1]));
+        reg.observe(&rec(0, &[2]));
+        reg.close_until(2_500_000);
+        for id in reg.ids().collect::<Vec<_>>() {
+            assert_eq!(reg.template(id).history.series().len(), 3);
+        }
+    }
+
+    #[test]
+    fn prune_drops_rare_templates_and_reindexes() {
+        let mut reg = TemplateRegistry::new(1_000_000);
+        for _ in 0..10 {
+            reg.observe(&rec(0, &[1]));
+        }
+        reg.observe(&rec(0, &[2])); // rare
+        reg.prune(2.0);
+        assert_eq!(reg.len(), 1);
+        // surviving template keeps its data under a fresh dense id
+        let id = reg.observe(&rec(100, &[1]));
+        assert_eq!(id, TemplateId(0));
+        assert_eq!(reg.template(id).history.total(), 11.0);
+    }
+
+    #[test]
+    fn observe_all_batches() {
+        let mut reg = TemplateRegistry::new(1_000_000);
+        reg.observe_all(&[rec(0, &[1]), rec(1, &[1]), rec(2, &[2, 3])]);
+        assert_eq!(reg.len(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Log-bucketed latency histogram.
+//!
+//! Percentile queries back the latency analysis of Fig. 14a (p10/p50/p95).
+//! Buckets grow geometrically (HdrHistogram-style, base-2 with linear
+//! sub-buckets), giving ≤ ~3% relative error across µs..minutes with a few
+//! hundred fixed buckets and O(1) recording.
+
+use lion_common::Time;
+
+const SUB_BUCKETS: usize = 32; // linear sub-buckets per power of two
+const MAX_POW: usize = 40; // covers up to ~2^40 µs
+
+/// Latency histogram with geometric buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: Time,
+    min: Time,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; SUB_BUCKETS * MAX_POW],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: Time::MAX,
+        }
+    }
+
+    fn bucket_of(v: Time) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            return v as usize;
+        }
+        let pow = 63 - v.leading_zeros() as usize; // floor(log2 v) >= 5
+        let shift = pow - 5; // 2^5 == SUB_BUCKETS
+        let sub = ((v >> shift) as usize) - SUB_BUCKETS; // 0..SUB_BUCKETS
+        let idx = (shift + 1) * SUB_BUCKETS + sub;
+        idx.min(SUB_BUCKETS * MAX_POW - 1)
+    }
+
+    fn bucket_low(idx: usize) -> Time {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let shift = idx / SUB_BUCKETS - 1;
+        let sub = idx % SUB_BUCKETS;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, v: Time) {
+        let idx = Self::bucket_of(v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Time {
+        self.max
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> Time {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (lower bucket bound; ≤ ~3% error).
+    pub fn quantile(&self, q: f64) -> Time {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_low(idx).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.count(), 32);
+    }
+
+    #[test]
+    fn quantiles_are_approximately_correct() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.1, 1_000u64), (0.5, 5_000), (0.95, 9_500), (0.99, 9_900)] {
+            let got = h.quantile(q);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.05, "q={q}: got {got}, expected ~{expect} (err {err:.3})");
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX / 2);
+        assert!(h.quantile(1.0) > 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=100 {
+            a.record(v);
+        }
+        for v in 901..=1000 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.quantile(0.25) <= 100);
+        assert!(a.quantile(0.75) >= 900 * 97 / 100);
+    }
+
+    #[test]
+    fn buckets_monotone() {
+        let mut last = 0;
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 10_000, 1 << 20, 1 << 33] {
+            let b = Histogram::bucket_of(v);
+            assert!(b >= last, "bucket index must not decrease: v={v}");
+            last = b;
+            let low = Histogram::bucket_low(b);
+            assert!(low <= v, "bucket low bound {low} must be <= {v}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # lion-sim
+//!
+//! The discrete-event simulation (DES) kernel under the reproduced cluster:
+//!
+//! * [`EventQueue`]: a deterministic future-event list keyed by
+//!   `(time, sequence)` so same-time events fire in insertion order;
+//! * [`MultiServer`]: a k-server queueing resource modelling a node's worker
+//!   pool (and single-threaded resources such as Calvin's lock manager);
+//! * [`Histogram`]: log-bucketed latency histogram with percentile queries
+//!   (Fig. 14a);
+//! * [`TimeSeries`]: fixed-interval bucketed counters for the throughput and
+//!   network-cost timelines (Figs. 8, 10, 12, 13a).
+//!
+//! Everything here is pure data-structure code with no I/O, so entire cluster
+//! runs are reproducible from a seed.
+
+pub mod hist;
+pub mod queue;
+pub mod resource;
+pub mod series;
+
+pub use hist::Histogram;
+pub use queue::EventQueue;
+pub use resource::MultiServer;
+pub use series::TimeSeries;

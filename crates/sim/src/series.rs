@@ -1,0 +1,144 @@
+//! Fixed-interval bucketed time series.
+//!
+//! Backs the throughput-over-time plots (Figs. 8, 10, 12a, 13a) and the
+//! network-bytes-per-transaction timeline (Fig. 12b): counters are added at
+//! virtual timestamps and later read back as per-bucket rates.
+
+use lion_common::Time;
+
+/// A time series of `f64` accumulators in fixed-width buckets.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_us: Time,
+    buckets: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with `bucket_us`-wide buckets.
+    pub fn new(bucket_us: Time) -> Self {
+        assert!(bucket_us > 0, "bucket width must be positive");
+        TimeSeries { bucket_us, buckets: Vec::new() }
+    }
+
+    /// Bucket width in µs.
+    pub fn bucket_us(&self) -> Time {
+        self.bucket_us
+    }
+
+    /// Adds `value` to the bucket containing time `at`.
+    pub fn add(&mut self, at: Time, value: f64) {
+        let idx = (at / self.bucket_us) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += value;
+    }
+
+    /// Increments the bucket containing `at` by one.
+    pub fn incr(&mut self, at: Time) {
+        self.add(at, 1.0);
+    }
+
+    /// Raw bucket accumulators.
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Accumulated value in the bucket containing `at` (0 if out of range).
+    pub fn value_at(&self, at: Time) -> f64 {
+        let idx = (at / self.bucket_us) as usize;
+        self.buckets.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Per-second rates: bucket value scaled by `1s / bucket_us`.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let scale = 1_000_000.0 / self.bucket_us as f64;
+        self.buckets.iter().map(|v| v * scale).collect()
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum over buckets fully contained in `[from, to)`.
+    pub fn total_between(&self, from: Time, to: Time) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let lo = (from / self.bucket_us) as usize;
+        let hi = ((to.saturating_sub(1)) / self.bucket_us) as usize;
+        self.buckets.iter().skip(lo).take(hi.saturating_sub(lo) + 1).sum()
+    }
+
+    /// Element-wise ratio against another series (0 where divisor is 0);
+    /// used for bytes-per-transaction curves.
+    pub fn ratio(&self, divisor: &TimeSeries) -> Vec<f64> {
+        assert_eq!(self.bucket_us, divisor.bucket_us, "bucket widths must match");
+        let n = self.buckets.len().max(divisor.buckets.len());
+        (0..n)
+            .map(|i| {
+                let num = self.buckets.get(i).copied().unwrap_or(0.0);
+                let den = divisor.buckets.get(i).copied().unwrap_or(0.0);
+                if den > 0.0 {
+                    num / den
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_right_buckets() {
+        let mut s = TimeSeries::new(1_000_000);
+        s.incr(0);
+        s.incr(999_999);
+        s.incr(1_000_000);
+        assert_eq!(s.buckets(), &[2.0, 1.0]);
+        assert_eq!(s.value_at(500_000), 2.0);
+        assert_eq!(s.value_at(1_500_000), 1.0);
+        assert_eq!(s.value_at(9_000_000), 0.0);
+    }
+
+    #[test]
+    fn rates_scale_to_seconds() {
+        let mut s = TimeSeries::new(500_000); // half-second buckets
+        s.add(0, 50.0);
+        assert_eq!(s.rates_per_sec()[0], 100.0);
+    }
+
+    #[test]
+    fn totals_and_windows() {
+        let mut s = TimeSeries::new(1_000_000);
+        for sec in 0..10u64 {
+            s.add(sec * 1_000_000, 1.0);
+        }
+        assert_eq!(s.total(), 10.0);
+        assert_eq!(s.total_between(2_000_000, 5_000_000), 3.0);
+        assert_eq!(s.total_between(5_000_000, 5_000_000), 0.0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_divisor() {
+        let mut bytes = TimeSeries::new(1_000_000);
+        let mut txns = TimeSeries::new(1_000_000);
+        bytes.add(0, 400.0);
+        txns.add(0, 2.0);
+        bytes.add(1_000_000, 100.0);
+        let r = bytes.ratio(&txns);
+        assert_eq!(r[0], 200.0);
+        assert_eq!(r[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = TimeSeries::new(0);
+    }
+}

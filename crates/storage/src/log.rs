@@ -1,0 +1,125 @@
+//! Primary→secondary replication log.
+//!
+//! Primaries append one [`LogEntry`] per installed write. Entries accumulate
+//! in an epoch buffer and are shipped to every secondary when the global
+//! epoch advances (the epoch-based group commit of §V, 10 ms default).
+//! A secondary's *lag* — how far its applied LSN trails the primary's — is
+//! what remastering must sync before the leader hand-off (§III).
+
+use lion_common::{Key, PartitionId};
+
+/// One replicated write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Log sequence number, dense from 1 per partition.
+    pub lsn: u64,
+    /// Partition the write belongs to.
+    pub partition: PartitionId,
+    /// Row key.
+    pub key: Key,
+    /// Row version after the write.
+    pub version: u64,
+    /// Payload bytes.
+    pub value: Box<[u8]>,
+}
+
+impl LogEntry {
+    /// Wire size of this entry (payload + fixed header), for network costing.
+    pub fn wire_bytes(&self) -> u64 {
+        self.value.len() as u64 + 32
+    }
+}
+
+/// Append-only log kept by a primary replica.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationLog {
+    next_lsn: u64,
+    /// Entries appended since the last epoch flush.
+    buffer: Vec<LogEntry>,
+}
+
+impl ReplicationLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ReplicationLog { next_lsn: 0, buffer: Vec::new() }
+    }
+
+    /// Highest LSN appended so far.
+    pub fn head_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Appends a write, returning its LSN.
+    pub fn append(&mut self, partition: PartitionId, key: Key, version: u64, value: Box<[u8]>) -> u64 {
+        self.next_lsn += 1;
+        self.buffer.push(LogEntry { lsn: self.next_lsn, partition, key, version, value });
+        self.next_lsn
+    }
+
+    /// Entries pending shipment in the current epoch.
+    pub fn pending(&self) -> &[LogEntry] {
+        &self.buffer
+    }
+
+    /// Total wire bytes pending.
+    pub fn pending_bytes(&self) -> u64 {
+        self.buffer.iter().map(|e| e.wire_bytes()).sum()
+    }
+
+    /// Drains the epoch buffer for shipping.
+    pub fn take_pending(&mut self) -> Vec<LogEntry> {
+        std::mem::take(&mut self.buffer)
+    }
+
+    /// Resets the log to continue from an adopted state (new primary after
+    /// remastering adopts the old primary's head LSN).
+    pub fn adopt_head(&mut self, lsn: u64) {
+        debug_assert!(self.buffer.is_empty(), "adopting with unshipped entries");
+        self.next_lsn = lsn;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsns_are_dense_from_one() {
+        let mut log = ReplicationLog::new();
+        assert_eq!(log.append(PartitionId(0), 1, 2, Box::new([0u8; 4])), 1);
+        assert_eq!(log.append(PartitionId(0), 2, 2, Box::new([0u8; 4])), 2);
+        assert_eq!(log.head_lsn(), 2);
+    }
+
+    #[test]
+    fn take_pending_drains_buffer() {
+        let mut log = ReplicationLog::new();
+        log.append(PartitionId(1), 1, 1, Box::new([0u8; 8]));
+        log.append(PartitionId(1), 2, 1, Box::new([0u8; 8]));
+        assert_eq!(log.pending().len(), 2);
+        assert_eq!(log.pending_bytes(), 2 * (8 + 32));
+        let shipped = log.take_pending();
+        assert_eq!(shipped.len(), 2);
+        assert!(log.pending().is_empty());
+        assert_eq!(log.head_lsn(), 2, "head survives the drain");
+    }
+
+    #[test]
+    fn adopt_head_continues_sequence() {
+        let mut log = ReplicationLog::new();
+        log.adopt_head(41);
+        assert_eq!(log.append(PartitionId(0), 9, 5, Box::new([])), 42);
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let e = LogEntry {
+            lsn: 1,
+            partition: PartitionId(0),
+            key: 0,
+            version: 1,
+            value: Box::new([0u8; 100]),
+        };
+        assert_eq!(e.wire_bytes(), 132);
+    }
+}

@@ -1,0 +1,54 @@
+//! Versioned, lockable rows.
+
+use lion_common::TxnId;
+
+/// One stored row: payload bytes plus the OCC metadata word.
+///
+/// `version` increases monotonically with every installed write; `lock`
+/// holds the transaction currently preparing a write to this row (between
+/// 2PC prepare-validation and commit/abort), which blocks conflicting
+/// validations exactly as the paper's OCC baseline (§VI-A.2) does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Monotonic row version, bumped on every install.
+    pub version: u64,
+    /// Transaction holding the prepare-lock, if any.
+    pub lock: Option<TxnId>,
+    /// Row payload.
+    pub value: Box<[u8]>,
+}
+
+impl Row {
+    /// Creates a fresh row at version 1.
+    pub fn new(value: Box<[u8]>) -> Self {
+        Row { version: 1, lock: None, value }
+    }
+
+    /// True when `txn` may lock this row: the row is unlocked or `txn`
+    /// already holds the lock (re-entrant within one transaction).
+    pub fn lockable_by(&self, txn: TxnId) -> bool {
+        self.lock.is_none() || self.lock == Some(txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rows_start_unlocked_at_v1() {
+        let r = Row::new(vec![1, 2, 3].into_boxed_slice());
+        assert_eq!(r.version, 1);
+        assert!(r.lock.is_none());
+        assert_eq!(&*r.value, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn reentrant_lock_check() {
+        let mut r = Row::new(Box::new([0u8; 4]));
+        assert!(r.lockable_by(TxnId(1)));
+        r.lock = Some(TxnId(1));
+        assert!(r.lockable_by(TxnId(1)));
+        assert!(!r.lockable_by(TxnId(2)));
+    }
+}

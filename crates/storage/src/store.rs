@@ -1,0 +1,157 @@
+//! A partition replica: table + replication state + role.
+
+use crate::log::{LogEntry, ReplicationLog};
+use crate::table::Table;
+use lion_common::PartitionId;
+
+/// Whether this replica currently serves writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Serves reads and writes; owns the replication log.
+    Primary,
+    /// Applies replicated entries; can be promoted by remastering.
+    Secondary,
+}
+
+/// One replica of one partition hosted on one node.
+#[derive(Debug, Clone)]
+pub struct ReplicaStore {
+    /// Partition this replica belongs to.
+    pub partition: PartitionId,
+    /// Current role.
+    pub role: ReplicaRole,
+    /// Row data.
+    pub table: Table,
+    /// Replication log (only appended on the primary; carried across
+    /// remastering via [`ReplicationLog::adopt_head`]).
+    pub log: ReplicationLog,
+    /// Highest LSN applied on this replica. On the primary this equals the
+    /// log head; on a secondary it trails by the replication lag.
+    pub applied_lsn: u64,
+}
+
+impl ReplicaStore {
+    /// Creates a populated primary replica.
+    pub fn new_primary(partition: PartitionId, keys: u64, value_size: u32) -> Self {
+        ReplicaStore {
+            partition,
+            role: ReplicaRole::Primary,
+            table: Table::populated(keys, value_size),
+            log: ReplicationLog::new(),
+            applied_lsn: 0,
+        }
+    }
+
+    /// Creates a populated secondary replica (initially in sync).
+    pub fn new_secondary(partition: PartitionId, keys: u64, value_size: u32) -> Self {
+        ReplicaStore { role: ReplicaRole::Secondary, ..Self::new_primary(partition, keys, value_size) }
+    }
+
+    /// Creates a secondary from a primary snapshot (replica-add copy).
+    pub fn from_snapshot(partition: PartitionId, src: &ReplicaStore) -> Self {
+        ReplicaStore {
+            partition,
+            role: ReplicaRole::Secondary,
+            table: Table::from_snapshot(src.table.snapshot()),
+            log: ReplicationLog::new(),
+            applied_lsn: src.log.head_lsn(),
+        }
+    }
+
+    /// Replication lag in entries relative to a primary's head LSN.
+    pub fn lag_behind(&self, primary_head: u64) -> u64 {
+        primary_head.saturating_sub(self.applied_lsn)
+    }
+
+    /// Applies shipped log entries in order.
+    pub fn apply_entries(&mut self, entries: &[LogEntry]) {
+        for e in entries {
+            debug_assert_eq!(e.partition, self.partition);
+            self.table.apply_replicated(e.key, e.version, e.value.clone());
+            self.applied_lsn = self.applied_lsn.max(e.lsn);
+        }
+    }
+
+    /// Promotes this secondary to primary after remastering: adopts the old
+    /// primary's head LSN so the log continues densely.
+    pub fn promote(&mut self, old_primary_head: u64) {
+        debug_assert_eq!(self.role, ReplicaRole::Secondary, "only secondaries are promoted");
+        self.role = ReplicaRole::Primary;
+        self.applied_lsn = old_primary_head;
+        self.log.adopt_head(old_primary_head);
+    }
+
+    /// Demotes a primary to secondary (the flip side of remastering).
+    pub fn demote(&mut self) {
+        debug_assert_eq!(self.role, ReplicaRole::Primary, "only primaries are demoted");
+        self.role = ReplicaRole::Secondary;
+        self.applied_lsn = self.log.head_lsn();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_common::TxnId;
+
+    fn p() -> PartitionId {
+        PartitionId(0)
+    }
+
+    #[test]
+    fn primary_secondary_roundtrip_stays_consistent() {
+        let mut primary = ReplicaStore::new_primary(p(), 8, 16);
+        let mut secondary = ReplicaStore::new_secondary(p(), 8, 16);
+
+        // Commit two writes on the primary.
+        for (k, txn) in [(1u64, TxnId(1)), (2, TxnId(2))] {
+            primary.table.occ_lock(k, txn);
+            let v = primary.table.occ_install(k, txn, Table::synth_value(k, 99, 16));
+            primary.log.append(p(), k, v, Table::synth_value(k, 99, 16));
+        }
+        assert_eq!(secondary.lag_behind(primary.log.head_lsn()), 2);
+
+        // Epoch flush ships the buffer.
+        let shipped = primary.log.take_pending();
+        secondary.apply_entries(&shipped);
+        assert_eq!(secondary.lag_behind(primary.log.head_lsn()), 0);
+        for k in [1u64, 2] {
+            assert_eq!(secondary.table.get(k).unwrap().value, primary.table.get(k).unwrap().value);
+            assert_eq!(secondary.table.get(k).unwrap().version, primary.table.get(k).unwrap().version);
+        }
+    }
+
+    #[test]
+    fn remastering_promote_demote() {
+        let mut primary = ReplicaStore::new_primary(p(), 4, 8);
+        let mut secondary = ReplicaStore::new_secondary(p(), 4, 8);
+        primary.table.occ_lock(0, TxnId(1));
+        let v = primary.table.occ_install(0, TxnId(1), Box::new([1u8; 8]));
+        primary.log.append(p(), 0, v, Box::new([1u8; 8]));
+        let shipped = primary.log.take_pending();
+        secondary.apply_entries(&shipped);
+
+        let head = primary.log.head_lsn();
+        primary.demote();
+        secondary.promote(head);
+        assert_eq!(secondary.role, ReplicaRole::Primary);
+        assert_eq!(primary.role, ReplicaRole::Secondary);
+        // new primary continues the LSN sequence
+        let next = secondary.log.append(p(), 1, 2, Box::new([2u8; 8]));
+        assert_eq!(next, head + 1);
+    }
+
+    #[test]
+    fn snapshot_bootstrap_is_in_sync() {
+        let mut primary = ReplicaStore::new_primary(p(), 8, 8);
+        primary.table.occ_lock(3, TxnId(7));
+        let v = primary.table.occ_install(3, TxnId(7), Box::new([9u8; 8]));
+        primary.log.append(p(), 3, v, Box::new([9u8; 8]));
+        primary.log.take_pending(); // shipped elsewhere
+
+        let copy = ReplicaStore::from_snapshot(p(), &primary);
+        assert_eq!(copy.lag_behind(primary.log.head_lsn()), 0);
+        assert_eq!(copy.table.get(3).unwrap().value, primary.table.get(3).unwrap().value);
+        assert_eq!(copy.role, ReplicaRole::Secondary);
+    }
+}

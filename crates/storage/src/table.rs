@@ -1,0 +1,332 @@
+//! A single partition replica's key→row table with OCC operations.
+
+use crate::row::Row;
+use lion_common::{Key, TxnId};
+use std::collections::HashMap;
+
+/// Result of an OCC step against one row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// The step succeeded; for reads, carries the observed version.
+    Ok { version: u64 },
+    /// The row is prepare-locked by another transaction.
+    Locked { holder: TxnId },
+    /// A read-set version no longer matches (write committed in between).
+    VersionMismatch { expected: u64, found: u64 },
+    /// The key does not exist (reads of missing rows observe version 0 and
+    /// succeed; this outcome is only used by internal assertions).
+    Missing,
+}
+
+impl OpOutcome {
+    /// True for `Ok`.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, OpOutcome::Ok { .. })
+    }
+}
+
+/// Key→row map for one partition replica.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    rows: HashMap<Key, Row>,
+    /// Payload bytes currently stored (maintained incrementally).
+    bytes: u64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Creates a table pre-populated with `keys` rows of `value_size` bytes,
+    /// each initialised to a key-derived pattern (so that migrated/replicated
+    /// copies can be content-checked in tests).
+    pub fn populated(keys: u64, value_size: u32) -> Self {
+        let mut t = Table::new();
+        for k in 0..keys {
+            t.upsert(k, Self::synth_value(k, 1, value_size));
+        }
+        t
+    }
+
+    /// Deterministic synthetic payload for (key, version).
+    pub fn synth_value(key: Key, version: u64, value_size: u32) -> Box<[u8]> {
+        let mut v = vec![0u8; value_size as usize];
+        let stamp = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(version);
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = (stamp >> ((i % 8) * 8)) as u8;
+        }
+        v.into_boxed_slice()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total payload bytes stored.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Looks up a row.
+    pub fn get(&self, key: Key) -> Option<&Row> {
+        self.rows.get(&key)
+    }
+
+    /// Inserts or replaces a row wholesale (population, migration apply).
+    pub fn upsert(&mut self, key: Key, value: Box<[u8]>) {
+        let add = value.len() as u64;
+        match self.rows.insert(key, Row::new(value)) {
+            Some(old) => self.bytes = self.bytes - old.value.len() as u64 + add,
+            None => self.bytes += add,
+        }
+    }
+
+    /// OCC read: returns the current version (0 for missing rows, which is
+    /// how inserts validate: the version must still be 0 at commit). A row
+    /// prepare-locked by another transaction cannot be read consistently.
+    pub fn occ_read(&self, key: Key, txn: TxnId) -> OpOutcome {
+        match self.rows.get(&key) {
+            None => OpOutcome::Ok { version: 0 },
+            Some(row) => match row.lock {
+                Some(holder) if holder != txn => OpOutcome::Locked { holder },
+                _ => OpOutcome::Ok { version: row.version },
+            },
+        }
+    }
+
+    /// OCC prepare-lock for a write key. Missing rows (inserts) are locked by
+    /// materialising an empty version-0 row.
+    pub fn occ_lock(&mut self, key: Key, txn: TxnId) -> OpOutcome {
+        let row = self.rows.entry(key).or_insert_with(|| {
+            let mut r = Row::new(Box::new([]));
+            r.version = 0; // insert placeholder: not yet visible
+            r
+        });
+        if !row.lockable_by(txn) {
+            return OpOutcome::Locked { holder: row.lock.expect("unlockable row must be locked") };
+        }
+        row.lock = Some(txn);
+        OpOutcome::Ok { version: row.version }
+    }
+
+    /// OCC read-set validation: the observed version must still be current
+    /// and the row must not be prepare-locked by another transaction.
+    pub fn occ_validate_read(&self, key: Key, observed: u64, txn: TxnId) -> OpOutcome {
+        match self.rows.get(&key) {
+            None => {
+                if observed == 0 {
+                    OpOutcome::Ok { version: 0 }
+                } else {
+                    OpOutcome::VersionMismatch { expected: observed, found: 0 }
+                }
+            }
+            Some(row) => {
+                if let Some(holder) = row.lock {
+                    if holder != txn {
+                        return OpOutcome::Locked { holder };
+                    }
+                }
+                if row.version != observed {
+                    OpOutcome::VersionMismatch { expected: observed, found: row.version }
+                } else {
+                    OpOutcome::Ok { version: row.version }
+                }
+            }
+        }
+    }
+
+    /// Installs a write: stores the new payload, bumps the version, releases
+    /// the lock. Returns the new version.
+    pub fn occ_install(&mut self, key: Key, txn: TxnId, value: Box<[u8]>) -> u64 {
+        let add = value.len() as u64;
+        let row = self.rows.entry(key).or_insert_with(|| {
+            let mut r = Row::new(Box::new([]));
+            r.version = 0;
+            r
+        });
+        debug_assert!(
+            row.lock.is_none() || row.lock == Some(txn),
+            "installing over a foreign lock"
+        );
+        self.bytes = self.bytes - row.value.len() as u64 + add;
+        row.value = value;
+        row.version += 1;
+        row.lock = None;
+        row.version
+    }
+
+    /// Releases a prepare-lock without installing (abort path). Placeholder
+    /// rows created for inserts are removed again.
+    pub fn occ_unlock(&mut self, key: Key, txn: TxnId) {
+        let remove = match self.rows.get_mut(&key) {
+            Some(row) if row.lock == Some(txn) => {
+                row.lock = None;
+                row.version == 0 // insert placeholder never became visible
+            }
+            _ => false,
+        };
+        if remove {
+            self.rows.remove(&key);
+        }
+    }
+
+    /// Applies a replicated write (no locking: replication is ordered).
+    pub fn apply_replicated(&mut self, key: Key, version: u64, value: Box<[u8]>) {
+        let add = value.len() as u64;
+        let row = self.rows.entry(key).or_insert_with(|| {
+            let mut r = Row::new(Box::new([]));
+            r.version = 0;
+            r
+        });
+        // Idempotent, ordered apply: never regress.
+        if version >= row.version {
+            self.bytes = self.bytes - row.value.len() as u64 + add;
+            row.value = value;
+            row.version = version;
+        }
+    }
+
+    /// Snapshot of all rows for migration / replica bootstrap.
+    pub fn snapshot(&self) -> Vec<(Key, u64, Box<[u8]>)> {
+        let mut out: Vec<_> =
+            self.rows.iter().map(|(&k, r)| (k, r.version, r.value.clone())).collect();
+        out.sort_unstable_by_key(|(k, _, _)| *k);
+        out
+    }
+
+    /// Rebuilds a table from a snapshot.
+    pub fn from_snapshot(snap: Vec<(Key, u64, Box<[u8]>)>) -> Self {
+        let mut t = Table::new();
+        for (k, version, value) in snap {
+            t.bytes += value.len() as u64;
+            let mut row = Row::new(value);
+            row.version = version;
+            t.rows.insert(k, row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+
+    #[test]
+    fn read_missing_row_sees_version_zero() {
+        let t = Table::new();
+        assert_eq!(t.occ_read(7, T1), OpOutcome::Ok { version: 0 });
+    }
+
+    #[test]
+    fn install_bumps_version_and_unlocks() {
+        let mut t = Table::new();
+        assert!(t.occ_lock(1, T1).is_ok());
+        let v = t.occ_install(1, T1, Box::new([9u8; 4]));
+        assert_eq!(v, 1);
+        assert!(t.get(1).unwrap().lock.is_none());
+        assert_eq!(t.occ_read(1, T2), OpOutcome::Ok { version: 1 });
+    }
+
+    #[test]
+    fn foreign_lock_blocks_reads_and_locks() {
+        let mut t = Table::populated(4, 8);
+        assert!(t.occ_lock(0, T1).is_ok());
+        assert_eq!(t.occ_read(0, T2), OpOutcome::Locked { holder: T1 });
+        assert_eq!(t.occ_lock(0, T2), OpOutcome::Locked { holder: T1 });
+        // but the holder itself can re-enter
+        assert!(t.occ_lock(0, T1).is_ok());
+        assert!(t.occ_read(0, T1).is_ok());
+    }
+
+    #[test]
+    fn validation_detects_concurrent_commit() {
+        let mut t = Table::populated(2, 8);
+        let OpOutcome::Ok { version } = t.occ_read(0, T1) else { panic!() };
+        // T2 commits a write to key 0 in between.
+        assert!(t.occ_lock(0, T2).is_ok());
+        t.occ_install(0, T2, Box::new([1u8; 8]));
+        assert_eq!(
+            t.occ_validate_read(0, version, T1),
+            OpOutcome::VersionMismatch { expected: version, found: version + 1 }
+        );
+    }
+
+    #[test]
+    fn abort_removes_insert_placeholder() {
+        let mut t = Table::new();
+        assert!(t.occ_lock(5, T1).is_ok());
+        t.occ_unlock(5, T1);
+        assert!(t.get(5).is_none());
+        // but aborting a lock on an existing row keeps the row
+        t.upsert(6, Box::new([1u8; 2]));
+        assert!(t.occ_lock(6, T1).is_ok());
+        t.occ_unlock(6, T1);
+        assert_eq!(t.get(6).unwrap().version, 1);
+    }
+
+    #[test]
+    fn insert_validates_against_version_zero() {
+        let mut t = Table::new();
+        // reader saw "missing" (version 0); insert commits; reader must fail
+        assert!(t.occ_lock(3, T2).is_ok());
+        t.occ_install(3, T2, Box::new([0u8; 1]));
+        assert!(matches!(
+            t.occ_validate_read(3, 0, T1),
+            OpOutcome::VersionMismatch { expected: 0, found: 1 }
+        ));
+    }
+
+    #[test]
+    fn replicated_apply_is_idempotent_and_ordered() {
+        let mut t = Table::new();
+        t.apply_replicated(1, 3, Box::new([3u8; 4]));
+        t.apply_replicated(1, 2, Box::new([2u8; 4])); // stale: ignored
+        assert_eq!(t.get(1).unwrap().version, 3);
+        assert_eq!(&*t.get(1).unwrap().value, &[3u8; 4]);
+        t.apply_replicated(1, 3, Box::new([3u8; 4])); // duplicate: fine
+        assert_eq!(t.get(1).unwrap().version, 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_contents() {
+        let mut t = Table::populated(16, 32);
+        t.occ_lock(3, T1);
+        t.occ_install(3, T1, Box::new([7u8; 32]));
+        let copy = Table::from_snapshot(t.snapshot());
+        assert_eq!(copy.len(), t.len());
+        assert_eq!(copy.bytes(), t.bytes());
+        for k in 0..16 {
+            assert_eq!(copy.get(k).unwrap().version, t.get(k).unwrap().version);
+            assert_eq!(copy.get(k).unwrap().value, t.get(k).unwrap().value);
+        }
+    }
+
+    #[test]
+    fn bytes_tracking_follows_updates() {
+        let mut t = Table::new();
+        t.upsert(1, Box::new([0u8; 10]));
+        assert_eq!(t.bytes(), 10);
+        t.upsert(1, Box::new([0u8; 4]));
+        assert_eq!(t.bytes(), 4);
+        t.occ_lock(1, T1);
+        t.occ_install(1, T1, Box::new([0u8; 20]));
+        assert_eq!(t.bytes(), 20);
+    }
+
+    #[test]
+    fn synth_value_is_deterministic() {
+        assert_eq!(Table::synth_value(5, 1, 16), Table::synth_value(5, 1, 16));
+        assert_ne!(Table::synth_value(5, 1, 16), Table::synth_value(5, 2, 16));
+    }
+}

@@ -1,0 +1,20 @@
+//! # lion-workloads
+//!
+//! The two benchmarks of §VI-A.1 plus the dynamic-workload schedules of
+//! §VI-C.2:
+//!
+//! * [`ycsb`] — YCSB with the paper's knobs: `skew_factor` (node-level skew:
+//!   0.8 ⇒ 80% of transactions target one node's partitions), cross-partition
+//!   ratio (cross transactions access exactly two partitions), and phase
+//!   schedules for the changing-hotspot experiments (Figs. 8/10/12/13a);
+//! * [`tpcc`] — TPC-C: 9 relations keyed into the partition-per-warehouse
+//!   layout, NewOrder (with remote-warehouse items) and Payment generators;
+//! * [`zipf`] — a YCSB-style Zipf(θ) generator for intra-partition key skew.
+
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use tpcc::{TpccConfig, TpccWorkload};
+pub use ycsb::{PhaseCfg, Schedule, YcsbConfig, YcsbWorkload};
+pub use zipf::Zipf;

@@ -1,0 +1,116 @@
+//! Shape assertions mirroring the paper's headline claims, at test scale.
+
+use lion::prelude::*;
+
+fn sim(nodes: usize) -> SimConfig {
+    SimConfig {
+        nodes,
+        partitions_per_node: 4,
+        keys_per_partition: 2048,
+        value_size: 32,
+        clients_per_node: 6,
+        batch_size: 64,
+        ..Default::default()
+    }
+}
+
+fn ycsb(nodes: u32, cross: f64, skew: f64, seed: u64) -> Box<YcsbWorkload> {
+    Box::new(YcsbWorkload::new(
+        YcsbConfig::for_cluster(nodes, 4, 2048).with_mix(cross, skew).with_seed(seed),
+    ))
+}
+
+fn engine(nodes: usize, cross: f64, skew: f64, seed: u64) -> Engine {
+    let cfg = EngineConfig { sim: sim(nodes), plan_interval_us: 500_000, ..Default::default() };
+    Engine::new(cfg, ycsb(nodes as u32, cross, skew, seed))
+}
+
+/// The paper's core claim: on localizable cross-partition workloads Lion
+/// substantially outperforms 2PC (paper: up to 2.7x overall).
+#[test]
+fn lion_beats_2pc_on_cross_partition_workloads() {
+    let horizon = 5 * SECOND;
+    let lion_tps = {
+        let mut eng = engine(4, 1.0, 0.0, 5);
+        eng.run(&mut Lion::standard(), horizon).throughput_tps
+    };
+    let twopc_tps = {
+        let mut eng = engine(4, 1.0, 0.0, 5);
+        eng.run(&mut lion::baselines::two_pc(), horizon).throughput_tps
+    };
+    assert!(
+        lion_tps > twopc_tps * 1.2,
+        "Lion {lion_tps:.0} vs 2PC {twopc_tps:.0}"
+    );
+}
+
+/// 2PC throughput must fall monotonically-ish as the cross ratio grows
+/// (Fig. 6's 2PC curve).
+#[test]
+fn twopc_degrades_with_cross_ratio() {
+    let tput = |cross: f64| {
+        let mut eng = engine(2, cross, 0.0, 6);
+        eng.run(&mut lion::baselines::two_pc(), SECOND).throughput_tps
+    };
+    let t0 = tput(0.0);
+    let t1 = tput(1.0);
+    assert!(t0 > t1 * 1.4, "0% {t0:.0} vs 100% {t1:.0}");
+}
+
+/// Lion converts nearly everything to single-node execution after
+/// adaptation (the §III conversion cases).
+#[test]
+fn lion_converts_to_single_node() {
+    let mut eng = engine(4, 1.0, 0.0, 8);
+    let r = eng.run(&mut Lion::standard(), 5 * SECOND);
+    let single = r.class_fractions[0] + r.class_fractions[1];
+    assert!(single > 0.7, "converted fraction {single:.2}");
+    assert!(r.remasters > 0);
+    assert_eq!(r.migrations, 0, "Lion never migrates data");
+}
+
+/// Star's super node caps batch throughput once the cross ratio is high.
+#[test]
+fn star_super_node_saturates() {
+    let tput = |cross: f64, seed| {
+        let cfg = EngineConfig { sim: sim(4), ..Default::default() };
+        let mut eng = Engine::new(cfg, ycsb(4, cross, 0.0, seed));
+        eng.run(&mut Star::new(), 2 * SECOND).throughput_tps
+    };
+    let low = tput(0.0, 9);
+    let high = tput(1.0, 10);
+    assert!(low > high * 1.4, "low {low:.0} vs high {high:.0}");
+}
+
+/// The single-threaded lock manager bounds Calvin's throughput regardless
+/// of cluster size (Fig. 11b's deterministic ceiling).
+#[test]
+fn calvin_is_lock_manager_bound() {
+    let tput = |nodes: usize| {
+        let cfg = EngineConfig { sim: sim(nodes), ..Default::default() };
+        let mut eng = Engine::new(cfg, ycsb(nodes as u32, 0.5, 0.0, 11));
+        eng.run(&mut Calvin::new(), 2 * SECOND).throughput_tps
+    };
+    let t4 = tput(4);
+    let t8 = tput(8);
+    assert!(
+        t8 < t4 * 1.3,
+        "doubling nodes must not scale Calvin: 4 nodes {t4:.0} vs 8 nodes {t8:.0}"
+    );
+}
+
+/// Leap's blocking migrations make it far slower than 2PC when several
+/// origin nodes tug the same partitions (the ping-pong problem, §II-B.1).
+#[test]
+fn leap_ping_pong_hurts() {
+    let horizon = 2 * SECOND;
+    let leap_tps = {
+        let mut eng = engine(4, 1.0, 0.0, 12);
+        eng.run(&mut lion::baselines::leap(), horizon).throughput_tps
+    };
+    let twopc_tps = {
+        let mut eng = engine(4, 1.0, 0.0, 12);
+        eng.run(&mut lion::baselines::two_pc(), horizon).throughput_tps
+    };
+    assert!(leap_tps < twopc_tps, "Leap {leap_tps:.0} vs 2PC {twopc_tps:.0}");
+}

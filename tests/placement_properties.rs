@@ -1,0 +1,80 @@
+//! Property tests on the replica placement map: arbitrary sequences of
+//! adaptor-style mutations keep the structural invariants, and remastering
+//! never changes a partition's replica set.
+
+use lion::common::{NodeId, PartitionId, Placement};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Mutation {
+    Remaster { part: u32, node: u16 },
+    AddSecondary { part: u32, node: u16 },
+    RemoveSecondary { part: u32, node: u16 },
+    MigratePrimary { part: u32, node: u16 },
+}
+
+fn arb_mutation(parts: u32, nodes: u16) -> impl Strategy<Value = Mutation> {
+    (0..parts, 0..nodes, 0u8..4).prop_map(|(part, node, kind)| match kind {
+        0 => Mutation::Remaster { part, node },
+        1 => Mutation::AddSecondary { part, node },
+        2 => Mutation::RemoveSecondary { part, node },
+        _ => Mutation::MigratePrimary { part, node },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any mutation sequence (successful or rejected) keeps: exactly one
+    /// primary per partition, no node holding two replicas of one
+    /// partition, all node ids in range.
+    #[test]
+    fn mutations_preserve_invariants(
+        muts in proptest::collection::vec(arb_mutation(8, 4), 0..100),
+    ) {
+        let mut pl = Placement::round_robin(8, 4, 2);
+        for m in muts {
+            match m {
+                Mutation::Remaster { part, node } => {
+                    let _ = pl.remaster(PartitionId(part), NodeId(node));
+                }
+                Mutation::AddSecondary { part, node } => {
+                    let _ = pl.add_secondary(PartitionId(part), NodeId(node));
+                }
+                Mutation::RemoveSecondary { part, node } => {
+                    let _ = pl.remove_secondary(PartitionId(part), NodeId(node));
+                }
+                Mutation::MigratePrimary { part, node } => {
+                    let _ = pl.migrate_primary(PartitionId(part), NodeId(node));
+                }
+            }
+            prop_assert!(pl.validate().is_ok());
+            for p in 0..8u32 {
+                prop_assert!(pl.replica_count(PartitionId(p)) >= 1);
+            }
+        }
+    }
+
+    /// Remastering is a pure role swap: the set of nodes holding replicas
+    /// is identical before and after.
+    #[test]
+    fn remaster_never_moves_data(
+        part in 0u32..8,
+        target in 0u16..4,
+        extra in proptest::collection::vec((0u32..8, 0u16..4), 0..10),
+    ) {
+        let mut pl = Placement::round_robin(8, 4, 2);
+        for (p, n) in extra {
+            let _ = pl.add_secondary(PartitionId(p), NodeId(n));
+        }
+        let before: std::collections::BTreeSet<NodeId> =
+            pl.replica_nodes(PartitionId(part)).into_iter().collect();
+        let res = pl.remaster(PartitionId(part), NodeId(target));
+        let after: std::collections::BTreeSet<NodeId> =
+            pl.replica_nodes(PartitionId(part)).into_iter().collect();
+        prop_assert_eq!(&before, &after);
+        if res.is_ok() && before.contains(&NodeId(target)) {
+            prop_assert_eq!(pl.primary_of(PartitionId(part)), NodeId(target));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests on the prediction pipeline: classification totals are
+//! conserved and forecasts stay finite for arbitrary arrival patterns.
+
+use lion::common::{PartitionId, TxnRecord};
+use lion::predictor::{classify_templates, Lstm, TemplateRegistry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// However arrivals are distributed, the sum over class series equals
+    /// the number of arrivals inside the classification window, and every
+    /// active template lands in exactly one class.
+    #[test]
+    fn classification_conserves_mass(
+        arrivals in proptest::collection::vec((0u64..20, 0u32..6), 1..300),
+        beta in 0.01f64..1.0,
+    ) {
+        let sec = 1_000_000u64;
+        let mut reg = TemplateRegistry::new(sec);
+        let mut in_window = 0.0;
+        for (t, family) in &arrivals {
+            reg.observe(&TxnRecord {
+                at: t * sec,
+                parts: vec![PartitionId(*family), PartitionId(family + 10)],
+            });
+            if *t < 20 {
+                in_window += 1.0;
+            }
+        }
+        let classes = classify_templates(&reg, 20, beta, 20 * sec);
+        let total: f64 = classes.iter().map(|c| c.series.iter().sum::<f64>()).sum();
+        prop_assert!((total - in_window).abs() < 1e-9, "{total} vs {in_window}");
+        let mut members = std::collections::HashSet::new();
+        for c in &classes {
+            for m in &c.members {
+                prop_assert!(members.insert(*m), "template in two classes");
+            }
+        }
+    }
+
+    /// LSTM forecasts on arbitrary (normalized) series are always finite.
+    #[test]
+    fn lstm_forecasts_are_finite(
+        series in proptest::collection::vec(0.0f64..1.0, 12..40),
+        seed in 0u64..1000,
+    ) {
+        let mut net = Lstm::new(6, 2, seed);
+        net.fit(&series, 8, 3, 0.01);
+        for v in net.forecast(&series, 8, 4) {
+            prop_assert!(v.is_finite());
+        }
+    }
+}
