@@ -11,8 +11,8 @@
 
 use crate::calvin::charge_replication;
 use crate::tags::{fresh, tag, untag};
-use lion_engine::{Engine, Protocol, TxnClass};
 use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
+use lion_engine::{Engine, Protocol, TxnClass};
 use std::collections::HashMap;
 
 const K_COMMIT: u8 = 1;
@@ -189,21 +189,25 @@ mod tests {
     #[test]
     fn aria_commits_conflict_free_batches() {
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 4096).with_mix(0.2, 0.0).with_seed(31),
+            YcsbConfig::for_cluster(4, 4, 4096)
+                .with_mix(0.2, 0.0)
+                .with_seed(31),
         ));
         let mut eng = Engine::new(cfg(), wl);
         let r = eng.run(&mut Aria::new(), SECOND);
         assert!(r.commits > 500, "commits {}", r.commits);
-        assert!(r.abort_rate < 0.1, "uniform workload: few conflicts, got {}", r.abort_rate);
+        assert!(
+            r.abort_rate < 0.1,
+            "uniform workload: few conflicts, got {}",
+            r.abort_rate
+        );
     }
 
     #[test]
     fn waw_conflicts_defer_to_next_batch() {
         // Every transaction writes the same key: only the first of each
         // batch commits, the rest defer.
-        let wl = Box::new(move |_now| {
-            TxnRequest::new(vec![Op::write(PartitionId(0), 0)])
-        });
+        let wl = Box::new(move |_now| TxnRequest::new(vec![Op::write(PartitionId(0), 0)]));
         let mut c = cfg();
         c.batch_size = 16;
         let mut eng = Engine::new(c, wl);
@@ -211,7 +215,11 @@ mod tests {
         let r = eng.run(&mut proto, SECOND / 2);
         assert!(r.commits > 0);
         assert!(proto.waw_aborts > 0, "WAW conflicts expected");
-        assert!(r.abort_rate > 0.5, "heavy contention: abort rate {}", r.abort_rate);
+        assert!(
+            r.abort_rate > 0.5,
+            "heavy contention: abort rate {}",
+            r.abort_rate
+        );
         // deferred transactions eventually commit (carry-over works)
         assert!(r.commits >= 10);
     }
@@ -225,7 +233,7 @@ mod tests {
         let mut i = 0u64;
         let wl = Box::new(move |_now| {
             i += 1;
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 TxnRequest::new(vec![
                     Op::read(PartitionId(0), 0),
                     Op::write(PartitionId(0), 1 + (i / 2) % 50),

@@ -9,8 +9,8 @@
 //! scalability ceiling Fig. 11b shows.
 
 use crate::tags::{fresh, tag, untag};
-use lion_engine::{Engine, Protocol, TxnClass};
 use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
+use lion_engine::{Engine, Protocol, TxnClass};
 use lion_sim::MultiServer;
 use std::collections::HashMap;
 
@@ -64,11 +64,7 @@ impl RowLocks {
 /// Per-node execution of one transaction: CPU grants at each participant
 /// plus a remote-read exchange when more than one node is involved.
 /// Returns `(completion, participants)`.
-pub(crate) fn execute_deterministic(
-    eng: &mut Engine,
-    txn: TxnId,
-    start: Time,
-) -> (Time, usize) {
+pub(crate) fn execute_deterministic(eng: &mut Engine, txn: TxnId, start: Time) -> (Time, usize) {
     let ops = eng.txn(txn).req.ops.clone();
     let mut by_node: HashMap<NodeId, (usize, usize)> = HashMap::new();
     for op in &ops {
@@ -133,7 +129,10 @@ impl Default for Calvin {
 impl Calvin {
     /// Builds Calvin with its single-threaded lock manager.
     pub fn new() -> Self {
-        Calvin { lock_mgr: MultiServer::new(1), locks: RowLocks::default() }
+        Calvin {
+            lock_mgr: MultiServer::new(1),
+            locks: RowLocks::default(),
+        }
     }
 }
 
@@ -203,7 +202,9 @@ mod tests {
     #[test]
     fn calvin_commits_whole_batches_without_aborts() {
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 256).with_mix(0.5, 0.0).with_seed(7),
+            YcsbConfig::for_cluster(4, 4, 256)
+                .with_mix(0.5, 0.0)
+                .with_seed(7),
         ));
         let mut eng = Engine::new(cfg(), wl);
         let r = eng.run(&mut Calvin::new(), 2 * SECOND);

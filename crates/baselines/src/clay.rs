@@ -12,8 +12,8 @@
 //! distributed transactions" (§II-B.1).
 
 use crate::standard::{most_primaries, RemoteAction, Standard, StandardPolicy};
-use lion_engine::{Engine, TickKind};
 use lion_common::{NodeId, PartitionId, TxnId};
+use lion_engine::{Engine, TickKind};
 use std::collections::HashMap;
 
 /// Clay's monitor policy over the standard 2PC machine.
@@ -29,7 +29,12 @@ pub struct ClayPolicy {
 
 impl Default for ClayPolicy {
     fn default() -> Self {
-        ClayPolicy { epsilon: 0.35, moves_per_tick: 2, co_access: HashMap::new(), activations: 0 }
+        ClayPolicy {
+            epsilon: 0.35,
+            moves_per_tick: 2,
+            co_access: HashMap::new(),
+            activations: 0,
+        }
     }
 }
 
@@ -50,15 +55,22 @@ impl ClayPolicy {
         if avg <= 0.0 {
             return;
         }
-        let (max_idx, &max_busy) =
-            busy.iter().enumerate().max_by_key(|(_, &b)| b).expect("non-empty");
+        let (max_idx, &max_busy) = busy
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &b)| b)
+            .expect("non-empty");
         if (max_busy as f64) <= (1.0 + self.epsilon) * avg {
             return; // Clay sees a balanced cluster — even if it is balanced
                     // *because* every node burns CPU on 2PC rounds.
         }
         self.activations += 1;
         let overloaded = NodeId(max_idx as u16);
-        let (min_idx, _) = busy.iter().enumerate().min_by_key(|(_, &b)| b).expect("non-empty");
+        let (min_idx, _) = busy
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &b)| b)
+            .expect("non-empty");
         let target = NodeId(min_idx as u16);
         if target == overloaded {
             return;
@@ -72,7 +84,7 @@ impl ClayPolicy {
             .into_iter()
             .map(|p| (eng.cluster.freq.count(p), p))
             .collect();
-        hot.sort_by(|a, b| b.0.cmp(&a.0));
+        hot.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
 
         let mut moved = 0;
         let mut queue: Vec<PartitionId> = Vec::new();
@@ -176,7 +188,9 @@ mod tests {
         // 90% of transactions hit node 0's partitions: Clay must detect the
         // overload and move primaries off node 0.
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 256).with_mix(0.0, 0.9).with_seed(11),
+            YcsbConfig::for_cluster(4, 4, 256)
+                .with_mix(0.0, 0.9)
+                .with_seed(11),
         ));
         let mut eng = Engine::new(cfg(4), wl);
         let before = eng.cluster.placement.primaries_on(NodeId(0));
@@ -195,7 +209,9 @@ mod tests {
         // 100% cross-partition, uniform: every node equally busy with 2PC.
         // Clay's CPU-based trigger must NOT fire — the paper's blind spot.
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 256).with_mix(1.0, 0.0).with_seed(12),
+            YcsbConfig::for_cluster(4, 4, 256)
+                .with_mix(1.0, 0.0)
+                .with_seed(12),
         ));
         let mut eng = Engine::new(cfg(4), wl);
         let mut proto = clay();
@@ -206,6 +222,10 @@ mod tests {
             0,
             "balanced CPU must not trigger Clay even with 100% distributed txns"
         );
-        assert!(r.class_fractions[2] > 0.9, "distributed txns remain: {:?}", r.class_fractions);
+        assert!(
+            r.class_fractions[2] > 0.9,
+            "distributed txns remain: {:?}",
+            r.class_fractions
+        );
     }
 }

@@ -10,8 +10,8 @@
 
 use crate::calvin::{charge_replication, execute_deterministic, RowLocks};
 use crate::tags::{fresh, tag, untag};
-use lion_engine::{Engine, Protocol};
 use lion_common::{NodeId, Phase, TxnId};
+use lion_engine::{Engine, Protocol};
 use lion_sim::MultiServer;
 
 const K_DONE: u8 = 1;
@@ -33,7 +33,11 @@ impl Default for Hermes {
 impl Hermes {
     /// Builds Hermes.
     pub fn new() -> Self {
-        Hermes { lock_mgr: MultiServer::new(1), locks: RowLocks::default(), migrations_requested: 0 }
+        Hermes {
+            lock_mgr: MultiServer::new(1),
+            locks: RowLocks::default(),
+            migrations_requested: 0,
+        }
     }
 
     /// The designated executor: the node already hosting the most primaries
@@ -73,7 +77,12 @@ impl Protocol for Hermes {
         // Prescient reordering: group identical partition sets together so
         // consecutive transactions reuse the same migrations.
         let mut ordered: Vec<TxnId> = batch.to_vec();
-        ordered.sort_by(|a, b| eng.txn(*a).parts.cmp(&eng.txn(*b).parts).then(a.0.cmp(&b.0)));
+        ordered.sort_by(|a, b| {
+            eng.txn(*a)
+                .parts
+                .cmp(&eng.txn(*b).parts)
+                .then(a.0.cmp(&b.0))
+        });
 
         for t in ordered {
             eng.load_declared_sets(t);
@@ -154,7 +163,9 @@ mod tests {
     #[test]
     fn hermes_migrates_to_localize_cross_txns() {
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 256).with_mix(1.0, 0.0).with_seed(21),
+            YcsbConfig::for_cluster(4, 4, 256)
+                .with_mix(1.0, 0.0)
+                .with_seed(21),
         ));
         let mut eng = Engine::new(cfg(), wl);
         let mut proto = Hermes::new();
@@ -175,7 +186,9 @@ mod tests {
     #[test]
     fn hermes_commits_everything_deterministically() {
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 256).with_mix(0.2, 0.5).with_seed(22),
+            YcsbConfig::for_cluster(4, 4, 256)
+                .with_mix(0.2, 0.5)
+                .with_seed(22),
         ));
         let mut eng = Engine::new(cfg(), wl);
         let r = eng.run(&mut Hermes::new(), 2 * SECOND);

@@ -10,8 +10,8 @@
 
 use crate::calvin::charge_replication;
 use crate::tags::{fresh, tag, untag};
-use lion_engine::{Engine, Protocol, TxnClass};
 use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
+use lion_engine::{Engine, Protocol, TxnClass};
 use std::collections::HashSet;
 
 const K_COMMIT: u8 = 1;
@@ -174,7 +174,9 @@ mod tests {
     fn lotus_excels_on_low_cross_ratio() {
         let mk = |cross: f64| {
             let wl = Box::new(YcsbWorkload::new(
-                YcsbConfig::for_cluster(4, 4, 4096).with_mix(cross, 0.0).with_seed(41),
+                YcsbConfig::for_cluster(4, 4, 4096)
+                    .with_mix(cross, 0.0)
+                    .with_seed(41),
             ));
             let mut eng = Engine::new(cfg(), wl);
             eng.run(&mut Lotus::new(), SECOND).throughput_tps
@@ -189,9 +191,7 @@ mod tests {
 
     #[test]
     fn epoch_claims_abort_contended_rows() {
-        let wl = Box::new(move |_now| {
-            TxnRequest::new(vec![Op::write(PartitionId(0), 0)])
-        });
+        let wl = Box::new(move |_now| TxnRequest::new(vec![Op::write(PartitionId(0), 0)]));
         let mut c = cfg();
         c.batch_size = 16;
         let mut eng = Engine::new(c, wl);
@@ -207,7 +207,9 @@ mod tests {
     #[test]
     fn uniform_workload_rarely_conflicts() {
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 4096).with_mix(0.0, 0.0).with_seed(42),
+            YcsbConfig::for_cluster(4, 4, 4096)
+                .with_mix(0.0, 0.0)
+                .with_seed(42),
         ));
         let mut eng = Engine::new(cfg(), wl);
         let mut proto = Lotus::new();

@@ -5,8 +5,8 @@
 //! thin policies over this machine.
 
 use crate::tags::{fresh, tag, untag};
-use lion_engine::{Engine, OpFail, Protocol, TickKind, TxnClass};
 use lion_common::{NodeId, PartitionId, Phase, TxnId};
+use lion_engine::{Engine, OpFail, Protocol, TickKind, TxnClass};
 
 /// What to do with a partition group whose primary is not at the executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +102,10 @@ impl<P: StandardPolicy> Standard<P> {
                     }
                 }
             }
-            let reads = ops.iter().filter(|o| o.kind == lion_common::OpKind::Read).count();
+            let reads = ops
+                .iter()
+                .filter(|o| o.kind == lion_common::OpKind::Read)
+                .count();
             let writes = ops.len() - reads;
             let mut cost = eng.op_cpu(reads, writes);
             if gi == 0 {
@@ -117,14 +120,17 @@ impl<P: StandardPolicy> Standard<P> {
                     if !eng.txn(txn).participants.contains(&primary) {
                         eng.txn_mut(txn).participants.push(primary);
                     }
-                    let reads = ops.iter().filter(|o| o.kind == lion_common::OpKind::Read).count();
+                    let reads = ops
+                        .iter()
+                        .filter(|o| o.kind == lion_common::OpKind::Read)
+                        .count();
                     let writes = ops.len() - reads;
                     let req = 24 * ops.len() as u32;
                     let resp = 16 + (reads as u32) * eng.config().sim.value_size;
                     let cpu = eng.op_cpu(reads, writes) + eng.config().sim.cpu.msg_handle_us;
                     let t = self.t(eng, txn, K_GROUP, 1);
                     let home = eng.txn(txn).home;
-        eng.remote_round(home, primary, req, resp, cpu, Phase::Execution, txn, t);
+                    eng.remote_round(home, primary, req, resp, cpu, Phase::Execution, txn, t);
                 }
                 RemoteAction::Migrate => {
                     // Leap: pull the partition home, blocking until the move
@@ -378,7 +384,9 @@ mod tests {
 
     fn ycsb(nodes: u32, cross: f64, skew: f64, seed: u64) -> Box<YcsbWorkload> {
         Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(nodes, 4, 256).with_mix(cross, skew).with_seed(seed),
+            YcsbConfig::for_cluster(nodes, 4, 256)
+                .with_mix(cross, skew)
+                .with_seed(seed),
         ))
     }
 
@@ -387,7 +395,11 @@ mod tests {
         let mut eng = Engine::new(small_cfg(2), ycsb(2, 0.0, 0.0, 1));
         let r = eng.run(&mut two_pc(), SECOND);
         assert!(r.commits > 500, "commits {}", r.commits);
-        assert!(r.class_fractions[0] > 0.99, "all single-node: {:?}", r.class_fractions);
+        assert!(
+            r.class_fractions[0] > 0.99,
+            "all single-node: {:?}",
+            r.class_fractions
+        );
         eng.cluster.check_invariants().unwrap();
     }
 
@@ -402,7 +414,11 @@ mod tests {
             r.class_fractions
         );
         // distributed transactions must be slower than single-partition ones
-        assert!(r.latency_p[1] > 200, "p50 {}us should reflect 2PC rounds", r.latency_p[1]);
+        assert!(
+            r.latency_p[1] > 200,
+            "p50 {}us should reflect 2PC rounds",
+            r.latency_p[1]
+        );
         eng.cluster.check_invariants().unwrap();
     }
 

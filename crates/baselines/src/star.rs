@@ -12,8 +12,8 @@
 //! Figs. 9 and 11b.
 
 use crate::tags::{fresh, tag, untag};
-use lion_engine::{Engine, OpFail, Protocol, TxnClass};
 use lion_common::{NodeId, PartitionId, Phase, Time, TxnId};
+use lion_engine::{Engine, OpFail, Protocol, TxnClass};
 
 const K_SINGLE: u8 = 1;
 const K_CROSS: u8 = 2;
@@ -117,8 +117,7 @@ impl Protocol for Star {
             eng.charge_phase(t, Phase::Scheduling, start - now);
             eng.charge_phase(t, Phase::Execution, cost);
             // Writes replicate from the super node back to the owners.
-            let bytes =
-                writes as u64 * (eng.config().sim.value_size as u64 + 32);
+            let bytes = writes as u64 * (eng.config().sim.value_size as u64 + 32);
             eng.metrics.replication_bytes += bytes;
             eng.metrics.bytes_series.add(end, bytes as f64);
             eng.charge_phase(t, Phase::Replication, eng.cluster.net_delay(bytes as u32));
@@ -178,7 +177,9 @@ mod tests {
 
     fn ycsb(cross: f64, seed: u64) -> Box<YcsbWorkload> {
         Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 256).with_mix(cross, 0.0).with_seed(seed),
+            YcsbConfig::for_cluster(4, 4, 256)
+                .with_mix(cross, 0.0)
+                .with_seed(seed),
         ))
     }
 
@@ -190,7 +191,11 @@ mod tests {
         assert!(r.commits > 300, "commits {}", r.commits);
         assert!(proto.super_node_txns > 0);
         // cross txns counted as converted (mastership switch), not 2PC
-        assert!(r.class_fractions[2] < 0.05, "no distributed 2PC in Star: {:?}", r.class_fractions);
+        assert!(
+            r.class_fractions[2] < 0.05,
+            "no distributed 2PC in Star: {:?}",
+            r.class_fractions
+        );
         // super node holds a full replica set
         for p in 0..eng.cluster.n_partitions() {
             assert!(eng

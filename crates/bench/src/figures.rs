@@ -19,11 +19,7 @@ fn kilo(v: f64) -> String {
 }
 
 /// Renders a protocols × sweep matrix of throughputs (k txn/s).
-fn matrix(
-    title: &str,
-    cols: &[String],
-    rows: &[(&str, Vec<&RunReport>)],
-) -> String {
+fn matrix(title: &str, cols: &[String], rows: &[(&str, Vec<&RunReport>)]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title}");
     let _ = write!(out, "{:<10}", "protocol");
@@ -48,17 +44,19 @@ fn sweep_jobs(
     horizon: u64,
 ) -> (Vec<Job>, Vec<String>) {
     let mut jobs = Vec::new();
-    let cols: Vec<String> =
-        CROSS_POINTS.iter().map(|c| format!("{:.0}%", c * 100.0)).collect();
+    let cols: Vec<String> = CROSS_POINTS
+        .iter()
+        .map(|c| format!("{:.0}%", c * 100.0))
+        .collect();
     for proto in protos {
         for (i, &cross) in CROSS_POINTS.iter().enumerate() {
-            jobs.push(Job {
-                label: format!("{}/{}", proto.label(), cols[i]),
-                proto: *proto,
-                sim: base_sim(nodes),
-                workload: mk_workload(cross, 1000 + i as u64),
+            jobs.push(Job::new(
+                format!("{}/{}", proto.label(), cols[i]),
+                *proto,
+                base_sim(nodes),
+                mk_workload(cross, 1000 + i as u64),
                 horizon,
-            });
+            ));
         }
     }
     (jobs, cols)
@@ -74,7 +72,12 @@ fn render_sweep(
     let rows: Vec<(&str, Vec<&RunReport>)> = protos
         .iter()
         .enumerate()
-        .map(|(pi, p)| (p.label(), reports[pi * per..(pi + 1) * per].iter().collect()))
+        .map(|(pi, p)| {
+            (
+                p.label(),
+                reports[pi * per..(pi + 1) * per].iter().collect(),
+            )
+        })
         .collect();
     matrix(title, &cols, &rows)
 }
@@ -86,22 +89,42 @@ fn render_sweep(
 /// Table I: the qualitative comparison matrix (static content).
 pub fn table1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Table I: comparison of Lion with existing approaches");
+    let _ = writeln!(
+        out,
+        "== Table I: comparison of Lion with existing approaches"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:<26} {:<9} {:<11} {:<10} {:<12}",
         "system", "key design", "adaptive", "mig.-free", "balanced", "constraints"
     );
     for (sys, design, ad, mf, lb, cons) in [
-        ("2PC", "distributed transactions", "n/a", "n/a", "n/a", "none"),
+        (
+            "2PC",
+            "distributed transactions",
+            "n/a",
+            "n/a",
+            "n/a",
+            "none",
+        ),
         ("Schism", "offline repartitioning", "no", "no", "yes", "n/a"),
         ("Leap", "aggressive migration", "yes", "no", "no", "n/a"),
         ("Clay", "periodical migration", "yes", "no", "yes", "n/a"),
-        ("Hermes", "deterministic migration", "yes", "no", "yes", "in batches"),
+        (
+            "Hermes",
+            "deterministic migration",
+            "yes",
+            "no",
+            "yes",
+            "in batches",
+        ),
         ("Star", "full replication", "no", "yes", "no", "in batches"),
         ("Lion", "adaptive replication", "yes", "yes", "yes", "none"),
     ] {
-        let _ = writeln!(out, "{sys:<10} {design:<26} {ad:<9} {mf:<11} {lb:<10} {cons:<12}");
+        let _ = writeln!(
+            out,
+            "{sys:<10} {design:<26} {ad:<9} {mf:<11} {lb:<10} {cons:<12}"
+        );
     }
     out
 }
@@ -140,8 +163,7 @@ pub fn table2() -> String {
 /// Fig. 6: throughput of every ablation variant vs cross-partition ratio.
 pub fn fig6(scale: Scale) -> String {
     let protos = ProtoKind::ablation_set();
-    let (jobs, cols) =
-        sweep_jobs(&protos, |c, s| ycsb_spec(4, c, 0.0, s), 4, scale.steady_us);
+    let (jobs, cols) = sweep_jobs(&protos, |c, s| ycsb_spec(4, c, 0.0, s), 4, scale.steady_us);
     let reports = run_all(jobs);
     render_sweep("Fig. 6: ablation (uniform YCSB)", &protos, cols, &reports)
 }
@@ -153,28 +175,39 @@ pub fn fig6(scale: Scale) -> String {
 /// Fig. 7: standard-execution protocols, skewed workloads.
 pub fn fig7(scale: Scale) -> String {
     let protos = ProtoKind::standard_set();
-    let (jobs_a, cols) =
-        sweep_jobs(&protos, |c, s| ycsb_spec(4, c, 0.8, s), 4, scale.steady_us);
-    let (jobs_b, _) =
-        sweep_jobs(&protos, |c, _| tpcc_spec(4, c, 0.8), 4, scale.steady_us);
+    let (jobs_a, cols) = sweep_jobs(&protos, |c, s| ycsb_spec(4, c, 0.8, s), 4, scale.steady_us);
+    let (jobs_b, _) = sweep_jobs(&protos, |c, _| tpcc_spec(4, c, 0.8), 4, scale.steady_us);
     let ra = run_all(jobs_a);
     let rb = run_all(jobs_b);
-    let mut out = render_sweep("Fig. 7a: skewed YCSB (standard)", &protos, cols.clone(), &ra);
-    out.push_str(&render_sweep("Fig. 7b: skewed TPC-C (standard)", &protos, cols, &rb));
+    let mut out = render_sweep(
+        "Fig. 7a: skewed YCSB (standard)",
+        &protos,
+        cols.clone(),
+        &ra,
+    );
+    out.push_str(&render_sweep(
+        "Fig. 7b: skewed TPC-C (standard)",
+        &protos,
+        cols,
+        &rb,
+    ));
     out
 }
 
 /// Fig. 9: batch-execution protocols, skewed workloads.
 pub fn fig9(scale: Scale) -> String {
     let protos = ProtoKind::batch_set();
-    let (jobs_a, cols) =
-        sweep_jobs(&protos, |c, s| ycsb_spec(4, c, 0.8, s), 4, scale.steady_us);
-    let (jobs_b, _) =
-        sweep_jobs(&protos, |c, _| tpcc_spec(4, c, 0.8), 4, scale.steady_us);
+    let (jobs_a, cols) = sweep_jobs(&protos, |c, s| ycsb_spec(4, c, 0.8, s), 4, scale.steady_us);
+    let (jobs_b, _) = sweep_jobs(&protos, |c, _| tpcc_spec(4, c, 0.8), 4, scale.steady_us);
     let ra = run_all(jobs_a);
     let rb = run_all(jobs_b);
     let mut out = render_sweep("Fig. 9a: skewed YCSB (batch)", &protos, cols.clone(), &ra);
-    out.push_str(&render_sweep("Fig. 9b: skewed TPC-C (batch)", &protos, cols, &rb));
+    out.push_str(&render_sweep(
+        "Fig. 9b: skewed TPC-C (batch)",
+        &protos,
+        cols,
+        &rb,
+    ));
     out
 }
 
@@ -185,7 +218,11 @@ pub fn fig9(scale: Scale) -> String {
 fn timeline(title: &str, protos: &[ProtoKind], reports: &[RunReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} (k txn/s per second)");
-    let secs = reports.iter().map(|r| r.throughput_series.len()).max().unwrap_or(0);
+    let secs = reports
+        .iter()
+        .map(|r| r.throughput_series.len())
+        .max()
+        .unwrap_or(0);
     let _ = write!(out, "{:<10}", "t(s)");
     for s in 0..secs {
         let _ = write!(out, "{s:>7}");
@@ -205,12 +242,14 @@ fn timeline(title: &str, protos: &[ProtoKind], reports: &[RunReport]) -> String 
 fn dynamic_jobs(protos: &[ProtoKind], schedule: Schedule, horizon: u64) -> Vec<Job> {
     protos
         .iter()
-        .map(|p| Job {
-            label: p.label().into(),
-            proto: *p,
-            sim: base_sim(4),
-            workload: ycsb_sched_spec(4, schedule.clone(), 77),
-            horizon,
+        .map(|p| {
+            Job::new(
+                p.label(),
+                *p,
+                base_sim(4),
+                ycsb_sched_spec(4, schedule.clone(), 77),
+                horizon,
+            )
         })
         .collect()
 }
@@ -220,15 +259,29 @@ pub fn fig8(scale: Scale) -> String {
     let protos = ProtoKind::standard_set();
     let period = scale.period_us;
     let horizon = period * 4;
-    let a = run_all(dynamic_jobs(&protos, Schedule::interval_shift(period, 3, 9, 0.5), horizon));
-    let b = run_all(dynamic_jobs(&protos, Schedule::position_shift(period, 0.8, 16), horizon));
+    let a = run_all(dynamic_jobs(
+        &protos,
+        Schedule::interval_shift(period, 3, 9, 0.5),
+        horizon,
+    ));
+    let b = run_all(dynamic_jobs(
+        &protos,
+        Schedule::position_shift(period, 0.8, 16),
+        horizon,
+    ));
     let mut out = timeline(
-        &format!("Fig. 8a: varying hotspot interval (period {}s)", period / 1_000_000),
+        &format!(
+            "Fig. 8a: varying hotspot interval (period {}s)",
+            period / 1_000_000
+        ),
         &protos,
         &a,
     );
     out.push_str(&timeline(
-        &format!("Fig. 8b: varying hotspot position A-D (period {}s)", period / 1_000_000),
+        &format!(
+            "Fig. 8b: varying hotspot position A-D (period {}s)",
+            period / 1_000_000
+        ),
         &protos,
         &b,
     ));
@@ -240,15 +293,29 @@ pub fn fig10(scale: Scale) -> String {
     let protos = ProtoKind::batch_set();
     let period = scale.period_us;
     let horizon = period * 4;
-    let a = run_all(dynamic_jobs(&protos, Schedule::interval_shift(period, 3, 9, 0.5), horizon));
-    let b = run_all(dynamic_jobs(&protos, Schedule::position_shift(period, 0.8, 16), horizon));
+    let a = run_all(dynamic_jobs(
+        &protos,
+        Schedule::interval_shift(period, 3, 9, 0.5),
+        horizon,
+    ));
+    let b = run_all(dynamic_jobs(
+        &protos,
+        Schedule::position_shift(period, 0.8, 16),
+        horizon,
+    ));
     let mut out = timeline(
-        &format!("Fig. 10a: varying hotspot interval, batch (period {}s)", period / 1_000_000),
+        &format!(
+            "Fig. 10a: varying hotspot interval, batch (period {}s)",
+            period / 1_000_000
+        ),
         &protos,
         &a,
     );
     out.push_str(&timeline(
-        &format!("Fig. 10b: varying hotspot position A-D, batch (period {}s)", period / 1_000_000),
+        &format!(
+            "Fig. 10b: varying hotspot position A-D, batch (period {}s)",
+            period / 1_000_000
+        ),
         &protos,
         &b,
     ));
@@ -264,19 +331,22 @@ pub fn fig11(scale: Scale) -> String {
     let sizes = [4usize, 6, 8, 10];
     let mut out = String::new();
     for (title, protos) in [
-        ("Fig. 11a: scalability (standard)", ProtoKind::standard_set()),
+        (
+            "Fig. 11a: scalability (standard)",
+            ProtoKind::standard_set(),
+        ),
         ("Fig. 11b: scalability (batch)", ProtoKind::batch_set()),
     ] {
         let mut jobs = Vec::new();
         for proto in &protos {
             for &n in &sizes {
-                jobs.push(Job {
-                    label: format!("{}/{}", proto.label(), n),
-                    proto: *proto,
-                    sim: base_sim(n),
-                    workload: ycsb_spec(n as u32, 1.0, 0.0, 42),
-                    horizon: scale.steady_us,
-                });
+                jobs.push(Job::new(
+                    format!("{}/{}", proto.label(), n),
+                    *proto,
+                    base_sim(n),
+                    ycsb_spec(n as u32, 1.0, 0.0, 42),
+                    scale.steady_us,
+                ));
             }
         }
         let reports = run_all(jobs);
@@ -285,7 +355,12 @@ pub fn fig11(scale: Scale) -> String {
             .iter()
             .enumerate()
             .map(|(pi, p)| {
-                (p.label(), reports[pi * sizes.len()..(pi + 1) * sizes.len()].iter().collect())
+                (
+                    p.label(),
+                    reports[pi * sizes.len()..(pi + 1) * sizes.len()]
+                        .iter()
+                        .collect(),
+                )
             })
             .collect();
         out.push_str(&matrix(title, &cols, &rows));
@@ -321,13 +396,13 @@ pub fn fig12(scale: Scale) -> String {
             offset: 9,
         },
     ]);
-    let job = Job {
-        label: "Lion".into(),
-        proto: ProtoKind::LionStd,
-        sim: base_sim(4),
-        workload: ycsb_sched_spec(4, sched, 78),
-        horizon: period * 2,
-    };
+    let job = Job::new(
+        "Lion",
+        ProtoKind::LionStd,
+        base_sim(4),
+        ycsb_sched_spec(4, sched, 78),
+        period * 2,
+    );
     let r = run_job(&job);
     let mut out = String::new();
     let _ = writeln!(
@@ -336,12 +411,19 @@ pub fn fig12(scale: Scale) -> String {
         period / 1_000_000
     );
     let _ = writeln!(out, "{:<6} {:>12} {:>14}", "t(s)", "ktxn/s", "bytes/txn");
-    for (s, (tput, bpt)) in
-        r.throughput_series.iter().zip(&r.bytes_per_txn_series).enumerate()
+    for (s, (tput, bpt)) in r
+        .throughput_series
+        .iter()
+        .zip(&r.bytes_per_txn_series)
+        .enumerate()
     {
         let _ = writeln!(out, "{:<6} {:>12.1} {:>14.0}", s, tput / 1000.0, bpt);
     }
-    let _ = writeln!(out, "total remasters: {}  replica adds: {}", r.remasters, r.replica_adds);
+    let _ = writeln!(
+        out,
+        "total remasters: {}  replica adds: {}",
+        r.remasters, r.replica_adds
+    );
     out
 }
 
@@ -354,25 +436,31 @@ pub fn fig13a(scale: Scale) -> String {
     let period = scale.period_us;
     let sched = Schedule::interval_shift(period, 3, 9, 1.0);
     let jobs = vec![
-        Job {
-            label: "Baseline".into(),
-            proto: ProtoKind::LionR,
-            sim: base_sim(4),
-            workload: ycsb_sched_spec(4, sched.clone(), 79),
-            horizon: period * 6,
-        },
-        Job {
-            label: "With Predictor".into(),
-            proto: ProtoKind::LionRW,
-            sim: base_sim(4),
-            workload: ycsb_sched_spec(4, sched, 79),
-            horizon: period * 6,
-        },
+        Job::new(
+            "Baseline",
+            ProtoKind::LionR,
+            base_sim(4),
+            ycsb_sched_spec(4, sched.clone(), 79),
+            period * 6,
+        ),
+        Job::new(
+            "With Predictor",
+            ProtoKind::LionRW,
+            base_sim(4),
+            ycsb_sched_spec(4, sched, 79),
+            period * 6,
+        ),
     ];
     let reports = run_all(jobs);
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 13a: impact of pre-replication (k txn/s per second)");
-    let secs = reports[0].throughput_series.len().max(reports[1].throughput_series.len());
+    let _ = writeln!(
+        out,
+        "== Fig. 13a: impact of pre-replication (k txn/s per second)"
+    );
+    let secs = reports[0]
+        .throughput_series
+        .len()
+        .max(reports[1].throughput_series.len());
     let _ = write!(out, "{:<16}", "t(s)");
     for s in 0..secs {
         let _ = write!(out, "{s:>6}");
@@ -400,13 +488,13 @@ pub fn fig13b(scale: Scale) -> String {
     let mut jobs = Vec::new();
     for proto in [ProtoKind::LionStd, ProtoKind::LionFull] {
         for &d in &delays {
-            jobs.push(Job {
-                label: format!("{}/{}", proto.label(), d),
+            jobs.push(Job::new(
+                format!("{}/{}", proto.label(), d),
                 proto,
-                sim: base_sim(4).with_remaster_delay(d),
-                workload: ycsb_spec(4, 0.8, 0.5, 80),
-                horizon: scale.steady_us,
-            });
+                base_sim(4).with_remaster_delay(d),
+                ycsb_spec(4, 0.8, 0.5, 80),
+                scale.steady_us,
+            ));
         }
     }
     let reports = run_all(jobs);
@@ -428,18 +516,24 @@ pub fn fig14(scale: Scale) -> String {
     let protos = ProtoKind::batch_set();
     let jobs: Vec<Job> = protos
         .iter()
-        .map(|p| Job {
-            label: p.label().into(),
-            proto: *p,
-            sim: base_sim(4),
-            workload: ycsb_spec(4, 0.5, 0.0, 81),
-            horizon: scale.steady_us,
+        .map(|p| {
+            Job::new(
+                p.label(),
+                *p,
+                base_sim(4),
+                ycsb_spec(4, 0.5, 0.0, 81),
+                scale.steady_us,
+            )
         })
         .collect();
     let reports = run_all(jobs);
     let mut out = String::new();
     let _ = writeln!(out, "== Fig. 14a: latency percentiles (us)");
-    let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8}", "protocol", "p10", "p50", "p95");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>8}",
+        "protocol", "p10", "p50", "p95"
+    );
     for r in &reports {
         let _ = writeln!(
             out,
@@ -450,6 +544,71 @@ pub fn fig14(scale: Scale) -> String {
     let _ = writeln!(out, "\n== Fig. 14b: normalized runtime breakdown");
     for r in &reports {
         let _ = writeln!(out, "{}", r.phase_row());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. F1: throughput under node failure (fault-injection subsystem)
+// ---------------------------------------------------------------------
+
+/// Fig. F1: goodput under a node crash + recovery, Lion vs the baselines.
+///
+/// A deterministic [`lion_engine::FaultPlan`] crashes N1 one third into the
+/// run and restarts it at two thirds. Lion's adaptively provisioned
+/// secondaries double as warm standbys, so its partitions fail over by
+/// promotion (priced like remastering); systems are compared on goodput
+/// dip/ramp, per-partition recovery latency, and total unavailability.
+pub fn fig_f1(scale: Scale) -> String {
+    use lion_common::NodeId;
+    let horizon = scale.steady_us * 3;
+    let crash_at = horizon / 3;
+    let recover_at = 2 * horizon / 3;
+    let faults = lion_engine::FaultPlan::single_failure(crash_at, NodeId(1), recover_at);
+    let protos = [
+        ProtoKind::LionStd,
+        ProtoKind::TwoPc,
+        ProtoKind::Star,
+        ProtoKind::Calvin,
+        ProtoKind::Hermes,
+    ];
+    let jobs: Vec<Job> = protos
+        .iter()
+        .map(|p| {
+            Job::new(
+                p.label(),
+                *p,
+                base_sim(4),
+                ycsb_spec(4, 0.5, 0.0, 90),
+                horizon,
+            )
+            .with_faults(faults.clone())
+        })
+        .collect();
+    let reports = run_all(jobs);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Fig. F1: throughput under node failure (crash N1 at t={}s, recover at t={}s)",
+        crash_at / 1_000_000,
+        recover_at / 1_000_000
+    );
+    out.push_str(&timeline("Fig. F1a: goodput timeline", &protos, &reports));
+    let _ = writeln!(out, "\n== Fig. F1b: recovery analysis");
+    for r in &reports {
+        let _ = writeln!(out, "{}", r.failover_row());
+    }
+    let _ = writeln!(
+        out,
+        "\n== Fig. F1c: goodput ramp (time to 80% of pre-crash goodput)"
+    );
+    for r in &reports {
+        let ramp = r
+            .recovery_ramp_us(crash_at, crash_at, 0.8)
+            .map(|us| format!("{:.1} ms", us as f64 / 1000.0))
+            .unwrap_or_else(|| "never".into());
+        let _ = writeln!(out, "{:<10} {}", r.protocol, ramp);
     }
     out
 }
@@ -472,6 +631,7 @@ pub fn all(scale: Scale) -> String {
         ("fig13a", fig13a(scale)),
         ("fig13b", fig13b(scale)),
         ("fig14", fig14(scale)),
+        ("figf1", fig_f1(scale)),
     ] {
         let _ = name;
         out.push_str(&s);

@@ -3,9 +3,9 @@
 //! perfectly).
 
 use lion_baselines::{clay, leap, two_pc, Aria, Calvin, Hermes, Lotus, Star};
-use lion_core::{Lion, LionConfig};
-use lion_engine::{Engine, EngineConfig, Protocol, RunReport};
 use lion_common::{SimConfig, Time};
+use lion_core::{Lion, LionConfig};
+use lion_engine::{Engine, EngineConfig, FaultPlan, Protocol, RunReport};
 use lion_workloads::{Schedule, TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload};
 use std::sync::mpsc;
 use std::thread;
@@ -89,7 +89,12 @@ impl ProtoKind {
 
     /// The standard-execution comparison set (Figs. 7, 8, 11a).
     pub fn standard_set() -> Vec<ProtoKind> {
-        vec![ProtoKind::TwoPc, ProtoKind::Leap, ProtoKind::Clay, ProtoKind::LionStd]
+        vec![
+            ProtoKind::TwoPc,
+            ProtoKind::Leap,
+            ProtoKind::Clay,
+            ProtoKind::LionStd,
+        ]
     }
 
     /// The batch-execution comparison set (Figs. 9, 10, 11b, 14).
@@ -150,6 +155,34 @@ pub struct Job {
     pub workload: WorkloadSpec,
     /// Virtual run length.
     pub horizon: Time,
+    /// Deterministic fault script (empty = no failures).
+    pub faults: FaultPlan,
+}
+
+impl Job {
+    /// A fault-free job (the common case for the paper's figures).
+    pub fn new(
+        label: impl Into<String>,
+        proto: ProtoKind,
+        sim: SimConfig,
+        workload: WorkloadSpec,
+        horizon: Time,
+    ) -> Self {
+        Job {
+            label: label.into(),
+            proto,
+            sim,
+            workload,
+            horizon,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Attaches a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Harness time scale: `quick` shortens horizons (and the 60 s hotspot
@@ -165,13 +198,19 @@ pub struct Scale {
 impl Scale {
     /// Quick scale: 2 s steady runs, 6 s hotspot periods.
     pub fn quick() -> Self {
-        Scale { steady_us: 2_000_000, period_us: 6_000_000 }
+        Scale {
+            steady_us: 2_000_000,
+            period_us: 6_000_000,
+        }
     }
 
     /// Full scale: 5 s steady runs, 15 s hotspot periods (still compressed
     /// vs the paper's 60 s; the adaptation dynamics are interval-scaled).
     pub fn full() -> Self {
-        Scale { steady_us: 5_000_000, period_us: 15_000_000 }
+        Scale {
+            steady_us: 5_000_000,
+            period_us: 15_000_000,
+        }
     }
 }
 
@@ -192,14 +231,18 @@ pub fn base_sim(nodes: usize) -> SimConfig {
 /// YCSB spec matching a [`base_sim`] cluster.
 pub fn ycsb_spec(nodes: u32, cross: f64, skew: f64, seed: u64) -> WorkloadSpec {
     WorkloadSpec::Ycsb(
-        YcsbConfig::for_cluster(nodes, 8, 4_000).with_mix(cross, skew).with_seed(seed),
+        YcsbConfig::for_cluster(nodes, 8, 4_000)
+            .with_mix(cross, skew)
+            .with_seed(seed),
     )
 }
 
 /// YCSB spec with a dynamic schedule.
 pub fn ycsb_sched_spec(nodes: u32, schedule: Schedule, seed: u64) -> WorkloadSpec {
     WorkloadSpec::Ycsb(
-        YcsbConfig::for_cluster(nodes, 8, 4_000).with_schedule(schedule).with_seed(seed),
+        YcsbConfig::for_cluster(nodes, 8, 4_000)
+            .with_schedule(schedule)
+            .with_seed(seed),
     )
 }
 
@@ -214,6 +257,7 @@ pub fn run_job(job: &Job) -> RunReport {
     let cfg = EngineConfig {
         sim: job.sim.clone(),
         plan_interval_us: 500_000,
+        faults: job.faults.clone(),
         ..EngineConfig::default()
     };
     let mut eng = Engine::new(cfg, job.workload.build());
@@ -225,7 +269,10 @@ pub fn run_job(job: &Job) -> RunReport {
 
 /// Runs jobs on a worker pool, preserving input order.
 pub fn run_all(jobs: Vec<Job>) -> Vec<RunReport> {
-    let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len().max(1));
+    let threads = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
     let (tx, rx) = mpsc::channel::<(usize, RunReport)>();
     let jobs: Vec<(usize, Job)> = jobs.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(jobs);
@@ -258,7 +305,9 @@ pub fn run_all(jobs: Vec<Job>) -> Vec<RunReport> {
         for (i, r) in rx {
             out[i] = Some(r);
         }
-        out.into_iter().map(|r| r.expect("every job completed")).collect()
+        out.into_iter()
+            .map(|r| r.expect("every job completed"))
+            .collect()
     })
 }
 
@@ -287,15 +336,11 @@ mod tests {
             sim.clients_per_node = 4;
             sim.batch_size = 32;
             let workload = WorkloadSpec::Ycsb(
-                YcsbConfig::for_cluster(2, 2, 512).with_mix(0.3, 0.0).with_seed(1),
+                YcsbConfig::for_cluster(2, 2, 512)
+                    .with_mix(0.3, 0.0)
+                    .with_seed(1),
             );
-            let job = Job {
-                label: kind.label().into(),
-                proto: kind,
-                sim,
-                workload,
-                horizon: 300_000,
-            };
+            let job = Job::new(kind.label(), kind, sim, workload, 300_000);
             let r = run_job(&job);
             assert!(r.commits > 0, "{} committed nothing", kind.label());
         }
@@ -308,14 +353,18 @@ mod tests {
         sim.keys_per_partition = 256;
         sim.clients_per_node = 2;
         let jobs: Vec<Job> = (0..6)
-            .map(|i| Job {
-                label: format!("job{i}"),
-                proto: ProtoKind::TwoPc,
-                sim: sim.clone(),
-                workload: WorkloadSpec::Ycsb(
-                    YcsbConfig::for_cluster(2, 2, 256).with_mix(0.0, 0.0).with_seed(i),
-                ),
-                horizon: 100_000,
+            .map(|i| {
+                Job::new(
+                    format!("job{i}"),
+                    ProtoKind::TwoPc,
+                    sim.clone(),
+                    WorkloadSpec::Ycsb(
+                        YcsbConfig::for_cluster(2, 2, 256)
+                            .with_mix(0.0, 0.0)
+                            .with_seed(i),
+                    ),
+                    100_000,
+                )
             })
             .collect();
         let reports = run_all(jobs);

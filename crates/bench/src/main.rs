@@ -1,8 +1,11 @@
 //! `lion-bench`: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|all] [--full]
+//! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|figf1|all] [--full]
 //! ```
+//!
+//! `figf1` is the fault-injection experiment: throughput under a node crash
+//! and recovery, Lion vs 2PC/Star/Calvin/Hermes.
 //!
 //! `--full` lengthens the runs (5 s steady-state, 15 s hotspot periods);
 //! the default quick scale finishes the whole suite in a few minutes.
@@ -12,8 +15,16 @@ use lion_bench::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--full") { Scale::full() } else { Scale::quick() };
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
 
     let out = match which.as_str() {
         "table1" => figures::table1(),
@@ -28,10 +39,11 @@ fn main() {
         "fig13a" => figures::fig13a(scale),
         "fig13b" => figures::fig13b(scale),
         "fig14" => figures::fig14(scale),
+        "figf1" => figures::fig_f1(scale),
         "all" => figures::all(scale),
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: lion-bench [table1|table2|fig6..fig14|all] [--full]");
+            eprintln!("usage: lion-bench [table1|table2|fig6..fig14|figf1|all] [--full]");
             std::process::exit(2);
         }
     };

@@ -70,8 +70,11 @@ impl FreqTracker {
 
     /// Among `candidates`, the coldest replica holder of `part` (lowest
     /// last-use stamp) — the eviction victim of §IV-B.2.
-    pub fn coldest<'a>(&self, part: PartitionId, candidates: &'a [NodeId]) -> Option<NodeId> {
-        candidates.iter().copied().min_by_key(|&n| self.last_used(part, n))
+    pub fn coldest(&self, part: PartitionId, candidates: &[NodeId]) -> Option<NodeId> {
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|&n| self.last_used(part, n))
     }
 
     /// Drops bookkeeping for a removed replica.

@@ -20,4 +20,6 @@ pub mod freq;
 pub mod topology;
 
 pub use freq::FreqTracker;
-pub use topology::{AdaptorError, Cluster, PartitionRuntime};
+pub use topology::{
+    AdaptorError, Cluster, CrashReport, PartitionRuntime, RecoveryReport, LAG_SYNC_US_PER_ENTRY,
+};

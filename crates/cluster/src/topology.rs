@@ -3,12 +3,13 @@
 use crate::freq::FreqTracker;
 use lion_common::{NodeId, PartitionId, SimConfig, Time};
 use lion_sim::MultiServer;
-use lion_storage::ReplicaStore;
+use lion_storage::{LogEntry, ReplicaRole, ReplicaStore};
 use std::collections::HashMap;
 use std::fmt;
 
-/// Per-µs cost of syncing one lagging log entry during remastering.
-const LAG_SYNC_US_PER_ENTRY: Time = 1;
+/// Per-µs cost of syncing one lagging log entry during remastering (and,
+/// identically, during failover promotion — see `lion-faults`).
+pub const LAG_SYNC_US_PER_ENTRY: Time = 1;
 
 /// Errors from adaptor operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +28,9 @@ impl fmt::Display for AdaptorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdaptorError::Busy(p) => write!(f, "{p} already has a replica operation in flight"),
-            AdaptorError::NoReplica { part, node } => write!(f, "{node} holds no replica of {part}"),
+            AdaptorError::NoReplica { part, node } => {
+                write!(f, "{node} holds no replica of {part}")
+            }
             AdaptorError::AlreadyPrimary { part, node } => {
                 write!(f, "{node} is already primary of {part}")
             }
@@ -52,6 +55,17 @@ pub struct PartitionRuntime {
     pub migrating: Option<NodeId>,
     /// Nodes currently receiving a background replica copy.
     pub copying_to: Vec<NodeId>,
+    /// Failover promotion target, if the primary died and a survivor is
+    /// being promoted.
+    pub failing_over: Option<NodeId>,
+    /// The primary's node is down and no live replica can take over: every
+    /// operation stalls until the node recovers.
+    pub primary_down: bool,
+    /// Transfer generation: bumped whenever a blocking transfer (remaster,
+    /// migration, failover) begins or is canceled by a crash, so completion
+    /// events scheduled for a superseded transfer can be recognized as stale
+    /// and dropped.
+    pub gen: u64,
 }
 
 impl PartitionRuntime {
@@ -59,6 +73,43 @@ impl PartitionRuntime {
     pub fn transfer_in_flight(&self) -> bool {
         self.remastering.is_some() || self.migrating.is_some()
     }
+
+    /// True when the partition is in any failure state (promotion in flight
+    /// or stalled on a dead primary).
+    pub fn failure_in_flight(&self) -> bool {
+        self.failing_over.is_some() || self.primary_down
+    }
+}
+
+/// What a node crash leaves behind (returned by [`Cluster::crash_node`]).
+#[derive(Debug)]
+pub struct CrashReport {
+    /// The node that died.
+    pub node: NodeId,
+    /// Partitions whose primary was on the dead node, each with the
+    /// prepare-log entries recovered from the synchronously replicated
+    /// prepare logs (empty when the partition has no live secondary and
+    /// must stall).
+    pub orphaned: Vec<(PartitionId, Vec<LogEntry>)>,
+    /// Partitions that lost a secondary replica (stripped from placement).
+    pub lost_secondaries: Vec<PartitionId>,
+    /// Partitions whose in-flight failover promotion targeted the dead
+    /// node: the promotion is canceled and must be re-planned over the
+    /// remaining survivors (or stalled when none are left).
+    pub aborted_failovers: Vec<PartitionId>,
+}
+
+/// What a node restart requires (returned by [`Cluster::recover_node`]).
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The node that restarted.
+    pub node: NodeId,
+    /// Stalled partitions still primaried on the node: they resume after a
+    /// restart window.
+    pub restored_primaries: Vec<PartitionId>,
+    /// Partitions whose primaries failed over elsewhere: the node re-joins
+    /// them as a secondary via a background snapshot copy.
+    pub rejoin_secondaries: Vec<PartitionId>,
 }
 
 /// The simulated cluster state shared by every protocol.
@@ -73,6 +124,8 @@ pub struct Cluster {
     pub parts: Vec<PartitionRuntime>,
     /// Access-frequency tracking for the cost model and eviction.
     pub freq: FreqTracker,
+    /// Per-node liveness (fault injection; all nodes start up).
+    pub node_up: Vec<bool>,
     stores: Vec<HashMap<u32, ReplicaStore>>,
 }
 
@@ -83,7 +136,9 @@ impl Cluster {
         let n_parts = cfg.n_partitions();
         let placement =
             lion_common::Placement::round_robin(n_parts, cfg.nodes, cfg.replication_factor);
-        let workers = (0..cfg.nodes).map(|_| MultiServer::new(cfg.workers_per_node)).collect();
+        let workers = (0..cfg.nodes)
+            .map(|_| MultiServer::new(cfg.workers_per_node))
+            .collect();
         let mut stores: Vec<HashMap<u32, ReplicaStore>> =
             (0..cfg.nodes).map(|_| HashMap::new()).collect();
         for p in 0..n_parts {
@@ -102,7 +157,16 @@ impl Cluster {
         }
         let parts = vec![PartitionRuntime::default(); n_parts];
         let freq = FreqTracker::new(n_parts);
-        Cluster { cfg, placement, workers, parts, freq, stores }
+        let node_up = vec![true; cfg.nodes];
+        Cluster {
+            cfg,
+            placement,
+            workers,
+            parts,
+            freq,
+            node_up,
+            stores,
+        }
     }
 
     /// Node count.
@@ -133,7 +197,9 @@ impl Cluster {
     /// Mutable store of the current primary replica.
     pub fn primary_store_mut(&mut self, part: PartitionId) -> &mut ReplicaStore {
         let primary = self.placement.primary_of(part);
-        self.stores[primary.idx()].get_mut(&part.0).expect("primary store must exist")
+        self.stores[primary.idx()]
+            .get_mut(&part.0)
+            .expect("primary store must exist")
     }
 
     /// Network delay for one message of `bytes` payload.
@@ -166,15 +232,26 @@ impl Cluster {
             return Err(AdaptorError::NoReplica { part, node: to });
         }
         let rt = &self.parts[part.idx()];
-        if rt.transfer_in_flight() {
+        if rt.transfer_in_flight() || rt.failure_in_flight() {
             return Err(AdaptorError::Busy(part));
         }
         let primary = self.placement.primary_of(part);
-        let head = self.store(primary, part).expect("primary store").log.head_lsn();
-        let lag = self.store(to, part).expect("secondary store").lag_behind(head);
+        if !self.node_up[primary.idx()] || !self.node_up[to.idx()] {
+            return Err(AdaptorError::Busy(part));
+        }
+        let head = self
+            .store(primary, part)
+            .expect("primary store")
+            .log
+            .head_lsn();
+        let lag = self
+            .store(to, part)
+            .expect("secondary store")
+            .lag_behind(head);
         let duration = self.cfg.remaster_delay_us + lag * LAG_SYNC_US_PER_ENTRY;
         let rt = &mut self.parts[part.idx()];
         rt.remastering = Some(to);
+        rt.gen += 1;
         rt.blocked_until = rt.blocked_until.max(now + duration);
         Ok(duration)
     }
@@ -200,10 +277,22 @@ impl Cluster {
             }
         }
 
-        let head = self.store(old_primary, part).expect("old primary").log.head_lsn();
-        self.stores[old_primary.idx()].get_mut(&part.0).expect("old primary").demote();
-        self.stores[to.idx()].get_mut(&part.0).expect("new primary").promote(head);
-        self.placement.remaster(part, to).expect("placement remaster");
+        let head = self
+            .store(old_primary, part)
+            .expect("old primary")
+            .log
+            .head_lsn();
+        self.stores[old_primary.idx()]
+            .get_mut(&part.0)
+            .expect("old primary")
+            .demote();
+        self.stores[to.idx()]
+            .get_mut(&part.0)
+            .expect("new primary")
+            .promote(head);
+        self.placement
+            .remaster(part, to)
+            .expect("placement remaster");
         self.freq.touch(part, to, now);
         bytes * secondaries.len() as u64
     }
@@ -221,13 +310,19 @@ impl Cluster {
         to: NodeId,
         _now: Time,
     ) -> Result<(Time, u64), AdaptorError> {
-        if self.placement.has_replica(part, to) || self.parts[part.idx()].copying_to.contains(&to)
-        {
+        if self.placement.has_replica(part, to) || self.parts[part.idx()].copying_to.contains(&to) {
             return Err(AdaptorError::AlreadyHosted { part, node: to });
         }
         let primary = self.placement.primary_of(part);
-        let bytes =
-            self.store(primary, part).expect("primary store").table.bytes() + 16 * self.cfg.keys_per_partition;
+        if !self.node_up[primary.idx()] || !self.node_up[to.idx()] {
+            return Err(AdaptorError::Busy(part));
+        }
+        let bytes = self
+            .store(primary, part)
+            .expect("primary store")
+            .table
+            .bytes()
+            + 16 * self.cfg.keys_per_partition;
         let duration = self.cfg.migration_fixed_us / 2
             + (bytes as f64 / self.cfg.net.bytes_per_us).ceil() as Time;
         self.parts[part.idx()].copying_to.push(to);
@@ -253,11 +348,15 @@ impl Cluster {
 
         let primary = self.placement.primary_of(part);
         let snapshot = {
-            let src = self.stores[primary.idx()].get(&part.0).expect("primary store");
+            let src = self.stores[primary.idx()]
+                .get(&part.0)
+                .expect("primary store");
             ReplicaStore::from_snapshot(part, src)
         };
         self.stores[to.idx()].insert(part.0, snapshot);
-        self.placement.add_secondary(part, to).expect("placement add");
+        self.placement
+            .add_secondary(part, to)
+            .expect("placement add");
         self.freq.touch(part, to, now);
 
         if self.placement.replica_count(part) > self.cfg.max_replicas {
@@ -279,17 +378,25 @@ impl Cluster {
     /// Provisions a secondary replica instantly and free of charge —
     /// deployment-time setup only (e.g. Star's full-replica "super node"
     /// exists before the workload starts; it is not built online).
-    pub fn install_secondary_free(&mut self, part: PartitionId, node: NodeId) -> Result<(), AdaptorError> {
+    pub fn install_secondary_free(
+        &mut self,
+        part: PartitionId,
+        node: NodeId,
+    ) -> Result<(), AdaptorError> {
         if self.placement.has_replica(part, node) {
             return Err(AdaptorError::AlreadyHosted { part, node });
         }
         let primary = self.placement.primary_of(part);
         let snapshot = {
-            let src = self.stores[primary.idx()].get(&part.0).expect("primary store");
+            let src = self.stores[primary.idx()]
+                .get(&part.0)
+                .expect("primary store");
             ReplicaStore::from_snapshot(part, src)
         };
         self.stores[node.idx()].insert(part.0, snapshot);
-        self.placement.add_secondary(part, node).expect("placement add");
+        self.placement
+            .add_secondary(part, node)
+            .expect("placement add");
         Ok(())
     }
 
@@ -301,7 +408,9 @@ impl Cluster {
         if !self.placement.has_secondary(part, node) {
             return Err(AdaptorError::NoReplica { part, node });
         }
-        self.placement.remove_secondary(part, node).expect("placement remove");
+        self.placement
+            .remove_secondary(part, node)
+            .expect("placement remove");
         self.stores[node.idx()].remove(&part.0);
         self.freq.forget(part, node);
         Ok(())
@@ -322,16 +431,25 @@ impl Cluster {
         if self.placement.is_primary(part, to) {
             return Err(AdaptorError::AlreadyPrimary { part, node: to });
         }
-        if self.parts[part.idx()].transfer_in_flight() {
+        if self.parts[part.idx()].transfer_in_flight() || self.parts[part.idx()].failure_in_flight()
+        {
             return Err(AdaptorError::Busy(part));
         }
         let primary = self.placement.primary_of(part);
-        let bytes = self.store(primary, part).expect("primary store").table.bytes()
+        if !self.node_up[primary.idx()] || !self.node_up[to.idx()] {
+            return Err(AdaptorError::Busy(part));
+        }
+        let bytes = self
+            .store(primary, part)
+            .expect("primary store")
+            .table
+            .bytes()
             + 16 * self.cfg.keys_per_partition;
-        let duration = self.cfg.migration_fixed_us
-            + (bytes as f64 / self.cfg.net.bytes_per_us).ceil() as Time;
+        let duration =
+            self.cfg.migration_fixed_us + (bytes as f64 / self.cfg.net.bytes_per_us).ceil() as Time;
         let rt = &mut self.parts[part.idx()];
         rt.migrating = Some(to);
+        rt.gen += 1;
         rt.blocked_until = rt.blocked_until.max(now + duration);
         Ok((duration, bytes))
     }
@@ -339,8 +457,10 @@ impl Cluster {
     /// Completes a migration: moves the primary's data to the target (the
     /// source copy is dropped — a move, not a copy) and updates placement.
     pub fn finish_migration(&mut self, part: PartitionId, now: Time) {
-        let to =
-            self.parts[part.idx()].migrating.take().expect("finish_migration without begin");
+        let to = self.parts[part.idx()]
+            .migrating
+            .take()
+            .expect("finish_migration without begin");
         let old_primary = self.placement.primary_of(part);
         if old_primary == to {
             return; // placement changed underneath (e.g. racing remaster); no-op
@@ -353,22 +473,284 @@ impl Cluster {
                 store.apply_entries(&pending);
             }
         }
-        let mut moved = self.stores[old_primary.idx()].remove(&part.0).expect("primary store");
+        let mut moved = self.stores[old_primary.idx()]
+            .remove(&part.0)
+            .expect("primary store");
         if self.placement.has_secondary(part, to) {
             // Target already held a copy: promote it in place with the moved
             // (authoritative) table.
             let head = moved.log.head_lsn();
-            let target = self.stores[to.idx()].get_mut(&part.0).expect("target store");
+            let target = self.stores[to.idx()]
+                .get_mut(&part.0)
+                .expect("target store");
             target.table = moved.table;
             target.promote(head);
-            self.placement.remaster(part, to).expect("placement remaster");
-            self.placement.remove_secondary(part, old_primary).expect("drop source");
+            self.placement
+                .remaster(part, to)
+                .expect("placement remaster");
+            self.placement
+                .remove_secondary(part, old_primary)
+                .expect("drop source");
         } else {
             moved.applied_lsn = moved.log.head_lsn();
             self.stores[to.idx()].insert(part.0, moved);
-            self.placement.migrate_primary(part, to).expect("placement migrate");
+            self.placement
+                .migrate_primary(part, to)
+                .expect("placement migrate");
         }
         self.freq.touch(part, to, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection & failover (decision logic in `lion-faults`)
+    // ------------------------------------------------------------------
+
+    /// True when `node` is alive.
+    #[inline]
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.node_up[node.idx()]
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.node_up.iter().filter(|&&u| u).count()
+    }
+
+    /// Live node ids.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_up
+            .iter()
+            .enumerate()
+            .filter(|(_, &up)| up)
+            .map(|(i, _)| NodeId(i as u16))
+    }
+
+    /// Removes `node` from the copy-target list of `part` (a background
+    /// replica copy canceled by a failure).
+    pub fn cancel_copy(&mut self, part: PartitionId, node: NodeId) {
+        let rt = &mut self.parts[part.idx()];
+        if let Some(pos) = rt.copying_to.iter().position(|&n| n == node) {
+            rt.copying_to.swap_remove(pos);
+        }
+    }
+
+    /// Halts `node`: cancels transfers involving it, strips it from every
+    /// secondary list, and reports the partitions it primaried. For each
+    /// orphaned partition that still has a live secondary, the dead
+    /// primary's unshipped epoch buffer is drained and returned as the
+    /// prepare-log replay source (§II-A replicated it synchronously at
+    /// commit time, so the survivors can reconstruct those writes); stalled
+    /// partitions keep their buffer for the eventual restart.
+    pub fn crash_node(&mut self, node: NodeId, now: Time) -> CrashReport {
+        assert!(
+            self.node_up[node.idx()],
+            "crash of an already-dead node {node}"
+        );
+        assert!(
+            self.live_count() > 1,
+            "refusing to crash the last live node {node}"
+        );
+        self.node_up[node.idx()] = false;
+        let mut orphaned = Vec::new();
+        let mut lost_secondaries = Vec::new();
+        let mut aborted_failovers = Vec::new();
+        for p in 0..self.n_partitions() {
+            let part = PartitionId(p as u32);
+            let primary = self.placement.primary_of(part);
+            let primary_dead = primary == node;
+            {
+                let rt = &mut self.parts[p];
+                // Cancel blocking transfers that involve the dead node as
+                // source or destination; their scheduled completions become
+                // stale (generation mismatch).
+                let cancel_remaster =
+                    rt.remastering.is_some() && (primary_dead || rt.remastering == Some(node));
+                let cancel_migration =
+                    rt.migrating.is_some() && (primary_dead || rt.migrating == Some(node));
+                // An in-flight failover whose promotion target just died
+                // must be aborted too: the caller re-plans it over the
+                // remaining survivors.
+                let cancel_failover = rt.failing_over == Some(node);
+                if cancel_remaster {
+                    rt.remastering = None;
+                }
+                if cancel_migration {
+                    rt.migrating = None;
+                }
+                if cancel_failover {
+                    rt.failing_over = None;
+                    aborted_failovers.push(part);
+                }
+                if cancel_remaster || cancel_migration || cancel_failover {
+                    rt.gen += 1;
+                    rt.blocked_until = rt.blocked_until.min(now);
+                }
+                if let Some(pos) = rt.copying_to.iter().position(|&n| n == node) {
+                    rt.copying_to.swap_remove(pos);
+                }
+            }
+            if primary_dead {
+                let has_live_secondary = self
+                    .placement
+                    .secondaries_of(part)
+                    .iter()
+                    .any(|&s| self.node_up[s.idx()]);
+                let replay = if has_live_secondary {
+                    self.stores[node.idx()]
+                        .get_mut(&part.0)
+                        .map(|s| s.log.take_pending())
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                orphaned.push((part, replay));
+            } else if self.placement.has_secondary(part, node) {
+                self.placement
+                    .remove_secondary(part, node)
+                    .expect("strip dead secondary");
+                self.freq.forget(part, node);
+                lost_secondaries.push(part);
+            }
+        }
+        CrashReport {
+            node,
+            orphaned,
+            lost_secondaries,
+            aborted_failovers,
+        }
+    }
+
+    /// Starts promoting `target` to primary of `part` after its primary
+    /// died. The partition blocks for `duration` (failure detection +
+    /// hand-off + lag sync, priced by `lion-faults`).
+    pub fn begin_failover(&mut self, part: PartitionId, target: NodeId, duration: Time, now: Time) {
+        let rt = &mut self.parts[part.idx()];
+        debug_assert!(rt.failing_over.is_none(), "{part} already failing over");
+        rt.failing_over = Some(target);
+        rt.primary_down = false;
+        rt.gen += 1;
+        rt.blocked_until = rt.blocked_until.max(now + duration);
+    }
+
+    /// Marks `part` as stalled: its primary is down and no live replica can
+    /// take over. Operations block until the node recovers.
+    pub fn stall_partition(&mut self, part: PartitionId, until: Time) {
+        let rt = &mut self.parts[part.idx()];
+        rt.primary_down = true;
+        rt.blocked_until = rt.blocked_until.max(until);
+    }
+
+    /// Completes a failover: replays the recovered prepare-log entries to
+    /// every live secondary, promotes the target at the dead primary's
+    /// durability frontier, and rewrites the placement (the dead node drops
+    /// out of the replica set entirely). Returns `(wire bytes shipped,
+    /// adopted head LSN)`.
+    pub fn finish_failover(
+        &mut self,
+        part: PartitionId,
+        replay: &[LogEntry],
+        now: Time,
+    ) -> (u64, u64) {
+        let to = self.parts[part.idx()]
+            .failing_over
+            .take()
+            .expect("finish_failover without begin_failover");
+        let dead = self.placement.primary_of(part);
+
+        let entry_bytes: u64 = replay.iter().map(|e| e.wire_bytes()).sum();
+        let secondaries: Vec<NodeId> = self
+            .placement
+            .secondaries_of(part)
+            .iter()
+            .copied()
+            .filter(|s| self.node_up[s.idx()])
+            .collect();
+        let mut shipped = 0u64;
+        for sec in &secondaries {
+            if let Some(store) = self.store_mut(*sec, part) {
+                store.apply_entries(replay);
+                shipped += entry_bytes;
+            }
+        }
+
+        // The durability frontier the new primary adopts: everything the
+        // dead primary logged (its table state is reconstructed from the
+        // epoch-flushed history plus the replayed prepare log).
+        let dead_head = self
+            .store(dead, part)
+            .map(|s| s.log.head_lsn())
+            .unwrap_or(0);
+        let head = dead_head.max(self.store(to, part).expect("promotion target").applied_lsn);
+        if let Some(s) = self.stores[dead.idx()].get_mut(&part.0) {
+            if s.role == ReplicaRole::Primary {
+                s.demote();
+            }
+        }
+        self.stores[to.idx()]
+            .get_mut(&part.0)
+            .expect("promotion target")
+            .promote(head);
+        self.placement
+            .remaster(part, to)
+            .expect("failover placement swap");
+        if self.node_up[dead.idx()] {
+            // The node restarted while the promotion was in flight: keep it
+            // as an in-sync secondary (its table held everything it logged).
+            self.freq.touch(part, dead, now);
+        } else {
+            self.placement
+                .remove_secondary(part, dead)
+                .expect("drop dead node from replica set");
+        }
+        self.freq.touch(part, to, now);
+        (shipped, head)
+    }
+
+    /// Restarts `node`: marks it live again and reports what must happen
+    /// next. Partitions still primaried on it (they stalled through the
+    /// outage) resume after a restart window the engine prices; partitions
+    /// whose primaries failed over elsewhere discard their stale local copy
+    /// and re-join as secondaries via background snapshot copies.
+    pub fn recover_node(&mut self, node: NodeId, _now: Time) -> RecoveryReport {
+        assert!(!self.node_up[node.idx()], "recover of a live node {node}");
+        self.node_up[node.idx()] = true;
+        let mut restored_primaries = Vec::new();
+        let mut rejoin_secondaries = Vec::new();
+        for p in 0..self.n_partitions() {
+            let part = PartitionId(p as u32);
+            if self.placement.primary_of(part) == node {
+                if self.parts[p].failing_over.is_some() {
+                    // A promotion is in flight: let it land; the restarted
+                    // node is kept as a secondary when it completes.
+                    continue;
+                }
+                restored_primaries.push(part);
+            } else if !self.placement.has_replica(part, node)
+                && self.stores[node.idx()].contains_key(&part.0)
+            {
+                // The copy predates the crash and the log shipped past it;
+                // drop it and re-sync from a fresh snapshot.
+                self.stores[node.idx()].remove(&part.0);
+                rejoin_secondaries.push(part);
+            }
+        }
+        RecoveryReport {
+            node,
+            restored_primaries,
+            rejoin_secondaries,
+        }
+    }
+
+    /// Clears the stall on a restored partition (its primary node is back);
+    /// operations resume once the restart window `until` passes.
+    pub fn restore_partition(&mut self, part: PartitionId, until: Time) {
+        let rt = &mut self.parts[part.idx()];
+        debug_assert!(
+            rt.primary_down,
+            "restore of a partition that is not stalled"
+        );
+        rt.primary_down = false;
+        rt.blocked_until = rt.blocked_until.max(until);
     }
 
     // ------------------------------------------------------------------
@@ -382,8 +764,13 @@ impl Cluster {
         for p in 0..self.n_partitions() {
             let part = PartitionId(p as u32);
             let primary = self.placement.primary_of(part);
+            if !self.node_up[primary.idx()] {
+                continue; // dead primary: nothing ships until failover/restart
+            }
             let pending = {
-                let store = self.stores[primary.idx()].get_mut(&part.0).expect("primary");
+                let store = self.stores[primary.idx()]
+                    .get_mut(&part.0)
+                    .expect("primary");
                 if store.log.pending().is_empty() {
                     continue;
                 }
@@ -467,7 +854,10 @@ mod tests {
         assert_eq!(dur, c.cfg.remaster_delay_us);
         assert_eq!(c.available_at(p(0)), 100 + dur);
         // concurrent remaster on the same partition conflicts (§III)
-        assert_eq!(c.begin_remaster(p(0), n(1), 110), Err(AdaptorError::Busy(p(0))));
+        assert_eq!(
+            c.begin_remaster(p(0), n(1), 110),
+            Err(AdaptorError::Busy(p(0)))
+        );
         c.finish_remaster(p(0), 100 + dur);
         assert_eq!(c.placement.primary_of(p(0)), n(1));
         c.check_invariants().unwrap();
@@ -489,7 +879,10 @@ mod tests {
         let bytes = c.finish_remaster(p(0), dur);
         assert!(bytes > 0);
         let new_primary = c.store(n(1), p(0)).unwrap();
-        assert_eq!(new_primary.table.get(5).unwrap().value, vec![7u8; 16].into_boxed_slice());
+        assert_eq!(
+            new_primary.table.get(5).unwrap().value,
+            vec![7u8; 16].into_boxed_slice()
+        );
         c.check_invariants().unwrap();
     }
 
@@ -498,11 +891,17 @@ mod tests {
         let mut c = Cluster::new(small_cfg());
         assert_eq!(
             c.begin_remaster(p(0), n(2), 0),
-            Err(AdaptorError::NoReplica { part: p(0), node: n(2) })
+            Err(AdaptorError::NoReplica {
+                part: p(0),
+                node: n(2)
+            })
         );
         assert_eq!(
             c.begin_remaster(p(0), n(0), 0),
-            Err(AdaptorError::AlreadyPrimary { part: p(0), node: n(0) })
+            Err(AdaptorError::AlreadyPrimary {
+                part: p(0),
+                node: n(0)
+            })
         );
     }
 
@@ -514,7 +913,10 @@ mod tests {
         assert_eq!(c.available_at(p(0)), 0, "background copy never blocks");
         assert_eq!(
             c.begin_add_replica(p(0), n(2), 1),
-            Err(AdaptorError::AlreadyHosted { part: p(0), node: n(2) })
+            Err(AdaptorError::AlreadyHosted {
+                part: p(0),
+                node: n(2)
+            })
         );
         let evicted = c.finish_add_replica(p(0), n(2), dur);
         assert_eq!(evicted, None);
@@ -543,7 +945,11 @@ mod tests {
         let mut c = Cluster::new(small_cfg());
         let (dur, bytes) = c.begin_migration(p(0), n(2), 50).unwrap();
         assert!(bytes >= c.cfg.keys_per_partition * c.cfg.value_size as u64);
-        assert_eq!(c.available_at(p(0)), 50 + dur, "migration blocks the partition");
+        assert_eq!(
+            c.available_at(p(0)),
+            50 + dur,
+            "migration blocks the partition"
+        );
         c.finish_migration(p(0), 50 + dur);
         assert_eq!(c.placement.primary_of(p(0)), n(2));
         assert!(c.store(n(0), p(0)).is_none(), "source copy dropped (move)");
@@ -562,6 +968,130 @@ mod tests {
     }
 
     #[test]
+    fn crash_failover_lifecycle_preserves_log_continuity() {
+        let mut c = Cluster::new(small_cfg());
+        // Commit a write on P0's primary (N0) that never epoch-flushes: the
+        // failover must recover it from the prepare-log replay.
+        let txn = TxnId(5);
+        {
+            let store = c.primary_store_mut(p(0));
+            store.table.occ_lock(9, txn);
+            let v = store.table.occ_install(9, txn, Box::new([4u8; 16]));
+            store.log.append(p(0), 9, v, Box::new([4u8; 16]));
+        }
+        let head_before = c.store(n(0), p(0)).unwrap().log.head_lsn();
+        let report = c.crash_node(n(0), 1_000);
+        assert!(!c.is_up(n(0)));
+        assert_eq!(c.live_count(), 2);
+        // N0 primaries P0 and P3 under 3-node round-robin.
+        assert_eq!(report.orphaned.len(), 2);
+        let (part, replay) = report
+            .orphaned
+            .iter()
+            .find(|(pp, _)| *pp == p(0))
+            .expect("P0 orphaned")
+            .clone();
+        assert_eq!(
+            replay.len(),
+            1,
+            "unflushed write recovered from prepare log"
+        );
+        // N0 is stripped from every secondary list it was on.
+        for lost in &report.lost_secondaries {
+            assert!(!c.placement.has_secondary(*lost, n(0)));
+        }
+
+        c.begin_failover(part, n(1), 3_000, 1_000);
+        assert_eq!(
+            c.available_at(part),
+            4_000,
+            "promotion blocks the partition"
+        );
+        let (bytes, head) = c.finish_failover(part, &replay, 4_000);
+        assert!(bytes > 0);
+        assert_eq!(head, head_before, "no committed write lost");
+        assert_eq!(c.placement.primary_of(part), n(1));
+        assert!(
+            !c.placement.has_secondary(part, n(0)),
+            "dead node out of the replica set"
+        );
+        let new_primary = c.store(n(1), part).unwrap();
+        assert_eq!(new_primary.log.head_lsn(), head_before);
+        assert_eq!(
+            new_primary.table.get(9).unwrap().value,
+            vec![4u8; 16].into_boxed_slice(),
+            "replayed write visible at the new primary"
+        );
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recover_node_reports_rejoins_and_restores() {
+        let mut cfg = small_cfg();
+        cfg.replication_factor = 1; // no secondaries: crashes stall partitions
+        let mut c = Cluster::new(cfg);
+        let report = c.crash_node(n(0), 0);
+        assert_eq!(report.orphaned.len(), 2);
+        for (part, replay) in &report.orphaned {
+            assert!(replay.is_empty(), "stalled partitions keep their buffer");
+            c.stall_partition(*part, 10_000);
+            assert!(c.parts[part.idx()].primary_down);
+        }
+        let rec = c.recover_node(n(0), 20_000);
+        assert_eq!(rec.restored_primaries.len(), 2);
+        assert!(rec.rejoin_secondaries.is_empty());
+        for part in &rec.restored_primaries {
+            c.restore_partition(*part, 23_000);
+            assert!(!c.parts[part.idx()].primary_down);
+            assert_eq!(c.available_at(*part), 23_000);
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crashed_node_rejoins_as_secondary_after_failover() {
+        let mut c = Cluster::new(small_cfg());
+        let report = c.crash_node(n(0), 0);
+        for (part, replay) in &report.orphaned {
+            c.begin_failover(*part, n(1), 1_000, 0);
+            c.finish_failover(*part, replay, 1_000);
+        }
+        let rec = c.recover_node(n(0), 50_000);
+        assert!(rec.restored_primaries.is_empty());
+        // Former primaries P0/P3 and former secondaries P2/P5 (stale stores
+        // dropped at restart) all re-join via background copies.
+        assert_eq!(rec.rejoin_secondaries.len(), 4);
+        for part in &rec.rejoin_secondaries {
+            assert!(c.store(n(0), *part).is_none(), "stale copy dropped");
+            let (dur, _) = c.begin_add_replica(*part, n(0), 50_000).unwrap();
+            c.finish_add_replica(*part, n(0), 50_000 + dur);
+            assert!(c.placement.has_secondary(*part, n(0)));
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dead_nodes_refuse_adaptor_operations() {
+        let mut c = Cluster::new(small_cfg());
+        c.crash_node(n(2), 0);
+        // remaster away from a dead primary (failover's job, not the adaptor's)
+        assert_eq!(
+            c.begin_remaster(p(2), n(0), 0),
+            Err(AdaptorError::Busy(p(2)))
+        );
+        // migration toward a dead node
+        assert_eq!(
+            c.begin_migration(p(1), n(2), 0),
+            Err(AdaptorError::Busy(p(1)))
+        );
+        // replica copy toward a dead node
+        assert_eq!(
+            c.begin_add_replica(p(0), n(2), 0),
+            Err(AdaptorError::Busy(p(0)))
+        );
+    }
+
+    #[test]
     fn epoch_flush_ships_to_all_secondaries() {
         let mut c = Cluster::new(small_cfg());
         let txn = TxnId(1);
@@ -574,7 +1104,10 @@ mod tests {
         let bytes = c.epoch_flush_all();
         assert!(bytes > 0);
         let sec = c.placement.secondaries_of(p(2))[0];
-        assert_eq!(c.store(sec, p(2)).unwrap().table.get(0).unwrap().value, vec![3u8; 16].into_boxed_slice());
+        assert_eq!(
+            c.store(sec, p(2)).unwrap().table.get(0).unwrap().value,
+            vec![3u8; 16].into_boxed_slice()
+        );
         // flushing again is free
         assert_eq!(c.epoch_flush_all(), 0);
     }

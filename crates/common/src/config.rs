@@ -23,7 +23,11 @@ pub struct NetConfig {
 
 impl Default for NetConfig {
     fn default() -> Self {
-        NetConfig { one_way_us: 40, bytes_per_us: 117.0, msg_overhead_bytes: 64 }
+        NetConfig {
+            one_way_us: 40,
+            bytes_per_us: 117.0,
+            msg_overhead_bytes: 64,
+        }
     }
 }
 
@@ -102,6 +106,12 @@ pub struct SimConfig {
     pub migration_fixed_us: Time,
     /// Epoch-based group-commit interval (paper: 10 ms).
     pub epoch_us: Time,
+    /// Failure-detection delay: virtual time between a node halting and the
+    /// recovery coordinator acting on it (heartbeat timeout).
+    pub failure_detect_us: Time,
+    /// Poll interval for operations stalled on a partition whose primary is
+    /// down with no live replica to promote.
+    pub stall_poll_us: Time,
     /// Transactions per batch for batch-execution protocols (paper: 10 k).
     pub batch_size: usize,
     /// Back-off before retrying an aborted transaction.
@@ -126,6 +136,8 @@ impl Default for SimConfig {
             remaster_delay_us: 3_000,
             migration_fixed_us: 10_000,
             epoch_us: 10_000,
+            failure_detect_us: 50_000,
+            stall_poll_us: 10_000,
             batch_size: 512,
             retry_backoff_us: 50,
             seed: 0xD1CE_5EED,
@@ -200,13 +212,20 @@ mod tests {
 
     #[test]
     fn partition_bytes_counts_overhead() {
-        let c = SimConfig { keys_per_partition: 10, value_size: 100, ..Default::default() };
+        let c = SimConfig {
+            keys_per_partition: 10,
+            value_size: 100,
+            ..Default::default()
+        };
         assert_eq!(c.partition_bytes(), 10 * 116);
     }
 
     #[test]
     fn builder_overrides() {
-        let c = SimConfig::default().with_nodes(10).with_remaster_delay(500).with_seed(7);
+        let c = SimConfig::default()
+            .with_nodes(10)
+            .with_remaster_delay(500)
+            .with_seed(7);
         assert_eq!(c.nodes, 10);
         assert_eq!(c.remaster_delay_us, 500);
         assert_eq!(c.seed, 7);

@@ -30,12 +30,20 @@ pub struct Op {
 impl Op {
     /// Convenience constructor for a read.
     pub fn read(partition: PartitionId, key: Key) -> Self {
-        Op { partition, key, kind: OpKind::Read }
+        Op {
+            partition,
+            key,
+            kind: OpKind::Read,
+        }
     }
 
     /// Convenience constructor for a write.
     pub fn write(partition: PartitionId, key: Key) -> Self {
-        Op { partition, key, kind: OpKind::Write }
+        Op {
+            partition,
+            key,
+            kind: OpKind::Write,
+        }
     }
 }
 
@@ -156,7 +164,11 @@ mod tests {
 
     #[test]
     fn partitions_sorted_and_deduped() {
-        let t = TxnRequest::new(vec![Op::read(p(3), 1), Op::write(p(1), 2), Op::read(p(3), 9)]);
+        let t = TxnRequest::new(vec![
+            Op::read(p(3), 1),
+            Op::write(p(1), 2),
+            Op::read(p(3), 9),
+        ]);
         assert_eq!(t.partitions(), vec![p(1), p(3)]);
     }
 
@@ -171,7 +183,11 @@ mod tests {
 
     #[test]
     fn read_write_counts() {
-        let t = TxnRequest::new(vec![Op::read(p(0), 1), Op::write(p(0), 2), Op::write(p(1), 3)]);
+        let t = TxnRequest::new(vec![
+            Op::read(p(0), 1),
+            Op::write(p(0), 2),
+            Op::write(p(1), 3),
+        ]);
         assert_eq!(t.read_count(), 1);
         assert_eq!(t.write_count(), 2);
     }

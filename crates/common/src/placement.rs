@@ -79,7 +79,11 @@ impl Placement {
                 .collect();
             secondaries.push(secs);
         }
-        Placement { n_nodes, primary, secondaries }
+        Placement {
+            n_nodes,
+            primary,
+            secondaries,
+        }
     }
 
     /// Number of partitions tracked.
@@ -309,7 +313,10 @@ mod tests {
         let mut pl = Placement::round_robin(4, 4, 2);
         assert_eq!(
             pl.remaster(p(0), n(3)),
-            Err(PlacementError::NoReplica { part: p(0), node: n(3) })
+            Err(PlacementError::NoReplica {
+                part: p(0),
+                node: n(3)
+            })
         );
     }
 
@@ -328,13 +335,19 @@ mod tests {
         assert!(pl.has_secondary(p(0), n(2)));
         assert_eq!(
             pl.add_secondary(p(0), n(2)),
-            Err(PlacementError::AlreadyHosted { part: p(0), node: n(2) })
+            Err(PlacementError::AlreadyHosted {
+                part: p(0),
+                node: n(2)
+            })
         );
         pl.remove_secondary(p(0), n(2)).unwrap();
         assert_eq!(pl.replica_count(p(0)), 2);
         assert_eq!(
             pl.remove_secondary(p(0), n(0)),
-            Err(PlacementError::IsPrimary { part: p(0), node: n(0) })
+            Err(PlacementError::IsPrimary {
+                part: p(0),
+                node: n(0)
+            })
         );
         pl.validate().unwrap();
     }
@@ -354,14 +367,23 @@ mod tests {
         let mut pl = Placement::round_robin(4, 4, 2);
         pl.migrate_primary(p(0), n(1)).unwrap();
         assert_eq!(pl.primary_of(p(0)), n(1));
-        assert!(pl.has_secondary(p(0), n(0)), "old primary kept as secondary");
+        assert!(
+            pl.has_secondary(p(0), n(0)),
+            "old primary kept as secondary"
+        );
     }
 
     #[test]
     fn bounds_are_checked() {
         let mut pl = Placement::round_robin(2, 2, 1);
-        assert_eq!(pl.add_secondary(p(9), n(0)), Err(PlacementError::UnknownPartition(p(9))));
-        assert_eq!(pl.add_secondary(p(0), n(9)), Err(PlacementError::UnknownNode(n(9))));
+        assert_eq!(
+            pl.add_secondary(p(9), n(0)),
+            Err(PlacementError::UnknownPartition(p(9)))
+        );
+        assert_eq!(
+            pl.add_secondary(p(0), n(9)),
+            Err(PlacementError::UnknownNode(n(9)))
+        );
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct LionConfig {
     /// Batch execution with asynchronous remastering (Table II column
     /// "Batch Optimization", §IV-D).
     pub batch: bool,
+    /// Re-run the provision loop (Algorithm 1) as soon as a failover lands,
+    /// so the placement plan reflects the post-failure topology instead of
+    /// waiting for the next planner tick.
+    pub replan_on_failover: bool,
 }
 
 impl LionConfig {
@@ -50,24 +54,35 @@ impl LionConfig {
             partitioning: Partitioning::Rearrange,
             prediction: false,
             batch: false,
+            replan_on_failover: true,
         }
     }
 
     /// Full Lion: rearrangement + prediction + batch (Table II row "Lion").
     pub fn lion() -> Self {
-        LionConfig { prediction: true, batch: true, ..Self::base("Lion") }
+        LionConfig {
+            prediction: true,
+            batch: true,
+            ..Self::base("Lion")
+        }
     }
 
     /// Lion running in standard (non-batch) mode with every other
     /// optimization on — the configuration of the Fig. 7/8 standard-
     /// execution comparisons.
     pub fn lion_standard() -> Self {
-        LionConfig { prediction: true, ..Self::base("Lion") }
+        LionConfig {
+            prediction: true,
+            ..Self::base("Lion")
+        }
     }
 
     /// `Lion(S)`: Schism partitioning only.
     pub fn lion_s() -> Self {
-        LionConfig { partitioning: Partitioning::Schism, ..Self::base("Lion(S)") }
+        LionConfig {
+            partitioning: Partitioning::Schism,
+            ..Self::base("Lion(S)")
+        }
     }
 
     /// `Lion(R)`: replica rearrangement only.
@@ -86,12 +101,18 @@ impl LionConfig {
 
     /// `Lion(RW)`: rearrangement + workload prediction.
     pub fn lion_rw() -> Self {
-        LionConfig { prediction: true, ..Self::base("Lion(RW)") }
+        LionConfig {
+            prediction: true,
+            ..Self::base("Lion(RW)")
+        }
     }
 
     /// `Lion(RB)`: rearrangement + batch optimization.
     pub fn lion_rb() -> Self {
-        LionConfig { batch: true, ..Self::base("Lion(RB)") }
+        LionConfig {
+            batch: true,
+            ..Self::base("Lion(RB)")
+        }
     }
 
     /// Every Table II variant, in the paper's order (2PC lives in
@@ -123,9 +144,7 @@ mod tests {
             ("Lion(RB)", Partitioning::Rearrange, false, true),
             ("Lion", Partitioning::Rearrange, true, true),
         ];
-        for (cfg, (name, part, pred, batch)) in
-            LionConfig::all_variants().iter().zip(expect)
-        {
+        for (cfg, (name, part, pred, batch)) in LionConfig::all_variants().iter().zip(expect) {
             assert_eq!(cfg.name, name);
             assert_eq!(cfg.partitioning, part, "{name}");
             assert_eq!(cfg.prediction, pred, "{name}");

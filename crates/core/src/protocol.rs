@@ -15,10 +15,10 @@
 use crate::config::LionConfig;
 use crate::router::route_txn;
 use lion_cluster::AdaptorError;
-use lion_engine::{Engine, OpFail, Protocol, TickKind, TxnClass};
+use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
+use lion_engine::{Engine, FaultNotice, OpFail, Protocol, TickKind, TxnClass};
 use lion_planner::TxnPlacementClass;
 use lion_predictor::WorkloadPredictor;
-use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
 use std::collections::HashMap;
 
 // Continuation kinds (attempt-stamped, see lion-baselines::tags for the
@@ -61,6 +61,11 @@ pub struct Lion {
     pub pre_replications: u64,
     /// Diagnostics: predicted transactions injected into the heat graph.
     pub predicted_injected: u64,
+    /// Diagnostics: provision rounds forced by failovers.
+    pub failover_replans: u64,
+    /// A failover happened and the provision loop should re-run Algorithm 1
+    /// once the topology settles (set by `on_fault`).
+    replan_pending: bool,
 }
 
 impl Lion {
@@ -74,6 +79,8 @@ impl Lion {
             last_wv: 0.0,
             pre_replications: 0,
             predicted_injected: 0,
+            failover_replans: 0,
+            replan_pending: false,
         }
     }
 
@@ -118,7 +125,11 @@ impl Lion {
             Some(node) => {
                 // Deliberate routing to the planned clump destination.
                 let freq: Vec<f64> = (0..eng.cluster.placement.n_partitions())
-                    .map(|p| eng.cluster.freq.normalized(lion_common::PartitionId(p as u32)))
+                    .map(|p| {
+                        eng.cluster
+                            .freq
+                            .normalized(lion_common::PartitionId(p as u32))
+                    })
                     .collect();
                 let (class, _) = lion_planner::execution_cost(
                     &eng.cluster.placement,
@@ -411,6 +422,38 @@ impl Protocol for Lion {
             self.plan_tick(eng);
         }
     }
+
+    fn on_fault(&mut self, eng: &mut Engine, notice: &FaultNotice) {
+        match notice {
+            FaultNotice::NodeDown(node) => {
+                // Stale affinity toward a dead node would keep the router
+                // pinning transactions to it; drop those entries immediately
+                // and let the next provision round re-assign the clumps.
+                self.affinity.retain(|_, dest| dest != node);
+                if self.cfg.replan_on_failover {
+                    self.replan_pending = true;
+                }
+            }
+            FaultNotice::FailoverComplete { .. } => {
+                // Re-run Algorithm 1 once promotions land: the surviving
+                // topology is now authoritative, and the plan should rebuild
+                // co-location (and replica headroom) around it.
+                if self.replan_pending
+                    && !eng.cluster.parts.iter().any(|rt| rt.failing_over.is_some())
+                {
+                    self.replan_pending = false;
+                    self.failover_replans += 1;
+                    self.plan_tick(eng);
+                }
+            }
+            FaultNotice::NodeUp(_) => {
+                // Fresh capacity: the next planner tick folds it in (the
+                // rejoin copies are still in flight right now). A pending
+                // replan owed to a *different* node's crash stays pending —
+                // its FailoverComplete will consume it.
+            }
+        }
+    }
 }
 
 /// Helper shared with tests: virtual time of one second.
@@ -439,7 +482,9 @@ mod tests {
 
     fn ycsb(nodes: u32, cross: f64, skew: f64, seed: u64) -> Box<YcsbWorkload> {
         Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(nodes, 4, 2048).with_mix(cross, skew).with_seed(seed),
+            YcsbConfig::for_cluster(nodes, 4, 2048)
+                .with_mix(cross, skew)
+                .with_seed(seed),
         ))
     }
 
@@ -512,8 +557,9 @@ mod tests {
             "hot node still holds {on_hot} primaries"
         );
         // busy time should not be concentrated on one node
-        let busy: Vec<u64> =
-            (0..4).map(|n| eng.cluster.workers[n].busy_total()).collect();
+        let busy: Vec<u64> = (0..4)
+            .map(|n| eng.cluster.workers[n].busy_total())
+            .collect();
         let max = *busy.iter().max().unwrap() as f64;
         let avg = busy.iter().sum::<u64>() as f64 / 4.0;
         assert!(max / avg < 2.5, "load still skewed: {busy:?}");
@@ -528,6 +574,32 @@ mod tests {
         assert!(r.commits > 500);
         assert!(r.migrations > 0, "Schism strategy migrates");
         assert_eq!(r.replica_adds, 0, "Schism never adds replicas");
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    /// Under a node crash, Lion's provision loop reacts to the topology
+    /// loss: affinity to the dead node is dropped, Algorithm 1 re-runs once
+    /// failover lands, and throughput keeps flowing on the survivors.
+    #[test]
+    fn lion_replans_after_failover() {
+        let mut engine_cfg = lion_engine::EngineConfig::from(cfg(4));
+        engine_cfg.plan_interval_us = 500_000;
+        engine_cfg.faults =
+            lion_engine::FaultPlan::new().crash_at(3 * SECOND, lion_common::NodeId(1));
+        let mut eng = Engine::new(engine_cfg, ycsb(4, 1.0, 0.0, 67));
+        let mut lion = Lion::standard();
+        let r = eng.run(&mut lion, 6 * SECOND);
+        assert_eq!(r.crashes, 1);
+        assert!(r.failovers > 0, "dead node's primaries must fail over");
+        assert_eq!(
+            lion.failover_replans, 1,
+            "Algorithm 1 must re-run once the failovers land"
+        );
+        assert!(
+            lion.affinity.values().all(|&n| n != lion_common::NodeId(1)),
+            "no routing affinity may point at the dead node"
+        );
+        assert!(r.commits > 500, "commits {}", r.commits);
         eng.cluster.check_invariants().unwrap();
     }
 

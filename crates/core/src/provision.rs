@@ -14,7 +14,7 @@
 use crate::config::Partitioning;
 use crate::protocol::Lion;
 use lion_engine::Engine;
-use lion_planner::{generate_clumps, rearrange, schism_plan, HeatGraph, PlanAction};
+use lion_planner::{generate_clumps, rearrange_with_live, schism_plan, HeatGraph, PlanAction};
 
 impl Lion {
     /// One planner round. Called from the engine's planner tick.
@@ -54,14 +54,19 @@ impl Lion {
         }
 
         // --- Plan generation (§IV-B) --------------------------------------
-        let plan = match self.cfg.partitioning {
+        // Dead nodes (fault injection) are masked out of the rearrangement;
+        // the Schism path plans obliviously, so its output is filtered below.
+        let live = eng.cluster.node_up.clone();
+        let mut plan = match self.cfg.partitioning {
             Partitioning::Rearrange => {
                 let clumps = generate_clumps(&graph, pcfg.alpha, pcfg.max_clump_size);
                 let freq = graph.normalized_weights();
-                rearrange(clumps, &eng.cluster.placement, &freq, &pcfg, true)
+                rearrange_with_live(clumps, &eng.cluster.placement, &freq, &pcfg, true, &live)
             }
             Partitioning::Schism => schism_plan(&graph, &eng.cluster.placement, pcfg.epsilon),
         };
+        plan.entries.retain(|e| live[e.dest.idx()]);
+        plan.assignments.retain(|(_, dest)| live[dest.idx()]);
         // Refresh the router affinity table (deliberate routing, §III) for
         // every partition the plan assigned this round.
         for (parts, dest) in &plan.assignments {
@@ -124,7 +129,9 @@ mod tests {
         // Run long enough for a couple of plan rounds; the co-access pairs
         // (p, p^1) must end up with both primaries on one node.
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 1024).with_mix(1.0, 0.0).with_seed(71),
+            YcsbConfig::for_cluster(4, 4, 1024)
+                .with_mix(1.0, 0.0)
+                .with_seed(71),
         ));
         let mut eng = Engine::new(cfg(), wl);
         let mut lion = Lion::standard();
@@ -144,7 +151,10 @@ mod tests {
         for p in 0..16 {
             per_node[pl.primary_of(PartitionId(p)).idx()] += 1;
         }
-        assert!(per_node.iter().all(|&c| c >= 1), "placement collapsed: {per_node:?}");
+        assert!(
+            per_node.iter().all(|&c| c >= 1),
+            "placement collapsed: {per_node:?}"
+        );
     }
 
     #[test]
@@ -153,7 +163,9 @@ mod tests {
         // predictor must eventually fire pre-replication.
         let sched = Schedule::interval_shift(4 * SECOND, 3, 5, 1.0);
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 4, 1024).with_schedule(sched).with_seed(72),
+            YcsbConfig::for_cluster(4, 4, 1024)
+                .with_schedule(sched)
+                .with_seed(72),
         ));
         let mut c = cfg();
         c.seed = 99;

@@ -7,9 +7,9 @@
 //! with the least busy worker pool, which is how deliberate routing also
 //! spreads load.
 
+use lion_common::{NodeId, TxnId};
 use lion_engine::Engine;
 use lion_planner::{execution_cost, CostWeights, TxnPlacementClass};
-use lion_common::{NodeId, TxnId};
 
 /// Scores every node with the planner's cost model and returns the chosen
 /// executor plus its placement class.
@@ -18,19 +18,24 @@ pub fn route_txn(eng: &Engine, txn: TxnId, weights: CostWeights) -> (NodeId, Txn
     let placement = &eng.cluster.placement;
     // f(v, Np(v, p)): normalized partition heat from the freq tracker.
     let freq: Vec<f64> = (0..placement.n_partitions())
-        .map(|p| eng.cluster.freq.normalized(lion_common::PartitionId(p as u32)))
+        .map(|p| {
+            eng.cluster
+                .freq
+                .normalized(lion_common::PartitionId(p as u32))
+        })
         .collect();
 
     let mut best: Option<(NodeId, TxnPlacementClass, f64, u64)> = None;
     for n in 0..placement.n_nodes() as u16 {
         let node = NodeId(n);
+        if !eng.cluster.is_up(node) {
+            continue; // dead executors take no transactions
+        }
         let (class, cost) = execution_cost(placement, &freq, parts, node, weights);
         let backlog = eng.cluster.workers[node.idx()].earliest_free();
         let better = match &best {
             None => true,
-            Some((_, _, bc, bb)) => {
-                cost < bc - 1e-12 || (cost < bc + 1e-12 && backlog < *bb)
-            }
+            Some((_, _, bc, bb)) => cost < bc - 1e-12 || (cost < bc + 1e-12 && backlog < *bb),
         };
         if better {
             best = Some((node, class, cost, backlog));
@@ -64,7 +69,10 @@ mod tests {
         // over 3 nodes: 0,1,2,0,1,2).
         let t = eng.inject_txn(
             ClientId(0),
-            TxnRequest::new(vec![Op::read(PartitionId(0), 1), Op::write(PartitionId(3), 2)]),
+            TxnRequest::new(vec![
+                Op::read(PartitionId(0), 1),
+                Op::write(PartitionId(3), 2),
+            ]),
         );
         let (node, class) = route_txn(&eng, t, CostWeights::default());
         assert_eq!(node, NodeId(0));
@@ -78,11 +86,17 @@ mod tests {
         // present (p0 as secondary) -> NeedsRemaster beats any 2PC node.
         let t = eng.inject_txn(
             ClientId(0),
-            TxnRequest::new(vec![Op::read(PartitionId(0), 1), Op::write(PartitionId(1), 2)]),
+            TxnRequest::new(vec![
+                Op::read(PartitionId(0), 1),
+                Op::write(PartitionId(1), 2),
+            ]),
         );
         let (node, class) = route_txn(&eng, t, CostWeights::default());
         assert_eq!(node, NodeId(1));
-        assert!(matches!(class, TxnPlacementClass::NeedsRemaster { count: 1 }));
+        assert!(matches!(
+            class,
+            TxnPlacementClass::NeedsRemaster { count: 1 }
+        ));
     }
 
     #[test]
@@ -95,7 +109,10 @@ mod tests {
         // two candidate nodes both holding all primaries: impossible here,
         // so assert busy N0 still wins on cost.
         let _ = eng.cluster.workers[0].acquire(0, 10_000);
-        let t = eng.inject_txn(ClientId(0), TxnRequest::new(vec![Op::read(PartitionId(0), 1)]));
+        let t = eng.inject_txn(
+            ClientId(0),
+            TxnRequest::new(vec![Op::read(PartitionId(0), 1)]),
+        );
         let (node, _) = route_txn(&eng, t, CostWeights::default());
         assert_eq!(node, NodeId(0), "cost outranks load");
     }

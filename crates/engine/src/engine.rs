@@ -1,6 +1,6 @@
 //! The discrete-event transaction engine.
 
-use crate::metrics::Metrics;
+use crate::metrics::{FailoverRecord, Metrics};
 use crate::protocol::{Protocol, TickKind};
 use crate::report::RunReport;
 use crate::txn::{ReadEntry, TxnClass, TxnCtx, WriteEntry};
@@ -9,8 +9,9 @@ use lion_common::{
     ClientId, NodeId, Op, OpKind, PartitionId, Phase, SimConfig, Time, TxnId, TxnRecord,
     TxnRequest, Workload,
 };
+use lion_faults::{plan_failover, FaultKind, FaultNotice, FaultPlan};
 use lion_sim::EventQueue;
-use lion_storage::{OpOutcome, Table};
+use lion_storage::{LogEntry, OpOutcome, Table};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -26,6 +27,9 @@ pub struct EngineConfig {
     pub monitor_interval_us: Time,
     /// Retained routed-transaction records between planner drains.
     pub history_cap: usize,
+    /// Deterministic fault script executed on the virtual clock (empty by
+    /// default: no failures).
+    pub faults: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -35,13 +39,17 @@ impl Default for EngineConfig {
             plan_interval_us: 2_000_000,
             monitor_interval_us: 1_000_000,
             history_cap: 60_000,
+            faults: FaultPlan::none(),
         }
     }
 }
 
 impl From<SimConfig> for EngineConfig {
     fn from(sim: SimConfig) -> Self {
-        EngineConfig { sim, ..Default::default() }
+        EngineConfig {
+            sim,
+            ..Default::default()
+        }
     }
 }
 
@@ -63,24 +71,51 @@ pub enum OpFail {
     Locked,
 }
 
-/// Adaptor completions scheduled on the virtual clock.
+/// Adaptor completions scheduled on the virtual clock. Blocking transfers
+/// carry the partition's transfer generation so completions of transfers
+/// canceled by a crash are recognized as stale and dropped.
 #[derive(Debug, Clone, Copy)]
 enum AdaptorFinish {
-    Remaster(PartitionId),
-    AddReplica { part: PartitionId, node: NodeId, then_remaster: bool },
-    Migrate(PartitionId),
+    Remaster(PartitionId, u64),
+    AddReplica {
+        part: PartitionId,
+        node: NodeId,
+        then_remaster: bool,
+    },
+    Migrate(PartitionId, u64),
 }
 
 /// Engine events.
 enum Ev {
     ClientNext(ClientId),
-    Wake { txn: TxnId, tag: u32 },
+    Wake {
+        txn: TxnId,
+        tag: u32,
+    },
     Retry(TxnId),
     Epoch,
     Plan,
     Monitor,
     Adaptor(AdaptorFinish),
     BatchArm,
+    /// A scripted fault event (index into the engine's `FaultPlan`).
+    Fault(usize),
+    /// A failover promotion completes (stale when `gen` mismatches).
+    FailoverDone {
+        part: PartitionId,
+        gen: u64,
+    },
+    /// Re-extend the block on a partition stalled on a dead primary.
+    StallCheck(PartitionId),
+}
+
+/// Failover state carried between crash and promotion completion.
+struct PendingFailover {
+    replay: Vec<LogEntry>,
+    from: NodeId,
+    dead_head: u64,
+    lag: u64,
+    crashed_at: Time,
 }
 
 /// The simulation engine: cluster + event queue + transaction contexts.
@@ -103,6 +138,8 @@ pub struct Engine {
     deferred: Vec<TxnId>,
     window_busy: Vec<Time>,
     submitted: u64,
+    pending_failovers: HashMap<u32, PendingFailover>,
+    isolated: Vec<NodeId>,
 }
 
 impl Engine {
@@ -127,6 +164,8 @@ impl Engine {
             deferred: Vec::new(),
             window_busy: vec![0; nodes],
             submitted: 0,
+            pending_failovers: HashMap::new(),
+            isolated: Vec::new(),
         }
     }
 
@@ -157,9 +196,18 @@ impl Engine {
     }
 
     /// The executor node that "owns" a client (Leap executes transactions at
-    /// the node they arrive on).
+    /// the node they arrive on). Clients of a dead node reconnect to the
+    /// next live node in id order.
     pub fn origin_node(&self, client: ClientId) -> NodeId {
-        NodeId((client.idx() % self.cfg.sim.nodes) as u16)
+        let n = self.cfg.sim.nodes;
+        let start = client.idx() % n;
+        for i in 0..n {
+            let node = NodeId(((start + i) % n) as u16);
+            if self.cluster.is_up(node) {
+                return node;
+            }
+        }
+        NodeId(start as u16)
     }
 
     /// Total submitted transactions.
@@ -189,13 +237,24 @@ impl Engine {
         self.batch_mode = proto.batch_mode();
         self.queue.schedule(self.cfg.sim.epoch_us, Ev::Epoch);
         self.queue.schedule(self.cfg.plan_interval_us, Ev::Plan);
-        self.queue.schedule(self.cfg.monitor_interval_us, Ev::Monitor);
+        self.queue
+            .schedule(self.cfg.monitor_interval_us, Ev::Monitor);
+        if !self.cfg.faults.is_empty() {
+            self.cfg
+                .faults
+                .validate(self.cfg.sim.nodes)
+                .expect("invalid fault plan");
+            for (i, ev) in self.cfg.faults.events().iter().enumerate() {
+                self.queue.schedule_at(ev.at, Ev::Fault(i));
+            }
+        }
         if self.batch_mode {
             self.queue.schedule(0, Ev::BatchArm);
         } else {
             for c in 0..self.cfg.sim.total_clients() {
                 // Slight stagger avoids a same-instant thundering herd.
-                self.queue.schedule((c % 97) as Time, Ev::ClientNext(ClientId(c as u32)));
+                self.queue
+                    .schedule((c % 97) as Time, Ev::ClientNext(ClientId(c as u32)));
             }
         }
 
@@ -216,6 +275,7 @@ impl Engine {
                 }
                 Ev::Retry(txn) => {
                     if self.is_live(txn) {
+                        self.txn_mut(txn).parked = false;
                         proto.on_submit(self, txn);
                     }
                 }
@@ -236,7 +296,8 @@ impl Engine {
                         *w = self.cluster.workers[n].take_window_busy();
                     }
                     proto.on_tick(self, TickKind::Monitor);
-                    self.queue.schedule(self.cfg.monitor_interval_us, Ev::Monitor);
+                    self.queue
+                        .schedule(self.cfg.monitor_interval_us, Ev::Monitor);
                 }
                 Ev::Adaptor(fin) => self.finish_adaptor(fin),
                 Ev::BatchArm => {
@@ -246,9 +307,245 @@ impl Engine {
                         proto.on_batch(self, &batch);
                     }
                 }
+                Ev::Fault(i) => {
+                    let kind = self.cfg.faults.events()[i].kind.clone();
+                    self.apply_fault(proto, kind);
+                }
+                Ev::FailoverDone { part, gen } => {
+                    let rt = &self.cluster.parts[part.idx()];
+                    if rt.gen == gen && rt.failing_over.is_some() {
+                        self.finish_failover_event(proto, part);
+                    }
+                }
+                Ev::StallCheck(part) => {
+                    if self.cluster.parts[part.idx()].primary_down {
+                        let now = self.now();
+                        let poll = self.cfg.sim.stall_poll_us;
+                        self.cluster.stall_partition(part, now + poll);
+                        self.queue.schedule(poll, Ev::StallCheck(part));
+                    }
+                }
             }
         }
         RunReport::build(proto.name(), self, horizon)
+    }
+
+    // ----------------------------------------------------------------
+    // Fault handling (crash → failover → recovery)
+    // ----------------------------------------------------------------
+
+    fn apply_fault(&mut self, proto: &mut dyn Protocol, kind: FaultKind) {
+        match kind {
+            FaultKind::Crash(node) => self.node_down(proto, node),
+            FaultKind::Recover(node) => self.node_up_event(proto, node),
+            FaultKind::Partition(nodes) => {
+                self.isolated = nodes.clone();
+                for n in nodes {
+                    if self.cluster.is_up(n) {
+                        self.node_down(proto, n);
+                    }
+                }
+            }
+            FaultKind::Heal => {
+                let nodes = std::mem::take(&mut self.isolated);
+                for n in nodes {
+                    if !self.cluster.is_up(n) {
+                        self.node_up_event(proto, n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A node halts: abort in-flight transactions touching it, then promote
+    /// the freshest live secondary for each partition it primaried (stalling
+    /// partitions with no live replica until the node recovers).
+    fn node_down(&mut self, proto: &mut dyn Protocol, node: NodeId) {
+        let now = self.now();
+        if std::env::var_os("LION_TRACE").is_some() {
+            eprintln!("[{now}] crash {node}");
+        }
+        let report = self.cluster.crash_node(node, now);
+        self.metrics.crashes += 1;
+        self.fault_abort_touching(node);
+        let mut replays: HashMap<u32, Vec<LogEntry>> =
+            report.orphaned.into_iter().map(|(p, r)| (p.0, r)).collect();
+        for d in plan_failover(&self.cluster, node) {
+            self.metrics.unavail_begin(d.part, now);
+            match d.target {
+                Some(target) => {
+                    let dead_head = self
+                        .cluster
+                        .store(node, d.part)
+                        .map(|s| s.log.head_lsn())
+                        .unwrap_or(0);
+                    self.cluster.begin_failover(d.part, target, d.duration, now);
+                    let gen = self.cluster.parts[d.part.idx()].gen;
+                    self.pending_failovers.insert(
+                        d.part.0,
+                        PendingFailover {
+                            replay: replays.remove(&d.part.0).unwrap_or_default(),
+                            from: node,
+                            dead_head,
+                            lag: d.lag,
+                            crashed_at: now,
+                        },
+                    );
+                    self.queue
+                        .schedule(d.duration, Ev::FailoverDone { part: d.part, gen });
+                }
+                None => {
+                    // No live gap-free replica: the partition stalls until
+                    // the node comes back ("protocols without a live replica
+                    // stall until Recover").
+                    let poll = self.cfg.sim.stall_poll_us;
+                    self.cluster.stall_partition(d.part, now + poll);
+                    self.queue.schedule(poll, Ev::StallCheck(d.part));
+                }
+            }
+        }
+        // Promotions whose target just died: re-plan them over the
+        // remaining survivors (their unavailability windows stay open, and
+        // the original dead primary's replay entries remain pending).
+        for part in report.aborted_failovers {
+            self.replan_failover(part, now);
+        }
+        proto.on_fault(self, &FaultNotice::NodeDown(node));
+    }
+
+    /// Re-plans a canceled promotion for `part` (its target crashed before
+    /// the hand-off finished): promote the freshest remaining gap-free
+    /// replica, or stall until the original primary recovers.
+    fn replan_failover(&mut self, part: PartitionId, now: Time) {
+        let candidates = lion_faults::promotion_candidates(&self.cluster, part);
+        match lion_faults::select_promotion_target(&candidates) {
+            Some(target) => {
+                let pf = self
+                    .pending_failovers
+                    .get_mut(&part.0)
+                    .expect("aborted failover retains its pending state");
+                let applied = candidates
+                    .iter()
+                    .find(|c| c.node == target)
+                    .expect("target drawn from candidates")
+                    .applied_lsn;
+                let lag = pf.dead_head.saturating_sub(applied);
+                pf.lag = lag;
+                let duration = lion_faults::price_promotion(&self.cfg.sim, lag);
+                self.cluster.begin_failover(part, target, duration, now);
+                let gen = self.cluster.parts[part.idx()].gen;
+                self.queue
+                    .schedule(duration, Ev::FailoverDone { part, gen });
+            }
+            None => {
+                // Every replica is gone: stall until the original primary
+                // restarts (its table still holds all committed writes).
+                self.pending_failovers.remove(&part.0);
+                let poll = self.cfg.sim.stall_poll_us;
+                self.cluster.stall_partition(part, now + poll);
+                self.queue.schedule(poll, Ev::StallCheck(part));
+            }
+        }
+    }
+
+    /// A failover promotion lands: replay the recovered prepare log, flip
+    /// the placement, close the availability window.
+    fn finish_failover_event(&mut self, proto: &mut dyn Protocol, part: PartitionId) {
+        let now = self.now();
+        let pf = self
+            .pending_failovers
+            .remove(&part.0)
+            .expect("pending failover state");
+        let (bytes, head) = self.cluster.finish_failover(part, &pf.replay, now);
+        self.metrics.replication_bytes += bytes;
+        self.metrics.bytes_series.add(now, bytes as f64);
+        self.metrics.failovers += 1;
+        self.metrics.replayed_entries += pf.replay.len() as u64;
+        let to = self.cluster.placement.primary_of(part);
+        if std::env::var_os("LION_TRACE").is_some() {
+            eprintln!(
+                "[{now}] failover {part} {} -> {to} (lag {})",
+                pf.from, pf.lag
+            );
+        }
+        self.metrics.failover_log.push(FailoverRecord {
+            part,
+            from: pf.from,
+            to,
+            dead_head: pf.dead_head,
+            promoted_head: head,
+            lag: pf.lag,
+            crashed_at: pf.crashed_at,
+            completed_at: now,
+        });
+        self.metrics.unavail_end(part, now);
+        proto.on_fault(
+            self,
+            &FaultNotice::FailoverComplete {
+                part,
+                from: pf.from,
+                to,
+            },
+        );
+    }
+
+    /// A node restarts: stalled partitions resume after a restart window
+    /// priced like a remaster hand-off; partitions that failed over re-gain
+    /// the node as a secondary via background snapshot copies.
+    fn node_up_event(&mut self, proto: &mut dyn Protocol, node: NodeId) {
+        let now = self.now();
+        if std::env::var_os("LION_TRACE").is_some() {
+            eprintln!("[{now}] recover {node}");
+        }
+        let report = self.cluster.recover_node(node, now);
+        self.metrics.node_recoveries += 1;
+        let restart = self.cfg.sim.remaster_delay_us;
+        for part in report.restored_primaries {
+            self.cluster.restore_partition(part, now + restart);
+            self.metrics.unavail_end(part, now + restart);
+        }
+        for part in report.rejoin_secondaries {
+            let _ = self.add_replica_async(part, node, false);
+        }
+        proto.on_fault(self, &FaultNotice::NodeUp(node));
+    }
+
+    /// Aborts every in-flight transaction whose coordinator, participant, or
+    /// accessed primary sits on the dead node. Retries ride the normal
+    /// abort paths (back-off in standard mode, defer in batch mode).
+    fn fault_abort_touching(&mut self, node: NodeId) {
+        let now = self.now();
+        let mut victims: Vec<TxnId> = self
+            .txns
+            .values()
+            .filter(|ctx| {
+                !ctx.parked
+                    && (ctx.home == node
+                        || ctx.participants.contains(&node)
+                        || ctx
+                            .parts
+                            .iter()
+                            .any(|&p| self.cluster.placement.primary_of(p) == node))
+            })
+            .map(|ctx| ctx.id)
+            .collect();
+        // HashMap iteration order is arbitrary; sort for a deterministic
+        // retry/defer sequence (same seed ⇒ identical recovery timeline).
+        victims.sort_unstable();
+        let backoff = self.cfg.sim.retry_backoff_us;
+        for txn in victims {
+            self.metrics.aborts += 1;
+            self.metrics.fault_aborts += 1;
+            self.release_all(txn);
+            self.txn_mut(txn).reset_for_retry(now + backoff);
+            self.txn_mut(txn).parked = true;
+            if self.batch_mode {
+                self.deferred.push(txn);
+                self.batch_done_one();
+            } else {
+                self.queue.schedule(backoff, Ev::Retry(txn));
+            }
+        }
     }
 
     fn create_txn(&mut self, client: ClientId) -> TxnId {
@@ -259,7 +556,10 @@ impl Engine {
         self.submitted += 1;
         let ctx = TxnCtx::new(id, client, req, now);
         if self.history.len() < self.cfg.history_cap {
-            self.history.push(TxnRecord { at: now, parts: ctx.parts.clone() });
+            self.history.push(TxnRecord {
+                at: now,
+                parts: ctx.parts.clone(),
+            });
         }
         self.txns.insert(id.0, ctx);
         id
@@ -272,6 +572,12 @@ impl Engine {
         }
         let mut batch: Vec<TxnId> = Vec::with_capacity(self.cfg.sim.batch_size);
         batch.append(&mut self.deferred);
+        for &t in &batch {
+            self.txns
+                .get_mut(&t.0)
+                .expect("deferred txn is live")
+                .parked = false;
+        }
         while batch.len() < self.cfg.sim.batch_size {
             // Batch distributors pull from the open stream (§IV-D buffers
             // until the batch size or time window is reached).
@@ -284,8 +590,12 @@ impl Engine {
     fn finish_adaptor(&mut self, fin: AdaptorFinish) {
         let now = self.now();
         match fin {
-            AdaptorFinish::Remaster(part) => {
-                let to = self.cluster.parts[part.idx()].remastering;
+            AdaptorFinish::Remaster(part, gen) => {
+                let rt = &self.cluster.parts[part.idx()];
+                if rt.gen != gen || rt.remastering.is_none() {
+                    return; // transfer canceled by a crash
+                }
+                let to = rt.remastering;
                 if std::env::var_os("LION_TRACE").is_some() {
                     eprintln!("[{now}] remaster {part} -> {to:?}");
                 }
@@ -295,7 +605,19 @@ impl Engine {
                 self.metrics.replication_bytes += bytes;
                 self.metrics.bytes_series.add(now, bytes as f64);
             }
-            AdaptorFinish::AddReplica { part, node, then_remaster } => {
+            AdaptorFinish::AddReplica {
+                part,
+                node,
+                then_remaster,
+            } => {
+                if !self.cluster.parts[part.idx()].copying_to.contains(&node) {
+                    return; // copy canceled by a crash of the target
+                }
+                let primary = self.cluster.placement.primary_of(part);
+                if !self.cluster.is_up(node) || !self.cluster.is_up(primary) {
+                    self.cluster.cancel_copy(part, node);
+                    return; // source or destination died mid-copy
+                }
                 let evicted = self.cluster.finish_add_replica(part, node, now);
                 self.metrics.replica_adds += 1;
                 if evicted.is_some() {
@@ -303,13 +625,21 @@ impl Engine {
                 }
                 if then_remaster {
                     match self.cluster.begin_remaster(part, node, now) {
-                        Ok(d) => self.queue.schedule(d, Ev::Adaptor(AdaptorFinish::Remaster(part))),
+                        Ok(d) => {
+                            let gen = self.cluster.parts[part.idx()].gen;
+                            self.queue
+                                .schedule(d, Ev::Adaptor(AdaptorFinish::Remaster(part, gen)));
+                        }
                         Err(AdaptorError::AlreadyPrimary { .. }) => {}
                         Err(_) => self.metrics.remaster_conflicts += 1,
                     }
                 }
             }
-            AdaptorFinish::Migrate(part) => {
+            AdaptorFinish::Migrate(part, gen) => {
+                let rt = &self.cluster.parts[part.idx()];
+                if rt.gen != gen || rt.migrating.is_none() {
+                    return; // transfer canceled by a crash
+                }
                 self.cluster.finish_migration(part, now);
                 self.metrics.migrations += 1;
                 self.metrics.migration_series.incr(now);
@@ -337,7 +667,8 @@ impl Engine {
     pub fn net(&mut self, bytes: u32, phase: Phase, txn: TxnId, tag: u32) {
         let now = self.now();
         let d = self.cluster.net_delay(bytes);
-        self.metrics.add_bytes(now, (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64);
+        self.metrics
+            .add_bytes(now, (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64);
         self.txn_mut(txn).phase_us[phase.idx()] += d;
         self.queue.schedule(d, Ev::Wake { txn, tag });
     }
@@ -346,7 +677,8 @@ impl Engine {
     /// whose acks the coordinator does not wait for.
     pub fn net_fire_and_forget(&mut self, bytes: u32) {
         let now = self.now();
-        self.metrics.add_bytes(now, (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64);
+        self.metrics
+            .add_bytes(now, (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64);
     }
 
     /// Request/response round from `from` to a remote node including remote
@@ -355,6 +687,10 @@ impl Engine {
     /// arrival). The origin node is charged message-handling CPU for the
     /// send and the response — the coordination work that makes distributed
     /// transactions expensive on their coordinator.
+    // The argument list *is* the wire protocol of one request/response round
+    // (endpoints, payload sizes, remote service time, phase, continuation);
+    // bundling them into a struct would only rename the problem.
+    #[allow(clippy::too_many_arguments)]
     pub fn remote_round(
         &mut self,
         from: NodeId,
@@ -373,11 +709,15 @@ impl Engine {
         let d1 = self.cluster.net_delay(bytes_req);
         let grant = self.cluster.workers[to.idx()].acquire(now + d1, remote_cpu);
         let d2 = self.cluster.net_delay(bytes_resp);
-        self.metrics.add_bytes(now, (bytes_req + overhead) as u64 + (bytes_resp + overhead) as u64);
+        self.metrics.add_bytes(
+            now,
+            (bytes_req + overhead) as u64 + (bytes_resp + overhead) as u64,
+        );
         let ctx = self.txn_mut(txn);
         ctx.phase_us[Phase::Scheduling.idx()] += grant.queue_wait(now + d1);
         ctx.phase_us[phase.idx()] += d1 + remote_cpu + d2;
-        self.queue.schedule_at(grant.end + d2, Ev::Wake { txn, tag });
+        self.queue
+            .schedule_at(grant.end + d2, Ev::Wake { txn, tag });
     }
 
     /// Pure wait (remaster hand-off, migration blackout, barrier).
@@ -446,7 +786,9 @@ impl Engine {
             return Err(OpFail::Blocked { until });
         }
         if !self.cluster.placement.is_primary(part, node) {
-            return Err(OpFail::NotPrimary { primary: self.cluster.placement.primary_of(part) });
+            return Err(OpFail::NotPrimary {
+                primary: self.cluster.placement.primary_of(part),
+            });
         }
         self.cluster.freq.record_access(part, node, now);
         match op.kind {
@@ -465,7 +807,9 @@ impl Engine {
                 }
             }
             OpKind::Write => {
-                self.txn_mut(txn).write_set.push(WriteEntry { part, key: op.key });
+                self.txn_mut(txn)
+                    .write_set
+                    .push(WriteEntry { part, key: op.key });
                 Ok(())
             }
         }
@@ -589,7 +933,10 @@ impl Engine {
             let stamp = txn.0.wrapping_mul(31).wrapping_add(attempt);
             let value = Table::synth_value(w.key, stamp, value_size);
             let primary = self.cluster.placement.primary_of(w.part);
-            let store = self.cluster.store_mut(primary, w.part).expect("primary store");
+            let store = self
+                .cluster
+                .store_mut(primary, w.part)
+                .expect("primary store");
             let version = store.table.occ_install(w.key, txn, value.clone());
             store.log.append(w.part, w.key, version, value);
         }
@@ -602,9 +949,10 @@ impl Engine {
         for op in ops {
             match op.kind {
                 OpKind::Read => {}
-                OpKind::Write => {
-                    self.txn_mut(txn).write_set.push(WriteEntry { part: op.partition, key: op.key })
-                }
+                OpKind::Write => self.txn_mut(txn).write_set.push(WriteEntry {
+                    part: op.partition,
+                    key: op.key,
+                }),
             }
         }
     }
@@ -643,8 +991,12 @@ impl Engine {
         let overhead = self.cfg.sim.net.msg_overhead_bytes as u64;
         let mut max_rtt = 0;
         for part in parts {
-            let writes_here =
-                self.txn(txn).write_set.iter().filter(|w| w.part == part).count() as u32;
+            let writes_here = self
+                .txn(txn)
+                .write_set
+                .iter()
+                .filter(|w| w.part == part)
+                .count() as u32;
             let bytes = writes_here * (self.cfg.sim.value_size + 32);
             let n_secs = self.cluster.placement.secondaries_of(part).len() as u64;
             if n_secs == 0 {
@@ -675,6 +1027,7 @@ impl Engine {
         let ctx = self.txns.remove(&txn.0).expect("live transaction");
         self.metrics.commits += 1;
         self.metrics.commits_series.incr(now);
+        self.metrics.goodput_series.incr(now);
         self.metrics.latency.record(now.saturating_sub(ctx.start));
         match ctx.class {
             TxnClass::SingleNode => self.metrics.single_node += 1,
@@ -699,6 +1052,7 @@ impl Engine {
         self.release_all(txn);
         let backoff = self.cfg.sim.retry_backoff_us;
         self.txn_mut(txn).reset_for_retry(now + backoff);
+        self.txn_mut(txn).parked = true;
         self.queue.schedule(backoff, Ev::Retry(txn));
     }
 
@@ -710,6 +1064,7 @@ impl Engine {
         self.metrics.aborts += 1;
         self.release_all(txn);
         self.txn_mut(txn).reset_for_retry(now);
+        self.txn_mut(txn).parked = true;
         self.deferred.push(txn);
         self.batch_done_one();
     }
@@ -733,7 +1088,9 @@ impl Engine {
         let now = self.now();
         match self.cluster.begin_remaster(part, to, now) {
             Ok(d) => {
-                self.queue.schedule(d, Ev::Adaptor(AdaptorFinish::Remaster(part)));
+                let gen = self.cluster.parts[part.idx()].gen;
+                self.queue
+                    .schedule(d, Ev::Adaptor(AdaptorFinish::Remaster(part, gen)));
                 Ok(d)
             }
             Err(e) => {
@@ -757,8 +1114,14 @@ impl Engine {
         let (d, bytes) = self.cluster.begin_add_replica(part, to, now)?;
         self.metrics.migration_bytes += bytes;
         self.metrics.bytes_series.add(now, bytes as f64);
-        self.queue
-            .schedule(d, Ev::Adaptor(AdaptorFinish::AddReplica { part, node: to, then_remaster }));
+        self.queue.schedule(
+            d,
+            Ev::Adaptor(AdaptorFinish::AddReplica {
+                part,
+                node: to,
+                then_remaster,
+            }),
+        );
         Ok(d)
     }
 
@@ -768,7 +1131,9 @@ impl Engine {
         let (d, bytes) = self.cluster.begin_migration(part, to, now)?;
         self.metrics.migration_bytes += bytes;
         self.metrics.bytes_series.add(now, bytes as f64);
-        self.queue.schedule(d, Ev::Adaptor(AdaptorFinish::Migrate(part)));
+        let gen = self.cluster.parts[part.idx()].gen;
+        self.queue
+            .schedule(d, Ev::Adaptor(AdaptorFinish::Migrate(part, gen)));
         Ok(d)
     }
 
@@ -780,7 +1145,10 @@ impl Engine {
         self.next_txn += 1;
         self.submitted += 1;
         let ctx = TxnCtx::new(id, client, req, now);
-        self.history.push(TxnRecord { at: now, parts: ctx.parts.clone() });
+        self.history.push(TxnRecord {
+            at: now,
+            parts: ctx.parts.clone(),
+        });
         self.txns.insert(id.0, ctx);
         id
     }
@@ -855,7 +1223,10 @@ mod tests {
     fn epoch_flush_replicates_writes() {
         let mut eng = Engine::new(tiny_cfg(), uniform_workload(4));
         eng.run(&mut TrivialProto, SECOND / 4);
-        assert!(eng.metrics.replication_bytes > 0, "epoch flushes shipped bytes");
+        assert!(
+            eng.metrics.replication_bytes > 0,
+            "epoch flushes shipped bytes"
+        );
         // After the final epoch flush, secondaries lag only by the last
         // unflushed epoch; force one more flush and check sync.
         let extra = eng.cluster.epoch_flush_all();
@@ -879,7 +1250,10 @@ mod tests {
         // Single key hammered by every client: version conflicts must abort
         // some attempts, and retries must eventually commit.
         let wl = Box::new(move |_now: Time| {
-            TxnRequest::new(vec![Op::read(PartitionId(0), 0), Op::write(PartitionId(0), 0)])
+            TxnRequest::new(vec![
+                Op::read(PartitionId(0), 0),
+                Op::write(PartitionId(0), 0),
+            ])
         });
         let mut cfg = tiny_cfg();
         cfg.clients_per_node = 8;
@@ -892,9 +1266,19 @@ mod tests {
         let key_version = {
             let part = PartitionId(0);
             let primary = eng.cluster.placement.primary_of(part);
-            eng.cluster.store(primary, part).unwrap().table.get(0).unwrap().version
+            eng.cluster
+                .store(primary, part)
+                .unwrap()
+                .table
+                .get(0)
+                .unwrap()
+                .version
         };
-        assert_eq!(key_version, report.commits + 1, "every commit bumped the version once");
+        assert_eq!(
+            key_version,
+            report.commits + 1,
+            "every commit bumped the version once"
+        );
     }
 
     #[test]
@@ -924,7 +1308,11 @@ mod tests {
                 eng.commit(txn);
             }
         }
-        let mut proto = Remasterer { target: sec, part, fired: false };
+        let mut proto = Remasterer {
+            target: sec,
+            part,
+            fired: false,
+        };
         eng.run(&mut proto, SECOND / 10);
         assert_eq!(eng.cluster.placement.primary_of(part), sec);
         assert_eq!(eng.metrics.remasters, 1);
@@ -934,7 +1322,10 @@ mod tests {
     #[test]
     fn join_helper_counts_branches() {
         let mut eng = Engine::new(tiny_cfg(), uniform_workload(4));
-        let id = eng.inject_txn(ClientId(0), TxnRequest::new(vec![Op::read(PartitionId(0), 1)]));
+        let id = eng.inject_txn(
+            ClientId(0),
+            TxnRequest::new(vec![Op::read(PartitionId(0), 1)]),
+        );
         eng.join_begin(id, 3);
         assert_eq!(eng.join_arrive(id, true), None);
         assert_eq!(eng.join_arrive(id, false), None);
@@ -950,7 +1341,9 @@ mod tests {
         let sec = eng.cluster.placement.secondaries_of(part)[0];
         eng.cluster.begin_remaster(part, sec, 0).unwrap();
         let id = eng.inject_txn(ClientId(0), TxnRequest::new(vec![Op::read(part, 1)]));
-        let err = eng.exec_op_at(NodeId(0), id, Op::read(part, 1)).unwrap_err();
+        let err = eng
+            .exec_op_at(NodeId(0), id, Op::read(part, 1))
+            .unwrap_err();
         assert!(matches!(err, OpFail::Blocked { .. }));
     }
 
@@ -971,7 +1364,10 @@ mod tests {
         );
         eng.exec_op_at(home, txn, Op::read(part, 1)).unwrap();
         eng.exec_op_at(home, txn, Op::write(part, 1)).unwrap();
-        assert!(eng.validate_at(home, txn), "prepare-lock taken at the old primary");
+        assert!(
+            eng.validate_at(home, txn),
+            "prepare-lock taken at the old primary"
+        );
 
         // Remaster completes between prepare and commit.
         let d = eng.cluster.begin_remaster(part, sec, eng.now()).unwrap();
@@ -982,16 +1378,144 @@ mod tests {
         // but the lock must be released everywhere.
         eng.install_at(home, txn);
         for holder in eng.cluster.placement.replica_nodes(part) {
-            let row = eng.cluster.store(holder, part).unwrap().table.get(1).unwrap();
+            let row = eng
+                .cluster
+                .store(holder, part)
+                .unwrap()
+                .table
+                .get(1)
+                .unwrap();
             assert!(row.lock.is_none(), "lock leaked on {holder}");
         }
         // A later transaction can lock the row at the new primary.
-        let txn2 = eng.inject_txn(
-            ClientId(1),
-            TxnRequest::new(vec![Op::write(part, 1)]),
-        );
-        eng.txn_mut(txn2).write_set.push(crate::txn::WriteEntry { part, key: 1 });
+        let txn2 = eng.inject_txn(ClientId(1), TxnRequest::new(vec![Op::write(part, 1)]));
+        eng.txn_mut(txn2)
+            .write_set
+            .push(crate::txn::WriteEntry { part, key: 1 });
         assert!(eng.validate_at(sec, txn2), "row must not be poisoned");
+    }
+
+    #[test]
+    fn scripted_crash_fails_over_and_keeps_committing() {
+        let mut cfg = EngineConfig::from(tiny_cfg());
+        cfg.faults = lion_faults::FaultPlan::new().crash_at(SECOND / 8, NodeId(1));
+        let mut eng = Engine::new(cfg, uniform_workload(4));
+        let report = eng.run(&mut TrivialProto, SECOND / 2);
+        assert_eq!(report.crashes, 1);
+        assert_eq!(
+            report.failovers, 2,
+            "both partitions primaried on N1 must promote their secondary"
+        );
+        assert_eq!(eng.cluster.placement.primaries_on(NodeId(1)), 0);
+        assert!(!eng.cluster.is_up(NodeId(1)));
+        assert!(report.commits > 100, "commits continue after the crash");
+        for f in &eng.metrics.failover_log {
+            assert_eq!(
+                f.promoted_head, f.dead_head,
+                "log continuity across failover"
+            );
+        }
+        assert_eq!(report.unavailability_windows, 2);
+        assert!(report.mean_recovery_latency_us >= eng.cfg.sim.failure_detect_us as f64);
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_and_recover_restores_replica_coverage() {
+        let mut cfg = EngineConfig::from(tiny_cfg());
+        cfg.faults = lion_faults::FaultPlan::single_failure(SECOND / 8, NodeId(1), SECOND / 4);
+        let mut eng = Engine::new(cfg, uniform_workload(4));
+        let report = eng.run(&mut TrivialProto, SECOND);
+        assert!(eng.cluster.is_up(NodeId(1)));
+        assert_eq!(report.crashes, 1);
+        assert!(
+            report.replica_adds > 0,
+            "recovered node re-joins via snapshot copies"
+        );
+        // After the rejoin copies land, every partition is fully replicated
+        // again (replication factor 2).
+        for p in 0..eng.cluster.n_partitions() {
+            assert_eq!(
+                eng.cluster.placement.replica_count(PartitionId(p as u32)),
+                2,
+                "P{p} must be back to full replication"
+            );
+        }
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    /// Regression: crashing the promotion target mid-promotion must not
+    /// panic. With a third replica the failover re-plans onto it; with none
+    /// left the partition stalls until the original primary recovers.
+    #[test]
+    fn crashing_the_promotion_target_replans_onto_survivor() {
+        let mut sim = tiny_cfg();
+        sim.nodes = 3;
+        sim.replication_factor = 3; // primary + 2 secondaries
+        let mut cfg = EngineConfig::from(sim);
+        // N1 is P1's primary; its failover (to N2, the lowest-id secondary)
+        // is still inside the ~53ms detect+handoff window when N2 dies too.
+        cfg.faults = lion_faults::FaultPlan::new()
+            .crash_at(SECOND / 8, NodeId(1))
+            .crash_at(SECOND / 8 + 20_000, NodeId(2));
+        let mut eng = Engine::new(cfg, uniform_workload(4));
+        let report = eng.run(&mut TrivialProto, SECOND / 2);
+        assert_eq!(report.crashes, 2);
+        // Every partition ends up primaried on the only survivor, N0.
+        for p in 0..eng.cluster.n_partitions() {
+            assert_eq!(
+                eng.cluster.placement.primary_of(PartitionId(p as u32)),
+                NodeId(0)
+            );
+        }
+        assert!(report.commits > 0, "the survivor keeps committing");
+        for f in &eng.metrics.failover_log {
+            assert_eq!(
+                f.to,
+                NodeId(0),
+                "re-planned promotions land on the survivor"
+            );
+            assert_eq!(
+                f.promoted_head, f.dead_head,
+                "log continuity survives the re-plan"
+            );
+        }
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crashing_the_only_promotion_target_stalls_until_recovery() {
+        let mut sim = tiny_cfg();
+        sim.nodes = 3;
+        sim.partitions_per_node = 1; // P0@N0, P1@N1, P2@N2; rf 2
+        let mut cfg = EngineConfig::from(sim);
+        // P1 fails over toward N2; N2 dies mid-promotion leaving no replica
+        // of P1 — it must stall, then resume when N1 restarts.
+        cfg.faults = lion_faults::FaultPlan::new()
+            .crash_at(SECOND / 8, NodeId(1))
+            .crash_at(SECOND / 8 + 20_000, NodeId(2))
+            .recover_at(SECOND / 4, NodeId(1));
+        let mut eng = Engine::new(cfg, uniform_workload(3));
+        let report = eng.run(&mut TrivialProto, SECOND);
+        assert_eq!(report.crashes, 2);
+        assert!(eng.cluster.is_up(NodeId(1)));
+        assert_eq!(
+            eng.cluster.placement.primary_of(PartitionId(1)),
+            NodeId(1),
+            "stalled partition restores in place on recovery"
+        );
+        assert!(!eng.cluster.parts[1].primary_down);
+        assert!(report.commits > 0);
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_fault_plan_is_rejected_at_run_start() {
+        let mut cfg = EngineConfig::from(tiny_cfg());
+        cfg.faults = lion_faults::FaultPlan::new().crash_at(10, NodeId(9));
+        let mut eng = Engine::new(cfg, uniform_workload(4));
+        eng.run(&mut TrivialProto, SECOND / 10);
     }
 
     #[test]
@@ -1021,7 +1545,11 @@ mod tests {
         cfg.batch_size = 32;
         let mut eng = Engine::new(cfg, uniform_workload(4));
         let report = eng.run(&mut BatchNoop, SECOND / 5);
-        assert!(report.commits >= 64, "at least two batches: {}", report.commits);
+        assert!(
+            report.commits >= 64,
+            "at least two batches: {}",
+            report.commits
+        );
         assert_eq!(report.commits % 32, 0, "whole batches commit");
     }
 }

@@ -23,7 +23,8 @@ pub mod report;
 pub mod txn;
 
 pub use engine::{Engine, EngineConfig, OpFail};
-pub use metrics::Metrics;
+pub use lion_faults::{FaultEvent, FaultKind, FaultNotice, FaultPlan};
+pub use metrics::{FailoverRecord, Metrics, UnavailWindow};
 pub use protocol::{Protocol, TickKind};
 pub use report::RunReport;
 pub use txn::{TxnClass, TxnCtx};

@@ -1,11 +1,52 @@
-//! Run metrics: counters, latency histogram, per-phase totals, time series.
+//! Run metrics: counters, latency histogram, per-phase totals, time series,
+//! and the availability bookkeeping behind the fault-injection figures.
 
-use lion_common::{Phase, Time};
+use lion_common::{NodeId, PartitionId, Phase, Time};
 use lion_sim::{Histogram, TimeSeries};
+use std::collections::HashMap;
 
 /// Time-series bucket width (1 simulated second), matching the granularity
 /// of the paper's timeline figures.
 pub const SERIES_BUCKET_US: Time = 1_000_000;
+
+/// Fine-grained goodput bucket width (100 ms): resolves the dip and ramp
+/// around a node failure, which 1 s buckets blur.
+pub const GOODPUT_BUCKET_US: Time = 100_000;
+
+/// One completed (or still open) window during which a partition could not
+/// serve operations because its primary was dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnavailWindow {
+    /// The partition.
+    pub part: PartitionId,
+    /// When the primary died.
+    pub from: Time,
+    /// When the partition was serving again (`None` while still open).
+    pub until: Option<Time>,
+}
+
+/// One completed failover promotion, for the replication-log replay checks
+/// and the recovery analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverRecord {
+    /// The partition that failed over.
+    pub part: PartitionId,
+    /// Dead node that held the primary.
+    pub from: NodeId,
+    /// Surviving node promoted to primary.
+    pub to: NodeId,
+    /// The dead primary's log head at the crash (durability frontier).
+    pub dead_head: u64,
+    /// The head the new primary adopted. Equal to `dead_head` when no
+    /// committed write was lost.
+    pub promoted_head: u64,
+    /// Replication lag (entries) the promotion had to sync.
+    pub lag: u64,
+    /// Crash time.
+    pub crashed_at: Time,
+    /// Promotion completion time.
+    pub completed_at: Time,
+}
 
 /// All metrics collected during a run.
 #[derive(Debug, Clone)]
@@ -49,6 +90,26 @@ pub struct Metrics {
     pub remaster_series: TimeSeries,
     /// Migrations per second.
     pub migration_series: TimeSeries,
+    /// Injected node crashes (including partition isolations).
+    pub crashes: u64,
+    /// Node restarts (including partition heals).
+    pub node_recoveries: u64,
+    /// Completed failover promotions.
+    pub failovers: u64,
+    /// In-flight transactions aborted because a node they touched died.
+    pub fault_aborts: u64,
+    /// Prepare-log entries replayed to survivors during failover.
+    pub replayed_entries: u64,
+    /// Per-partition crash→available recovery latency (µs).
+    pub recovery_latency: Histogram,
+    /// Per-partition unavailability windows, in crash order.
+    pub unavailability: Vec<UnavailWindow>,
+    /// Completed failovers with their log-continuity evidence.
+    pub failover_log: Vec<FailoverRecord>,
+    /// Commits per 100 ms bucket (goodput dip/ramp around failures).
+    pub goodput_series: TimeSeries,
+    /// Open unavailability windows keyed by partition index.
+    unavail_open: HashMap<u32, Time>,
 }
 
 impl Default for Metrics {
@@ -80,7 +141,56 @@ impl Metrics {
             bytes_series: TimeSeries::new(SERIES_BUCKET_US),
             remaster_series: TimeSeries::new(SERIES_BUCKET_US),
             migration_series: TimeSeries::new(SERIES_BUCKET_US),
+            crashes: 0,
+            node_recoveries: 0,
+            failovers: 0,
+            fault_aborts: 0,
+            replayed_entries: 0,
+            recovery_latency: Histogram::new(),
+            unavailability: Vec::new(),
+            failover_log: Vec::new(),
+            goodput_series: TimeSeries::new(GOODPUT_BUCKET_US),
+            unavail_open: HashMap::new(),
         }
+    }
+
+    /// Opens an unavailability window for `part` (its primary died at `at`).
+    pub fn unavail_begin(&mut self, part: PartitionId, at: Time) {
+        if self.unavail_open.contains_key(&part.0) {
+            return; // already tracked (e.g. stalled partition re-reported)
+        }
+        self.unavail_open.insert(part.0, at);
+        self.unavailability.push(UnavailWindow {
+            part,
+            from: at,
+            until: None,
+        });
+    }
+
+    /// Closes the open unavailability window for `part`: the partition can
+    /// serve again at `at`. Records the recovery latency.
+    pub fn unavail_end(&mut self, part: PartitionId, at: Time) {
+        let Some(from) = self.unavail_open.remove(&part.0) else {
+            return;
+        };
+        if let Some(w) = self
+            .unavailability
+            .iter_mut()
+            .rev()
+            .find(|w| w.part == part && w.until.is_none())
+        {
+            w.until = Some(at);
+        }
+        self.recovery_latency.record(at.saturating_sub(from));
+    }
+
+    /// Total partition-unavailability µs, counting windows still open at
+    /// `horizon` as ending there.
+    pub fn unavailability_us(&self, horizon: Time) -> u128 {
+        self.unavailability
+            .iter()
+            .map(|w| (w.until.unwrap_or(horizon).saturating_sub(w.from)) as u128)
+            .sum()
     }
 
     /// Records bytes on the wire at time `at`.
@@ -156,6 +266,25 @@ mod tests {
         m.replication_bytes = 100;
         assert!((m.abort_rate() - 0.2).abs() < 1e-9);
         assert!((m.bytes_per_txn() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unavailability_windows_open_close_and_clip() {
+        let mut m = Metrics::new();
+        let p = PartitionId(3);
+        m.unavail_begin(p, 1_000);
+        m.unavail_begin(p, 2_000); // duplicate begin is ignored
+        m.unavail_end(p, 51_000);
+        assert_eq!(m.unavailability.len(), 1);
+        assert_eq!(m.unavailability[0].until, Some(51_000));
+        assert_eq!(m.recovery_latency.count(), 1);
+        assert_eq!(m.recovery_latency.max(), 50_000);
+        // A window still open at the horizon is clipped there.
+        m.unavail_begin(PartitionId(4), 80_000);
+        assert_eq!(m.unavailability_us(100_000), 50_000 + 20_000);
+        // Ending a partition that never began is a no-op.
+        m.unavail_end(PartitionId(9), 5);
+        assert_eq!(m.unavailability.len(), 2);
     }
 
     #[test]

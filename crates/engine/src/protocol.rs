@@ -3,6 +3,7 @@
 
 use crate::engine::Engine;
 use lion_common::TxnId;
+use lion_faults::FaultNotice;
 
 /// Periodic engine ticks delivered to the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,4 +46,13 @@ pub trait Protocol {
     /// A batch was armed (batch mode only): all transactions are live in the
     /// engine; the protocol must drive each to `commit` or `defer`.
     fn on_batch(&mut self, _eng: &mut Engine, _batch: &[TxnId]) {}
+
+    /// A fault event changed the topology (node crash/recovery, failover
+    /// completion). The engine has already handled the mechanics — aborting
+    /// in-flight transactions, scheduling promotions — before this fires;
+    /// protocols use the hook to adapt routing or re-plan placement. The
+    /// default ignores it, which is the honest behaviour for the baselines:
+    /// they keep routing by the (updated) placement map and simply eat the
+    /// disruption.
+    fn on_fault(&mut self, _eng: &mut Engine, _notice: &FaultNotice) {}
 }

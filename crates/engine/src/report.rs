@@ -39,6 +39,25 @@ pub struct RunReport {
     pub throughput_series: Vec<f64>,
     /// Network bytes per committed transaction, per 1 s bucket (Fig. 12b).
     pub bytes_per_txn_series: Vec<f64>,
+    /// Injected node crashes.
+    pub crashes: u64,
+    /// Completed failover promotions.
+    pub failovers: u64,
+    /// In-flight transactions aborted by node failures.
+    pub fault_aborts: u64,
+    /// Prepare-log entries replayed to survivors during failovers.
+    pub replayed_entries: u64,
+    /// Mean per-partition recovery latency (crash → serving again), µs.
+    pub mean_recovery_latency_us: f64,
+    /// Worst per-partition recovery latency, µs.
+    pub max_recovery_latency_us: Time,
+    /// Total partition-unavailability time (open windows clipped at the
+    /// horizon), µs.
+    pub unavailability_us: u128,
+    /// Number of partition unavailability windows.
+    pub unavailability_windows: usize,
+    /// Commits per second at 100 ms resolution (goodput dip/ramp analysis).
+    pub goodput_series: Vec<f64>,
 }
 
 impl RunReport {
@@ -76,6 +95,15 @@ impl RunReport {
             abort_rate: m.abort_rate(),
             throughput_series,
             bytes_per_txn_series,
+            crashes: m.crashes,
+            failovers: m.failovers,
+            fault_aborts: m.fault_aborts,
+            replayed_entries: m.replayed_entries,
+            mean_recovery_latency_us: m.recovery_latency.mean(),
+            max_recovery_latency_us: m.recovery_latency.max(),
+            unavailability_us: m.unavailability_us(duration_us),
+            unavailability_windows: m.unavailability.len(),
+            goodput_series: m.goodput_series.rates_per_sec(),
         }
     }
 
@@ -93,6 +121,44 @@ impl RunReport {
             self.abort_rate * 100.0,
             self.bytes_per_txn,
         )
+    }
+
+    /// One-line availability/recovery summary (Fig. F1 rows). Empty stats
+    /// read as zeros for runs without a fault plan.
+    pub fn failover_row(&self) -> String {
+        format!(
+            "{:<10} crashes={} failovers={} fault_aborts={:>4} replayed={:>4}  recovery: mean={:>7.0}us max={:>7}us  unavail={:>8}us over {} windows",
+            self.protocol,
+            self.crashes,
+            self.failovers,
+            self.fault_aborts,
+            self.replayed_entries,
+            self.mean_recovery_latency_us,
+            self.max_recovery_latency_us,
+            self.unavailability_us,
+            self.unavailability_windows,
+        )
+    }
+
+    /// Time from `after` until sustained goodput first reaches `frac` of the
+    /// pre-fault baseline (mean goodput over `[0, baseline_until)`), in µs.
+    /// `None` when the run never recovers to that level.
+    pub fn recovery_ramp_us(&self, baseline_until: Time, after: Time, frac: f64) -> Option<Time> {
+        let bucket = crate::metrics::GOODPUT_BUCKET_US;
+        let base_buckets = (baseline_until / bucket).max(1) as usize;
+        let baseline: f64 =
+            self.goodput_series.iter().take(base_buckets).sum::<f64>() / base_buckets as f64;
+        if baseline <= 0.0 {
+            return Some(0);
+        }
+        let target = baseline * frac;
+        let start = (after / bucket) as usize;
+        self.goodput_series
+            .iter()
+            .enumerate()
+            .skip(start)
+            .find(|(_, &v)| v >= target)
+            .map(|(i, _)| (i as Time * bucket).saturating_sub(after))
     }
 
     /// Phase breakdown as labeled percentages (Fig. 14b row).

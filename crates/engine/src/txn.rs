@@ -73,6 +73,9 @@ pub struct TxnCtx {
     pub scratch: u64,
     /// Accumulated per-phase time for the latency breakdown (µs).
     pub phase_us: [u64; 5],
+    /// Parked between attempts (retry back-off / deferred to the next
+    /// batch): not in flight, so fault aborts must not touch it again.
+    pub parked: bool,
 }
 
 impl TxnCtx {
@@ -97,6 +100,7 @@ impl TxnCtx {
             step: 0,
             scratch: 0,
             phase_us: [0; 5],
+            parked: false,
         }
     }
 
@@ -159,7 +163,11 @@ mod tests {
     fn retry_resets_attempt_state() {
         let req = TxnRequest::new(vec![Op::read(p(0), 1)]);
         let mut ctx = TxnCtx::new(TxnId(1), ClientId(0), req, 100);
-        ctx.read_set.push(ReadEntry { part: p(0), key: 1, version: 3 });
+        ctx.read_set.push(ReadEntry {
+            part: p(0),
+            key: 1,
+            version: 3,
+        });
         ctx.pending = 2;
         ctx.failed = true;
         ctx.class = TxnClass::Distributed;

@@ -1,0 +1,274 @@
+//! The fault-plan DSL: deterministic failure scripts on the virtual clock.
+
+use lion_common::{NodeId, Time};
+use std::fmt;
+
+/// What happens at a fault event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node halts and its volatile state (unshipped epoch buffers) is
+    /// lost; committed writes survive via the prepare logs replicated to
+    /// secondaries.
+    Crash(NodeId),
+    /// The node restarts with its durable state and re-joins.
+    Recover(NodeId),
+    /// A network partition isolates the listed nodes from the rest of the
+    /// cluster. The surviving majority side treats them as failed.
+    Partition(Vec<NodeId>),
+    /// The network partition heals; isolated nodes re-join.
+    Heal,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual time (µs) the event fires.
+    pub at: Time,
+    /// The event.
+    pub kind: FaultKind,
+}
+
+/// Errors found by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A node id is out of range for the cluster.
+    UnknownNode(NodeId),
+    /// Crash/isolate of a node that is already down at that point.
+    AlreadyDown(NodeId),
+    /// Recover of a node that is up at that point.
+    AlreadyUp(NodeId),
+    /// The plan would take down every node in the cluster.
+    WholeClusterDown(Time),
+    /// `Heal` without a preceding un-healed `Partition`.
+    HealWithoutPartition(Time),
+    /// A second `Partition` before the first healed.
+    AlreadyPartitioned(Time),
+    /// An empty isolation set.
+    EmptyPartition(Time),
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            FaultPlanError::AlreadyDown(n) => write!(f, "{n} is already down"),
+            FaultPlanError::AlreadyUp(n) => write!(f, "{n} is already up"),
+            FaultPlanError::WholeClusterDown(t) => {
+                write!(f, "plan takes the whole cluster down at t={t}µs")
+            }
+            FaultPlanError::HealWithoutPartition(t) => {
+                write!(f, "heal at t={t}µs without an open network partition")
+            }
+            FaultPlanError::AlreadyPartitioned(t) => {
+                write!(
+                    f,
+                    "second network partition at t={t}µs before the first healed"
+                )
+            }
+            FaultPlanError::EmptyPartition(t) => {
+                write!(f, "network partition at t={t}µs isolates no nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// An ordered, deterministic script of fault events.
+///
+/// Built with the `*_at` combinators; events keep insertion order within the
+/// same timestamp and are sorted stably by time, so the execution order is a
+/// pure function of the plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the default for every run).
+    pub fn new() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Alias for [`FaultPlan::new`], reading better at call sites.
+    pub fn none() -> Self {
+        Self::new()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    fn push(mut self, at: Time, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        // Stable sort: same-time events fire in insertion order.
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Schedules a crash of `node` at `at`.
+    pub fn crash_at(self, at: Time, node: NodeId) -> Self {
+        self.push(at, FaultKind::Crash(node))
+    }
+
+    /// Schedules a restart of `node` at `at`.
+    pub fn recover_at(self, at: Time, node: NodeId) -> Self {
+        self.push(at, FaultKind::Recover(node))
+    }
+
+    /// Schedules a network partition isolating `nodes` at `at`.
+    pub fn partition_at(self, at: Time, nodes: Vec<NodeId>) -> Self {
+        self.push(at, FaultKind::Partition(nodes))
+    }
+
+    /// Schedules the heal of the open network partition at `at`.
+    pub fn heal_at(self, at: Time) -> Self {
+        self.push(at, FaultKind::Heal)
+    }
+
+    /// Convenience: one crash/recover cycle of a single node.
+    pub fn single_failure(crash_at: Time, node: NodeId, recover_at: Time) -> Self {
+        assert!(crash_at < recover_at, "recovery must follow the crash");
+        Self::new()
+            .crash_at(crash_at, node)
+            .recover_at(recover_at, node)
+    }
+
+    /// Checks the plan against a cluster of `n_nodes` nodes: ids in range,
+    /// no double-crash / double-recover, heals paired with partitions, and
+    /// at least one node left alive at every point.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), FaultPlanError> {
+        let mut down = vec![false; n_nodes];
+        let mut isolated: Option<Vec<NodeId>> = None;
+        let check = |n: NodeId| {
+            if n.idx() >= n_nodes {
+                Err(FaultPlanError::UnknownNode(n))
+            } else {
+                Ok(())
+            }
+        };
+        for ev in &self.events {
+            match &ev.kind {
+                FaultKind::Crash(n) => {
+                    check(*n)?;
+                    if down[n.idx()] {
+                        return Err(FaultPlanError::AlreadyDown(*n));
+                    }
+                    down[n.idx()] = true;
+                }
+                FaultKind::Recover(n) => {
+                    check(*n)?;
+                    if !down[n.idx()] {
+                        return Err(FaultPlanError::AlreadyUp(*n));
+                    }
+                    down[n.idx()] = false;
+                }
+                FaultKind::Partition(nodes) => {
+                    if isolated.is_some() {
+                        return Err(FaultPlanError::AlreadyPartitioned(ev.at));
+                    }
+                    if nodes.is_empty() {
+                        return Err(FaultPlanError::EmptyPartition(ev.at));
+                    }
+                    for n in nodes {
+                        check(*n)?;
+                        if down[n.idx()] {
+                            return Err(FaultPlanError::AlreadyDown(*n));
+                        }
+                        down[n.idx()] = true;
+                    }
+                    isolated = Some(nodes.clone());
+                }
+                FaultKind::Heal => match isolated.take() {
+                    Some(nodes) => {
+                        for n in nodes {
+                            down[n.idx()] = false;
+                        }
+                    }
+                    None => return Err(FaultPlanError::HealWithoutPartition(ev.at)),
+                },
+            }
+            if down.iter().all(|&d| d) {
+                return Err(FaultPlanError::WholeClusterDown(ev.at));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn builder_sorts_stably_by_time() {
+        let plan = FaultPlan::new()
+            .recover_at(500, n(0))
+            .crash_at(100, n(0))
+            .crash_at(500, n(1))
+            .recover_at(900, n(1));
+        let at: Vec<Time> = plan.events().iter().map(|e| e.at).collect();
+        assert_eq!(at, vec![100, 500, 500, 900]);
+        // same-time events keep insertion order: recover(n0) before crash(n1)
+        assert_eq!(plan.events()[1].kind, FaultKind::Recover(n(0)));
+        assert_eq!(plan.events()[2].kind, FaultKind::Crash(n(1)));
+        assert!(plan.validate(2).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_double_crash_and_unknown_nodes() {
+        let p = FaultPlan::new().crash_at(1, n(0)).crash_at(2, n(0));
+        assert_eq!(p.validate(4), Err(FaultPlanError::AlreadyDown(n(0))));
+        let p = FaultPlan::new().crash_at(1, n(9));
+        assert_eq!(p.validate(4), Err(FaultPlanError::UnknownNode(n(9))));
+        let p = FaultPlan::new().recover_at(1, n(0));
+        assert_eq!(p.validate(4), Err(FaultPlanError::AlreadyUp(n(0))));
+    }
+
+    #[test]
+    fn validate_rejects_killing_everyone() {
+        let p = FaultPlan::new().crash_at(1, n(0)).crash_at(2, n(1));
+        assert_eq!(p.validate(2), Err(FaultPlanError::WholeClusterDown(2)));
+        assert!(p.validate(3).is_ok());
+    }
+
+    #[test]
+    fn partition_heal_pairing() {
+        let p = FaultPlan::new().heal_at(5);
+        assert_eq!(p.validate(2), Err(FaultPlanError::HealWithoutPartition(5)));
+        let p = FaultPlan::new()
+            .partition_at(1, vec![n(1)])
+            .partition_at(2, vec![n(2)]);
+        assert_eq!(p.validate(4), Err(FaultPlanError::AlreadyPartitioned(2)));
+        let p = FaultPlan::new().partition_at(1, vec![]);
+        assert_eq!(p.validate(4), Err(FaultPlanError::EmptyPartition(1)));
+        let p = FaultPlan::new()
+            .partition_at(1, vec![n(1), n(2)])
+            .heal_at(9)
+            .partition_at(10, vec![n(0)])
+            .heal_at(20);
+        assert!(p.validate(4).is_ok());
+    }
+
+    #[test]
+    fn single_failure_roundtrip() {
+        let p = FaultPlan::single_failure(1_000, n(2), 5_000);
+        assert_eq!(p.len(), 2);
+        assert!(p.validate(4).is_ok());
+    }
+}

@@ -1,0 +1,182 @@
+//! The recovery coordinator's decision logic: which surviving replica takes
+//! over a dead primary's partition, and what the promotion costs.
+//!
+//! Promotion is priced exactly as remastering is priced during normal
+//! operation (§III): the configured hand-off window plus one microsecond per
+//! log entry of replication lag the new primary must sync — on top of the
+//! failure-detection delay that a crash (unlike a planned remaster) pays
+//! first.
+
+use lion_cluster::{Cluster, LAG_SYNC_US_PER_ENTRY};
+use lion_common::{NodeId, PartitionId, SimConfig, Time};
+
+/// Promotion price: failure detection + remaster hand-off + lag sync, the
+/// same per-entry rate normal remastering pays.
+pub fn price_promotion(cfg: &SimConfig, lag: u64) -> Time {
+    cfg.failure_detect_us + cfg.remaster_delay_us + lag * LAG_SYNC_US_PER_ENTRY
+}
+
+/// One surviving replica considered for promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotionCandidate {
+    /// Node holding the replica.
+    pub node: NodeId,
+    /// Highest densely-applied LSN (the replica's durability frontier).
+    pub applied_lsn: u64,
+    /// True when the replica observed out-of-order entries it could not yet
+    /// apply — its applied-epoch prefix has a gap and it must not lead.
+    pub has_gap: bool,
+}
+
+/// Picks the promotion target among `candidates`: the freshest gap-free
+/// replica (highest `applied_lsn`), ties broken toward the lowest node id so
+/// the choice is a pure function of the candidate set.
+pub fn select_promotion_target(candidates: &[PromotionCandidate]) -> Option<NodeId> {
+    candidates
+        .iter()
+        .filter(|c| !c.has_gap)
+        .max_by(|a, b| {
+            a.applied_lsn
+                .cmp(&b.applied_lsn)
+                // prefer the *lower* node id on equal freshness
+                .then_with(|| b.node.cmp(&a.node))
+        })
+        .map(|c| c.node)
+}
+
+/// The coordinator's decision for one orphaned partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverDecision {
+    /// The partition whose primary died.
+    pub part: PartitionId,
+    /// The dead node that held the primary.
+    pub dead: NodeId,
+    /// Chosen promotion target; `None` when no live gap-free replica exists
+    /// and the partition stalls until the node recovers.
+    pub target: Option<NodeId>,
+    /// Replication lag (log entries) the target must sync before serving.
+    pub lag: u64,
+    /// Promotion duration on the virtual clock: failure detection + hand-off
+    /// window + lag sync. Zero when the partition stalls.
+    pub duration: Time,
+}
+
+/// Surviving replicas of `part` eligible for promotion, with their
+/// durability frontiers read from the [`lion_storage::ReplicaStore`]s.
+pub fn promotion_candidates(cluster: &Cluster, part: PartitionId) -> Vec<PromotionCandidate> {
+    cluster
+        .placement
+        .secondaries_of(part)
+        .iter()
+        .copied()
+        .filter(|&n| cluster.is_up(n))
+        .filter_map(|n| {
+            cluster.store(n, part).map(|s| PromotionCandidate {
+                node: n,
+                applied_lsn: s.applied_lsn,
+                has_gap: s.has_gap(),
+            })
+        })
+        .collect()
+}
+
+/// Plans the failover of every partition whose primary sits on the (already
+/// crashed) node `dead`. Pure decision logic: the engine executes the
+/// returned decisions by scheduling promotions on the virtual clock.
+pub fn plan_failover(cluster: &Cluster, dead: NodeId) -> Vec<FailoverDecision> {
+    let cfg = &cluster.cfg;
+    let mut out = Vec::new();
+    for part in cluster.placement.primary_partitions_on(dead) {
+        let head = cluster
+            .store(dead, part)
+            .map(|s| s.log.head_lsn())
+            .unwrap_or(0);
+        let candidates = promotion_candidates(cluster, part);
+        let target = select_promotion_target(&candidates);
+        let (lag, duration) = match target {
+            Some(node) => {
+                let applied = candidates
+                    .iter()
+                    .find(|c| c.node == node)
+                    .expect("target drawn from candidates")
+                    .applied_lsn;
+                let lag = head.saturating_sub(applied);
+                (lag, price_promotion(cfg, lag))
+            }
+            None => (0, 0),
+        };
+        out.push(FailoverDecision {
+            part,
+            dead,
+            target,
+            lag,
+            duration,
+        });
+    }
+    // Deterministic order regardless of placement-map iteration details.
+    out.sort_by_key(|d| d.part);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(node: u16, applied: u64, gap: bool) -> PromotionCandidate {
+        PromotionCandidate {
+            node: NodeId(node),
+            applied_lsn: applied,
+            has_gap: gap,
+        }
+    }
+
+    #[test]
+    fn freshest_wins() {
+        let c = [cand(2, 5, false), cand(1, 9, false), cand(3, 7, false)];
+        assert_eq!(select_promotion_target(&c), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn ties_break_to_lowest_node_id() {
+        let c = [cand(3, 9, false), cand(1, 9, false), cand(2, 9, false)];
+        assert_eq!(select_promotion_target(&c), Some(NodeId(1)));
+        // order independence
+        let mut r = c;
+        r.reverse();
+        assert_eq!(select_promotion_target(&r), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn gapped_replicas_never_lead() {
+        let c = [cand(1, 100, true), cand(2, 3, false)];
+        assert_eq!(select_promotion_target(&c), Some(NodeId(2)));
+        let all_gapped = [cand(1, 100, true), cand(2, 50, true)];
+        assert_eq!(select_promotion_target(&all_gapped), None);
+        assert_eq!(select_promotion_target(&[]), None);
+    }
+
+    #[test]
+    fn plan_failover_covers_every_orphaned_partition() {
+        use lion_common::SimConfig;
+        let cfg = SimConfig {
+            nodes: 3,
+            partitions_per_node: 2,
+            keys_per_partition: 32,
+            value_size: 16,
+            replication_factor: 2,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::new(cfg);
+        let dead = NodeId(0);
+        cluster.crash_node(dead, 1_000);
+        let decisions = plan_failover(&cluster, dead);
+        // round-robin over 3 nodes: P0 and P3 are primaried on N0
+        assert_eq!(decisions.len(), 2);
+        for d in &decisions {
+            assert_eq!(d.dead, dead);
+            let t = d.target.expect("replication factor 2 leaves a secondary");
+            assert!(cluster.is_up(t));
+            assert!(d.duration >= cluster.cfg.failure_detect_us + cluster.cfg.remaster_delay_us);
+        }
+    }
+}

@@ -24,7 +24,11 @@ pub struct Clump {
 impl Clump {
     /// Builds a clump over `parts` with total weight `weight`.
     pub fn new(parts: Vec<PartitionId>, weight: f64) -> Self {
-        Clump { parts, weight, dest: None }
+        Clump {
+            parts,
+            weight,
+            dest: None,
+        }
     }
 }
 
@@ -57,7 +61,11 @@ pub fn generate_clumps(graph: &HeatGraph, alpha: f64, max_size: usize) -> Vec<Cl
                 .neighbors(v)
                 .filter(|(adj, w)| !visited[adj.idx()] && *w >= alpha)
                 .collect();
-            neigh.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0 .0.cmp(&b.0 .0)));
+            neigh.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("finite")
+                    .then(a.0 .0.cmp(&b.0 .0))
+            });
             for (adj, _) in neigh {
                 if visited[adj.idx()] {
                     continue;
@@ -129,7 +137,11 @@ mod tests {
         let mut dedup = all.clone();
         dedup.dedup();
         assert_eq!(all, dedup, "clumps must be disjoint");
-        assert_eq!(all, vec![p(0), p(1), p(2), p(4)], "and cover accessed vertices");
+        assert_eq!(
+            all,
+            vec![p(0), p(1), p(2), p(4)],
+            "and cover accessed vertices"
+        );
     }
 
     #[test]

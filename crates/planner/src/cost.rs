@@ -18,7 +18,10 @@ impl Default for CostWeights {
     fn default() -> Self {
         // Calibrated to the default timing knobs: a migration moves a full
         // partition (~ms of transfer) while a remaster only syncs the lag.
-        CostWeights { w_r: 1.0, w_m: 10.0 }
+        CostWeights {
+            w_r: 1.0,
+            w_m: 10.0,
+        }
     }
 }
 
@@ -102,7 +105,9 @@ pub fn execution_cost(
         }
     }
     let class = if remote > 0 {
-        TxnPlacementClass::Distributed { remote_parts: remote }
+        TxnPlacementClass::Distributed {
+            remote_parts: remote,
+        }
     } else if remasters > 0 {
         TxnPlacementClass::NeedsRemaster { count: remasters }
     } else {
@@ -165,7 +170,10 @@ mod tests {
         pl.add_secondary(p(4), n(1)).unwrap();
 
         let freq = vec![0.0; 5]; // "all replicas have ~the same access frequency"
-        let w = CostWeights { w_r: 1.0, w_m: 10.0 };
+        let w = CostWeights {
+            w_r: 1.0,
+            w_m: 10.0,
+        };
         let clump = [p(0), p(1)];
         let c_n1 = placement_cost(&pl, &freq, &clump, n(0), w);
         let c_n2 = placement_cost(&pl, &freq, &clump, n(1), w);

@@ -25,5 +25,7 @@ pub mod schism;
 pub use clump::{generate_clumps, Clump};
 pub use cost::{execution_cost, placement_cost, CostWeights, TxnPlacementClass};
 pub use graph::HeatGraph;
-pub use rearrange::{rearrange, PlanAction, PlanEntry, PlannerConfig, ReconfigurationPlan};
+pub use rearrange::{
+    rearrange, rearrange_with_live, PlanAction, PlanEntry, PlannerConfig, ReconfigurationPlan,
+};
 pub use schism::{schism_partition, schism_plan};

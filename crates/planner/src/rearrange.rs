@@ -118,15 +118,22 @@ impl ReconfigurationPlan {
     }
 }
 
-/// Per-node balance state for the fine-tuning phase.
+/// Per-node balance state for the fine-tuning phase. Dead nodes (fault
+/// injection) are excluded from averages and from both the overloaded and
+/// idle candidate lists, so plans never route load at a crashed executor.
 struct Balance {
     load: Vec<f64>,
+    live: Vec<bool>,
     total: f64,
 }
 
 impl Balance {
-    fn new(n: usize) -> Self {
-        Balance { load: vec![0.0; n], total: 0.0 }
+    fn new(live: Vec<bool>) -> Self {
+        Balance {
+            load: vec![0.0; live.len()],
+            live,
+            total: 0.0,
+        }
     }
     fn add(&mut self, node: NodeId, w: f64) {
         self.load[node.idx()] += w;
@@ -136,24 +143,33 @@ impl Balance {
         self.load[from.idx()] -= w;
         self.load[to.idx()] += w;
     }
+    fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
     fn avg(&self) -> f64 {
-        self.total / self.load.len() as f64
+        self.total / self.live_count().max(1) as f64
     }
     fn theta(&self, epsilon: f64) -> f64 {
         self.avg() * (1.0 + epsilon)
     }
-    /// `CheckBalance`: every node under θ.
+    /// `CheckBalance`: every live node under θ.
     fn balanced(&self, epsilon: f64) -> bool {
         let theta = self.theta(epsilon);
-        self.load.iter().all(|&l| l <= theta + 1e-9)
+        self.load
+            .iter()
+            .zip(&self.live)
+            .all(|(&l, &up)| !up || l <= theta + 1e-9)
     }
-    /// `FindOINodes`: overloaded (> θ) and idle (< avg) nodes.
+    /// `FindOINodes`: overloaded (> θ) and idle (< avg) live nodes.
     fn overloaded_and_idle(&self, epsilon: f64) -> (Vec<NodeId>, Vec<NodeId>) {
         let theta = self.theta(epsilon);
         let avg = self.avg();
         let mut over: Vec<NodeId> = Vec::new();
         let mut idle: Vec<NodeId> = Vec::new();
         for (i, &l) in self.load.iter().enumerate() {
+            if !self.live[i] {
+                continue;
+            }
             if l > theta + 1e-9 {
                 over.push(NodeId(i as u16));
             } else if l < avg - 1e-9 {
@@ -161,7 +177,11 @@ impl Balance {
             }
         }
         // Most overloaded first.
-        over.sort_by(|a, b| self.load[b.idx()].partial_cmp(&self.load[a.idx()]).expect("finite"));
+        over.sort_by(|a, b| {
+            self.load[b.idx()]
+                .partial_cmp(&self.load[a.idx()])
+                .expect("finite")
+        });
         (over, idle)
     }
 }
@@ -184,6 +204,11 @@ fn find_dst_node(
     let mut best_cost = f64::INFINITY;
     for n in 0..n_nodes as u16 {
         let node = NodeId(n);
+        if !balance.live[node.idx()] {
+            // A dead node can neither host primaries nor receive copies.
+            mc_row.push(f64::INFINITY);
+            continue;
+        }
         let cost = placement_cost(placement, freq, &clump.parts, node, weights);
         mc_row.push(cost);
         let better = cost < best_cost - 1e-12
@@ -203,14 +228,29 @@ fn find_dst_node(
 /// replica at the destination: `AddReplica` (Lion) or `Migrate`
 /// (replica-oblivious baselines / ablations).
 pub fn rearrange(
-    mut clumps: Vec<Clump>,
+    clumps: Vec<Clump>,
     placement: &Placement,
     freq: &[f64],
     cfg: &PlannerConfig,
     replica_aware: bool,
 ) -> ReconfigurationPlan {
+    let live = vec![true; placement.n_nodes()];
+    rearrange_with_live(clumps, placement, freq, cfg, replica_aware, &live)
+}
+
+/// [`rearrange`] with a node-liveness mask: dead nodes (fault injection)
+/// receive no clumps, no replicas, and are ignored by the load balancer.
+pub fn rearrange_with_live(
+    mut clumps: Vec<Clump>,
+    placement: &Placement,
+    freq: &[f64],
+    cfg: &PlannerConfig,
+    replica_aware: bool,
+    live: &[bool],
+) -> ReconfigurationPlan {
     let n_nodes = placement.n_nodes();
-    let mut balance = Balance::new(n_nodes);
+    debug_assert_eq!(live.len(), n_nodes);
+    let mut balance = Balance::new(live.to_vec());
     let mut mc: Vec<Vec<f64>> = vec![Vec::new(); clumps.len()];
     // Per-node clump index lists (the priority queues `q`), kept sorted by
     // ascending weight lazily at pick time.
@@ -245,7 +285,10 @@ pub fn rearrange(
                 }
                 let mut candidates: Vec<usize> = q[on.idx()].clone();
                 candidates.sort_by(|&a, &b| {
-                    clumps[b].weight.partial_cmp(&clumps[a].weight).expect("finite")
+                    clumps[b]
+                        .weight
+                        .partial_cmp(&clumps[a].weight)
+                        .expect("finite")
                 });
                 for idx in candidates {
                     if clumps[idx].dest != Some(on) || clumps[idx].weight > gap + 1e-9 {
@@ -256,7 +299,9 @@ pub fn rearrange(
                         .iter()
                         .copied()
                         .min_by(|a, b| {
-                            mc[idx][a.idx()].partial_cmp(&mc[idx][b.idx()]).expect("finite")
+                            mc[idx][a.idx()]
+                                .partial_cmp(&mc[idx][b.idx()])
+                                .expect("finite")
                         })
                         .expect("idle set non-empty");
                     picked = Some((idx, on, dest));
@@ -344,7 +389,10 @@ mod tests {
     fn cfg() -> PlannerConfig {
         PlannerConfig {
             epsilon: 0.5, // avg = 3, θ = 4.5: N1's 6 triggers fine-tuning
-            weights: CostWeights { w_r: 1.0, w_m: 10.0 },
+            weights: CostWeights {
+                w_r: 1.0,
+                w_m: 10.0,
+            },
             ..Default::default()
         }
     }
@@ -363,16 +411,24 @@ mod tests {
         assert_eq!(dest_of(p(2)), n(1), "C2 on N2 (free)");
         assert_eq!(dest_of(p(3)), n(2), "C3 on N3 (free)");
         assert_eq!(dest_of(p(4)), n(1), "C4 fine-tuned from N1 to N2");
-        assert!((plan.total_cost - 2.0).abs() < 1e-9, "2 * w_r, got {}", plan.total_cost);
+        assert!(
+            (plan.total_cost - 2.0).abs() < 1e-9,
+            "2 * w_r, got {}",
+            plan.total_cost
+        );
 
         // Actions: P2 remasters onto N1; P5 remasters onto N2.
         assert_eq!(plan.entries.len(), 2);
-        assert!(plan
-            .entries
-            .contains(&PlanEntry { part: p(1), dest: n(0), action: PlanAction::Remaster }));
-        assert!(plan
-            .entries
-            .contains(&PlanEntry { part: p(4), dest: n(1), action: PlanAction::Remaster }));
+        assert!(plan.entries.contains(&PlanEntry {
+            part: p(1),
+            dest: n(0),
+            action: PlanAction::Remaster
+        }));
+        assert!(plan.entries.contains(&PlanEntry {
+            part: p(4),
+            dest: n(1),
+            action: PlanAction::Remaster
+        }));
     }
 
     #[test]
@@ -411,10 +467,13 @@ mod tests {
     fn balanced_input_requires_no_moves() {
         let pl = Placement::round_robin(4, 4, 2);
         // one singleton clump per partition, each already home
-        let clumps: Vec<Clump> =
-            (0..4).map(|i| Clump::new(vec![p(i)], 1.0)).collect();
+        let clumps: Vec<Clump> = (0..4).map(|i| Clump::new(vec![p(i)], 1.0)).collect();
         let plan = rearrange(clumps, &pl, &[0.0; 4], &PlannerConfig::default(), true);
-        assert!(plan.entries.is_empty(), "everything already in place: {:?}", plan.entries);
+        assert!(
+            plan.entries.is_empty(),
+            "everything already in place: {:?}",
+            plan.entries
+        );
         assert_eq!(plan.total_cost, 0.0);
     }
 
@@ -426,7 +485,10 @@ mod tests {
             pl.migrate_primary(p(i), n(0)).unwrap();
         }
         let clumps: Vec<Clump> = (0..4).map(|i| Clump::new(vec![p(i)], 1.0)).collect();
-        let cfg = PlannerConfig { epsilon: 0.1, ..Default::default() };
+        let cfg = PlannerConfig {
+            epsilon: 0.1,
+            ..Default::default()
+        };
         let plan = rearrange(clumps, &pl, &[0.0; 4], &cfg, true);
         let mut on_n1 = 0;
         for (parts, dest) in &plan.assignments {

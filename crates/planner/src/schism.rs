@@ -18,11 +18,7 @@ use lion_common::{NodeId, PartitionId, Placement};
 /// Returns `assignment[p] = Some(node)` for accessed partitions, `None` for
 /// untouched ones. `slack` is the allowed overshoot over perfectly even load
 /// (0.25 ⇒ a node may carry 125% of the average).
-pub fn schism_partition(
-    graph: &HeatGraph,
-    n_nodes: usize,
-    slack: f64,
-) -> Vec<Option<NodeId>> {
+pub fn schism_partition(graph: &HeatGraph, n_nodes: usize, slack: f64) -> Vec<Option<NodeId>> {
     assert!(n_nodes > 0);
     let order = graph.hot_vertices();
     let total_w: f64 = order.iter().map(|&v| graph.vertex_weight(v)).sum();
@@ -31,7 +27,11 @@ pub fn schism_partition(
     let mut assignment: Vec<Option<NodeId>> = vec![None; graph.n_partitions()];
     let mut load = vec![0.0f64; n_nodes];
     // Load-penalty scale: an average-weight vertex's worth of affinity.
-    let lambda = if order.is_empty() { 1.0 } else { total_w / order.len() as f64 };
+    let lambda = if order.is_empty() {
+        1.0
+    } else {
+        total_w / order.len() as f64
+    };
 
     for v in order {
         let w = graph.vertex_weight(v);
@@ -72,11 +72,7 @@ pub fn schism_partition(
 /// assigned node differs from its current primary is *migrated* (Schism
 /// "does not account for the placement of secondary replicas, leading to
 /// unnecessary migrations", §II-B.1).
-pub fn schism_plan(
-    graph: &HeatGraph,
-    placement: &Placement,
-    slack: f64,
-) -> ReconfigurationPlan {
+pub fn schism_plan(graph: &HeatGraph, placement: &Placement, slack: f64) -> ReconfigurationPlan {
     let assignment = schism_partition(graph, placement.n_nodes(), slack);
     let mut plan = ReconfigurationPlan::default();
     let mut groups: Vec<Vec<PartitionId>> = vec![Vec::new(); placement.n_nodes()];
@@ -85,7 +81,11 @@ pub fn schism_plan(
         let part = PartitionId(i as u32);
         groups[dest.idx()].push(part);
         if !placement.is_primary(part, dest) {
-            plan.entries.push(PlanEntry { part, dest, action: PlanAction::Migrate });
+            plan.entries.push(PlanEntry {
+                part,
+                dest,
+                action: PlanAction::Migrate,
+            });
             plan.total_cost += 1.0;
         }
     }

@@ -17,7 +17,10 @@ impl ArrivalHistory {
     /// Creates a history with `bucket_us`-wide sampling intervals.
     pub fn new(bucket_us: Time) -> Self {
         assert!(bucket_us > 0);
-        ArrivalHistory { bucket_us, counts: Vec::new() }
+        ArrivalHistory {
+            bucket_us,
+            counts: Vec::new(),
+        }
     }
 
     /// Sampling interval.
@@ -153,10 +156,24 @@ mod tests {
 
     #[test]
     fn cosine_distance_behaviour() {
-        assert!(cosine_distance(&[1.0, 2.0], &[2.0, 4.0]) < 1e-12, "parallel");
-        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12, "orthogonal");
-        assert_eq!(cosine_distance(&[0.0], &[0.0]), 0.0, "both idle: same class");
-        assert_eq!(cosine_distance(&[1.0], &[0.0]), 1.0, "idle vs active: distant");
+        assert!(
+            cosine_distance(&[1.0, 2.0], &[2.0, 4.0]) < 1e-12,
+            "parallel"
+        );
+        assert!(
+            (cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12,
+            "orthogonal"
+        );
+        assert_eq!(
+            cosine_distance(&[0.0], &[0.0]),
+            0.0,
+            "both idle: same class"
+        );
+        assert_eq!(
+            cosine_distance(&[1.0], &[0.0]),
+            1.0,
+            "idle vs active: distant"
+        );
         // different lengths are zero-padded
         assert!(cosine_distance(&[1.0, 1.0], &[1.0, 1.0, 0.0]) < 1e-12);
     }

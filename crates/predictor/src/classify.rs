@@ -116,7 +116,12 @@ mod tests {
             feed(&mut reg, parts, &[4 * sec, 5 * sec, 6 * sec, 7 * sec]);
         }
         let classes = classify_templates(&reg, 8, 0.3, 8 * sec);
-        assert_eq!(classes.len(), 2, "expected W1 and W2, got {}", classes.len());
+        assert_eq!(
+            classes.len(),
+            2,
+            "expected W1 and W2, got {}",
+            classes.len()
+        );
         let sizes: Vec<usize> = classes.iter().map(|c| c.members.len()).collect();
         assert!(sizes.contains(&4) && sizes.contains(&2), "sizes {sizes:?}");
     }
@@ -130,7 +135,11 @@ mod tests {
         let classes = classify_templates(&reg, 3, 0.05, 3 * sec);
         assert_eq!(classes.len(), 1);
         assert_eq!(classes[0].members.len(), 2);
-        assert_eq!(classes[0].series, vec![2.0, 2.0, 2.0], "series sums members");
+        assert_eq!(
+            classes[0].series,
+            vec![2.0, 2.0, 2.0],
+            "series sums members"
+        );
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! trained sequence-to-one with backpropagation through time and Adam.
 //! Gradients are verified against numerical differentiation in the tests.
 
+// Explicit index loops mirror the BPTT equations (see `matrix.rs`).
+#![allow(clippy::needless_range_loop)]
+
 use crate::matrix::Mat;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +27,10 @@ struct AdamTensor {
 
 impl AdamTensor {
     fn new(n: usize) -> Self {
-        AdamTensor { m: vec![0.0; n], v: vec![0.0; n] }
+        AdamTensor {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64, t: u64) {
@@ -33,8 +39,10 @@ impl AdamTensor {
         const EPS: f64 = 1e-8;
         let bc1 = 1.0 - B1.powi(t as i32);
         let bc2 = 1.0 - B2.powi(t as i32);
-        for ((p, g), (m, v)) in
-            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             *m = B1 * *m + (1.0 - B1) * g;
             *v = B2 * *v + (1.0 - B2) * g * g;
@@ -97,7 +105,13 @@ impl LstmLayer {
         for bf in b.iter_mut().take(2 * hidden).skip(hidden) {
             *bf = 1.0;
         }
-        LstmLayer { input, hidden, wx, wh, b }
+        LstmLayer {
+            input,
+            hidden,
+            wx,
+            wh,
+            b,
+        }
     }
 
     fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> StepCache {
@@ -223,7 +237,15 @@ impl Lstm {
             })
             .collect();
         let adam_head = AdamTensor::new(hidden + 1);
-        Lstm { layers: ls, head_w, head_b: 0.0, adam, adam_head, step_count: 0, rng }
+        Lstm {
+            layers: ls,
+            head_w,
+            head_b: 0.0,
+            adam,
+            adam_head,
+            step_count: 0,
+            rng,
+        }
     }
 
     /// Hidden width.
@@ -251,10 +273,24 @@ impl Lstm {
             inputs = steps.iter().map(|s| s.h.clone()).collect();
             per_layer.push(steps);
         }
-        let final_h = per_layer.last().expect("≥1 layer").last().expect("≥1 step").h.clone();
-        let pred =
-            self.head_b + final_h.iter().zip(&self.head_w).map(|(a, b)| a * b).sum::<f64>();
-        Cache { per_layer, final_h, pred }
+        let final_h = per_layer
+            .last()
+            .expect("≥1 layer")
+            .last()
+            .expect("≥1 step")
+            .h
+            .clone();
+        let pred = self.head_b
+            + final_h
+                .iter()
+                .zip(&self.head_w)
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
+        Cache {
+            per_layer,
+            final_h,
+            pred,
+        }
     }
 
     /// Prediction only.
@@ -287,14 +323,18 @@ impl Lstm {
             d_out[t_len - 1][k] = self.head_w[k] * d_pred;
         }
 
-        let mut layer_grads: Vec<Option<LayerGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut layer_grads: Vec<Option<LayerGrads>> =
+            (0..self.layers.len()).map(|_| None).collect();
         for (l, layer) in self.layers.iter().enumerate().rev() {
             let (grads, dx) = layer.bptt(&cache.per_layer[l], &d_out);
             layer_grads[l] = Some(grads);
             d_out = dx; // ∂loss/∂(layer input) == ∂loss/∂(lower layer h)
         }
         Grads {
-            layers: layer_grads.into_iter().map(|g| g.expect("filled")).collect(),
+            layers: layer_grads
+                .into_iter()
+                .map(|g| g.expect("filled"))
+                .collect(),
             head_w: head_w_grads,
             head_b: d_pred,
         }
@@ -502,8 +542,7 @@ mod tests {
     /// the series mean.
     #[test]
     fn learns_sine_wave() {
-        let series: Vec<f64> =
-            (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let series: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
         let mut net = Lstm::new(10, 2, 7);
         let final_mse = net.fit(&series, 10, 60, 0.01);
         let mean = series.iter().sum::<f64>() / series.len() as f64;
@@ -524,7 +563,10 @@ mod tests {
         net.fit(&series, 8, 80, 0.01);
         let fc = net.forecast(&series, 8, 3);
         for (i, v) in fc.iter().enumerate() {
-            assert!((v - 0.9).abs() < 0.25, "step {i}: forecast {v:.3} far from 0.9");
+            assert!(
+                (v - 0.9).abs() < 0.25,
+                "step {i}: forecast {v:.3} far from 0.9"
+            );
         }
     }
 

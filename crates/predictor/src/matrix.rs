@@ -3,6 +3,10 @@
 //! The model is tiny (≤ 20 hidden units), so naive row-major loops are both
 //! clear and fast enough; no external linear-algebra crate is needed.
 
+// Explicit index loops mirror the BPTT equations; iterator rewrites would
+// obscure the row/column structure the gradient checks are written against.
+#![allow(clippy::needless_range_loop)]
+
 /// A row-major dense `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mat {
@@ -17,7 +21,11 @@ pub struct Mat {
 impl Mat {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from a function of (row, col).

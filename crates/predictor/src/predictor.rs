@@ -84,7 +84,12 @@ pub struct PredictionOutcome {
 impl PredictionOutcome {
     /// An inert outcome (predictor disabled or no data).
     pub fn inactive() -> Self {
-        PredictionOutcome { wv: 0.0, triggered: false, predicted: Vec::new(), n_classes: 0 }
+        PredictionOutcome {
+            wv: 0.0,
+            triggered: false,
+            predicted: Vec::new(),
+            n_classes: 0,
+        }
     }
 }
 
@@ -140,7 +145,11 @@ impl WorkloadPredictor {
             return PredictionOutcome::inactive();
         }
         // Hottest classes first; model only the top few.
-        classes.sort_by(|a, b| b.window_total().partial_cmp(&a.window_total()).expect("finite"));
+        classes.sort_by(|a, b| {
+            b.window_total()
+                .partial_cmp(&a.window_total())
+                .expect("finite")
+        });
         let modeled = classes.len().min(self.cfg.max_model_classes);
 
         let mut current = Vec::with_capacity(modeled);
@@ -158,14 +167,14 @@ impl WorkloadPredictor {
                     m.scale = scale;
                     // Accuracy maintenance: retrain when the model drifted.
                     if m.net.mse(&norm, self.cfg.window) > self.cfg.retrain_mse {
-                        m.net.fit(&norm, self.cfg.window, self.cfg.train_epochs, self.cfg.lr);
+                        m.net
+                            .fit(&norm, self.cfg.window, self.cfg.train_epochs, self.cfg.lr);
                         self.trainings += 1;
                     }
                     m
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
-                    let mut net =
-                        Lstm::new(self.cfg.hidden, self.cfg.layers, self.cfg.seed ^ key);
+                    let mut net = Lstm::new(self.cfg.hidden, self.cfg.layers, self.cfg.seed ^ key);
                     net.fit(&norm, self.cfg.window, self.cfg.train_epochs, self.cfg.lr);
                     self.trainings += 1;
                     v.insert(ClassModel { net, scale })
@@ -204,7 +213,12 @@ impl WorkloadPredictor {
         } else {
             Vec::new()
         };
-        PredictionOutcome { wv, triggered, predicted, n_classes: classes.len() }
+        PredictionOutcome {
+            wv,
+            triggered,
+            predicted,
+            n_classes: classes.len(),
+        }
     }
 
     /// Samples templates from *rising* classes, weighted by predicted rate ×
@@ -245,8 +259,11 @@ impl WorkloadPredictor {
         keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
         keyed.truncate(k);
 
-        let selected_total: f64 =
-            keyed.iter().map(|&(_, i)| candidates[i].2).sum::<f64>().max(1e-9);
+        let selected_total: f64 = keyed
+            .iter()
+            .map(|&(_, i)| candidates[i].2)
+            .sum::<f64>()
+            .max(1e-9);
         let budget = self.cfg.k_predicted as f64;
         keyed
             .into_iter()
@@ -261,8 +278,11 @@ impl WorkloadPredictor {
 
 /// Stable identity of a class across rounds: hash of member partition sets.
 fn class_key(registry: &TemplateRegistry, class: &WorkloadClass) -> u64 {
-    let mut sets: Vec<&[PartitionId]> =
-        class.members.iter().map(|&id| registry.template(id).parts.as_slice()).collect();
+    let mut sets: Vec<&[PartitionId]> = class
+        .members
+        .iter()
+        .map(|&id| registry.template(id).parts.as_slice())
+        .collect();
     sets.sort();
     let mut h = DefaultHasher::new();
     for s in sets {
@@ -290,7 +310,10 @@ mod tests {
     }
 
     fn rec(at: Time, parts: &[u32]) -> TxnRecord {
-        TxnRecord { at, parts: parts.iter().map(|&p| PartitionId(p)).collect() }
+        TxnRecord {
+            at,
+            parts: parts.iter().map(|&p| PartitionId(p)).collect(),
+        }
     }
 
     /// Feed a workload that oscillates between two template families with a
@@ -312,7 +335,11 @@ mod tests {
         // We are at t=48s: phase-0 ({1,2}) just ended 0 seconds ago; history
         // shows the alternation. Predict near a boundary.
         let out = pred.predict(48 * SEC);
-        assert!(out.n_classes >= 2, "expected both families, got {}", out.n_classes);
+        assert!(
+            out.n_classes >= 2,
+            "expected both families, got {}",
+            out.n_classes
+        );
         assert!(out.wv > 0.0);
         if out.triggered {
             assert!(!out.predicted.is_empty());

@@ -40,7 +40,11 @@ pub struct TemplateRegistry {
 impl TemplateRegistry {
     /// Creates a registry sampling at `bucket_us` intervals.
     pub fn new(bucket_us: Time) -> Self {
-        TemplateRegistry { bucket_us, by_parts: HashMap::new(), templates: Vec::new() }
+        TemplateRegistry {
+            bucket_us,
+            by_parts: HashMap::new(),
+            templates: Vec::new(),
+        }
     }
 
     /// Number of identified templates.
@@ -100,8 +104,11 @@ impl TemplateRegistry {
     /// compacting ids (memory hygiene for long runs; the paper notes
     /// per-query tracking "can be costly").
     pub fn prune(&mut self, min_total: f64) {
-        let keep: Vec<Template> =
-            self.templates.drain(..).filter(|t| t.history.total() >= min_total).collect();
+        let keep: Vec<Template> = self
+            .templates
+            .drain(..)
+            .filter(|t| t.history.total() >= min_total)
+            .collect();
         self.by_parts.clear();
         for (i, t) in keep.iter().enumerate() {
             self.by_parts.insert(t.parts.clone(), TemplateId(i as u32));
@@ -115,7 +122,10 @@ mod tests {
     use super::*;
 
     fn rec(at: Time, parts: &[u32]) -> TxnRecord {
-        TxnRecord { at, parts: parts.iter().map(|&p| PartitionId(p)).collect() }
+        TxnRecord {
+            at,
+            parts: parts.iter().map(|&p| PartitionId(p)).collect(),
+        }
     }
 
     #[test]

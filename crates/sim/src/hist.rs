@@ -158,7 +158,10 @@ mod tests {
         for (q, expect) in [(0.1, 1_000u64), (0.5, 5_000), (0.95, 9_500), (0.99, 9_900)] {
             let got = h.quantile(q);
             let err = (got as f64 - expect as f64).abs() / expect as f64;
-            assert!(err < 0.05, "q={q}: got {got}, expected ~{expect} (err {err:.3})");
+            assert!(
+                err < 0.05,
+                "q={q}: got {got}, expected ~{expect} (err {err:.3})"
+            );
         }
     }
 
@@ -197,7 +200,20 @@ mod tests {
     #[test]
     fn buckets_monotone() {
         let mut last = 0;
-        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 10_000, 1 << 20, 1 << 33] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            10_000,
+            1 << 20,
+            1 << 33,
+        ] {
             let b = Histogram::bucket_of(v);
             assert!(b >= last, "bucket index must not decrease: v={v}");
             last = b;

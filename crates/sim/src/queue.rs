@@ -51,7 +51,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { now: 0, seq: 0, heap: BinaryHeap::new() }
+        EventQueue {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
     }
 
     /// Current virtual time: the timestamp of the most recently popped event.
@@ -69,7 +73,11 @@ impl<E> EventQueue<E> {
     /// fire "now" (clamped), preserving monotonic time.
     pub fn schedule_at(&mut self, at: Time, event: E) {
         let at = at.max(self.now);
-        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

@@ -46,7 +46,12 @@ impl MultiServer {
         for _ in 0..servers {
             free_at.push(Reverse(0));
         }
-        MultiServer { free_at, servers, busy_total: 0, busy_window: 0 }
+        MultiServer {
+            free_at,
+            servers,
+            busy_total: 0,
+            busy_window: 0,
+        }
     }
 
     /// Number of servers.
@@ -56,7 +61,10 @@ impl MultiServer {
 
     /// Acquires the earliest-free server at time `now` for `service` µs.
     pub fn acquire(&mut self, now: Time, service: Time) -> Grant {
-        let Reverse(free) = self.free_at.pop().expect("heap always holds `servers` entries");
+        let Reverse(free) = self
+            .free_at
+            .pop()
+            .expect("heap always holds `servers` entries");
         let start = free.max(now);
         let end = start + service;
         self.free_at.push(Reverse(end));

@@ -17,7 +17,10 @@ impl TimeSeries {
     /// Creates a series with `bucket_us`-wide buckets.
     pub fn new(bucket_us: Time) -> Self {
         assert!(bucket_us > 0, "bucket width must be positive");
-        TimeSeries { bucket_us, buckets: Vec::new() }
+        TimeSeries {
+            bucket_us,
+            buckets: Vec::new(),
+        }
     }
 
     /// Bucket width in µs.
@@ -68,13 +71,20 @@ impl TimeSeries {
         }
         let lo = (from / self.bucket_us) as usize;
         let hi = ((to.saturating_sub(1)) / self.bucket_us) as usize;
-        self.buckets.iter().skip(lo).take(hi.saturating_sub(lo) + 1).sum()
+        self.buckets
+            .iter()
+            .skip(lo)
+            .take(hi.saturating_sub(lo) + 1)
+            .sum()
     }
 
     /// Element-wise ratio against another series (0 where divisor is 0);
     /// used for bytes-per-transaction curves.
     pub fn ratio(&self, divisor: &TimeSeries) -> Vec<f64> {
-        assert_eq!(self.bucket_us, divisor.bucket_us, "bucket widths must match");
+        assert_eq!(
+            self.bucket_us, divisor.bucket_us,
+            "bucket widths must match"
+        );
         let n = self.buckets.len().max(divisor.buckets.len());
         (0..n)
             .map(|i| {

@@ -41,7 +41,10 @@ pub struct ReplicationLog {
 impl ReplicationLog {
     /// Creates an empty log.
     pub fn new() -> Self {
-        ReplicationLog { next_lsn: 0, buffer: Vec::new() }
+        ReplicationLog {
+            next_lsn: 0,
+            buffer: Vec::new(),
+        }
     }
 
     /// Highest LSN appended so far.
@@ -50,9 +53,21 @@ impl ReplicationLog {
     }
 
     /// Appends a write, returning its LSN.
-    pub fn append(&mut self, partition: PartitionId, key: Key, version: u64, value: Box<[u8]>) -> u64 {
+    pub fn append(
+        &mut self,
+        partition: PartitionId,
+        key: Key,
+        version: u64,
+        value: Box<[u8]>,
+    ) -> u64 {
         self.next_lsn += 1;
-        self.buffer.push(LogEntry { lsn: self.next_lsn, partition, key, version, value });
+        self.buffer.push(LogEntry {
+            lsn: self.next_lsn,
+            partition,
+            key,
+            version,
+            value,
+        });
         self.next_lsn
     }
 

@@ -21,7 +21,11 @@ pub struct Row {
 impl Row {
     /// Creates a fresh row at version 1.
     pub fn new(value: Box<[u8]>) -> Self {
-        Row { version: 1, lock: None, value }
+        Row {
+            version: 1,
+            lock: None,
+            value,
+        }
     }
 
     /// True when `txn` may lock this row: the row is unlocked or `txn`

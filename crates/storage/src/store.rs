@@ -3,6 +3,7 @@
 use crate::log::{LogEntry, ReplicationLog};
 use crate::table::Table;
 use lion_common::PartitionId;
+use std::collections::BTreeMap;
 
 /// Whether this replica currently serves writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +28,14 @@ pub struct ReplicaStore {
     pub log: ReplicationLog,
     /// Highest LSN applied on this replica. On the primary this equals the
     /// log head; on a secondary it trails by the replication lag.
+    ///
+    /// `applied_lsn` only advances over a *dense* prefix: an entry arriving
+    /// ahead of the prefix is parked in `reorder` until the gap fills, so a
+    /// secondary's frontier never claims writes it has not actually applied.
+    /// Failover promotion relies on this (a gapped replica must not lead).
     pub applied_lsn: u64,
+    /// Entries received ahead of the dense prefix, keyed by LSN.
+    reorder: BTreeMap<u64, LogEntry>,
 }
 
 impl ReplicaStore {
@@ -39,12 +47,16 @@ impl ReplicaStore {
             table: Table::populated(keys, value_size),
             log: ReplicationLog::new(),
             applied_lsn: 0,
+            reorder: BTreeMap::new(),
         }
     }
 
     /// Creates a populated secondary replica (initially in sync).
     pub fn new_secondary(partition: PartitionId, keys: u64, value_size: u32) -> Self {
-        ReplicaStore { role: ReplicaRole::Secondary, ..Self::new_primary(partition, keys, value_size) }
+        ReplicaStore {
+            role: ReplicaRole::Secondary,
+            ..Self::new_primary(partition, keys, value_size)
+        }
     }
 
     /// Creates a secondary from a primary snapshot (replica-add copy).
@@ -55,6 +67,7 @@ impl ReplicaStore {
             table: Table::from_snapshot(src.table.snapshot()),
             log: ReplicationLog::new(),
             applied_lsn: src.log.head_lsn(),
+            reorder: BTreeMap::new(),
         }
     }
 
@@ -63,29 +76,66 @@ impl ReplicaStore {
         primary_head.saturating_sub(self.applied_lsn)
     }
 
-    /// Applies shipped log entries in order.
+    /// Applies shipped log entries. Entries extending the dense prefix apply
+    /// immediately; entries arriving ahead of a gap are parked and applied
+    /// once the gap fills. Duplicates (LSN at or below the frontier) are
+    /// ignored, so replaying an overlapping prepare log during failover is
+    /// idempotent.
     pub fn apply_entries(&mut self, entries: &[LogEntry]) {
         for e in entries {
             debug_assert_eq!(e.partition, self.partition);
-            self.table.apply_replicated(e.key, e.version, e.value.clone());
-            self.applied_lsn = self.applied_lsn.max(e.lsn);
+            if e.lsn <= self.applied_lsn {
+                continue; // duplicate delivery / replay overlap
+            }
+            if e.lsn == self.applied_lsn + 1 {
+                self.table
+                    .apply_replicated(e.key, e.version, e.value.clone());
+                self.applied_lsn = e.lsn;
+                self.drain_reorder();
+            } else {
+                self.reorder.insert(e.lsn, e.clone());
+            }
         }
+    }
+
+    fn drain_reorder(&mut self) {
+        while let Some(e) = self.reorder.remove(&(self.applied_lsn + 1)) {
+            self.table
+                .apply_replicated(e.key, e.version, e.value.clone());
+            self.applied_lsn = e.lsn;
+        }
+    }
+
+    /// True when this replica holds entries it cannot apply yet — its
+    /// applied-epoch prefix has a gap, disqualifying it from promotion.
+    pub fn has_gap(&self) -> bool {
+        !self.reorder.is_empty()
     }
 
     /// Promotes this secondary to primary after remastering: adopts the old
     /// primary's head LSN so the log continues densely.
     pub fn promote(&mut self, old_primary_head: u64) {
-        debug_assert_eq!(self.role, ReplicaRole::Secondary, "only secondaries are promoted");
+        debug_assert_eq!(
+            self.role,
+            ReplicaRole::Secondary,
+            "only secondaries are promoted"
+        );
         self.role = ReplicaRole::Primary;
         self.applied_lsn = old_primary_head;
+        self.reorder.clear();
         self.log.adopt_head(old_primary_head);
     }
 
     /// Demotes a primary to secondary (the flip side of remastering).
     pub fn demote(&mut self) {
-        debug_assert_eq!(self.role, ReplicaRole::Primary, "only primaries are demoted");
+        debug_assert_eq!(
+            self.role,
+            ReplicaRole::Primary,
+            "only primaries are demoted"
+        );
         self.role = ReplicaRole::Secondary;
         self.applied_lsn = self.log.head_lsn();
+        self.reorder.clear();
     }
 }
 
@@ -106,7 +156,9 @@ mod tests {
         // Commit two writes on the primary.
         for (k, txn) in [(1u64, TxnId(1)), (2, TxnId(2))] {
             primary.table.occ_lock(k, txn);
-            let v = primary.table.occ_install(k, txn, Table::synth_value(k, 99, 16));
+            let v = primary
+                .table
+                .occ_install(k, txn, Table::synth_value(k, 99, 16));
             primary.log.append(p(), k, v, Table::synth_value(k, 99, 16));
         }
         assert_eq!(secondary.lag_behind(primary.log.head_lsn()), 2);
@@ -116,8 +168,14 @@ mod tests {
         secondary.apply_entries(&shipped);
         assert_eq!(secondary.lag_behind(primary.log.head_lsn()), 0);
         for k in [1u64, 2] {
-            assert_eq!(secondary.table.get(k).unwrap().value, primary.table.get(k).unwrap().value);
-            assert_eq!(secondary.table.get(k).unwrap().version, primary.table.get(k).unwrap().version);
+            assert_eq!(
+                secondary.table.get(k).unwrap().value,
+                primary.table.get(k).unwrap().value
+            );
+            assert_eq!(
+                secondary.table.get(k).unwrap().version,
+                primary.table.get(k).unwrap().version
+            );
         }
     }
 
@@ -142,6 +200,38 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_entries_park_until_gap_fills() {
+        let mut primary = ReplicaStore::new_primary(p(), 8, 8);
+        let mut secondary = ReplicaStore::new_secondary(p(), 8, 8);
+        let mut entries = Vec::new();
+        for (k, txn) in [(1u64, TxnId(1)), (2, TxnId(2)), (3, TxnId(3))] {
+            primary.table.occ_lock(k, txn);
+            let v = primary
+                .table
+                .occ_install(k, txn, Table::synth_value(k, 5, 8));
+            primary.log.append(p(), k, v, Table::synth_value(k, 5, 8));
+            entries = primary.log.pending().to_vec();
+        }
+        // Deliver entry 3 first: frontier must not move, gap is flagged.
+        secondary.apply_entries(&entries[2..3]);
+        assert_eq!(secondary.applied_lsn, 0);
+        assert!(secondary.has_gap());
+        // Delivering the prefix drains the parked entry.
+        secondary.apply_entries(&entries[0..2]);
+        assert_eq!(secondary.applied_lsn, 3);
+        assert!(!secondary.has_gap());
+        assert_eq!(
+            secondary.table.get(3).unwrap().value,
+            primary.table.get(3).unwrap().value
+        );
+        // Duplicate replay is idempotent.
+        let ver_before = secondary.table.get(2).unwrap().version;
+        secondary.apply_entries(&entries);
+        assert_eq!(secondary.applied_lsn, 3);
+        assert_eq!(secondary.table.get(2).unwrap().version, ver_before);
+    }
+
+    #[test]
     fn snapshot_bootstrap_is_in_sync() {
         let mut primary = ReplicaStore::new_primary(p(), 8, 8);
         primary.table.occ_lock(3, TxnId(7));
@@ -151,7 +241,10 @@ mod tests {
 
         let copy = ReplicaStore::from_snapshot(p(), &primary);
         assert_eq!(copy.lag_behind(primary.log.head_lsn()), 0);
-        assert_eq!(copy.table.get(3).unwrap().value, primary.table.get(3).unwrap().value);
+        assert_eq!(
+            copy.table.get(3).unwrap().value,
+            primary.table.get(3).unwrap().value
+        );
         assert_eq!(copy.role, ReplicaRole::Secondary);
     }
 }

@@ -53,7 +53,9 @@ impl Table {
     /// Deterministic synthetic payload for (key, version).
     pub fn synth_value(key: Key, version: u64, value_size: u32) -> Box<[u8]> {
         let mut v = vec![0u8; value_size as usize];
-        let stamp = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(version);
+        let stamp = key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(version);
         for (i, b) in v.iter_mut().enumerate() {
             *b = (stamp >> ((i % 8) * 8)) as u8;
         }
@@ -97,7 +99,9 @@ impl Table {
             None => OpOutcome::Ok { version: 0 },
             Some(row) => match row.lock {
                 Some(holder) if holder != txn => OpOutcome::Locked { holder },
-                _ => OpOutcome::Ok { version: row.version },
+                _ => OpOutcome::Ok {
+                    version: row.version,
+                },
             },
         }
     }
@@ -111,10 +115,14 @@ impl Table {
             r
         });
         if !row.lockable_by(txn) {
-            return OpOutcome::Locked { holder: row.lock.expect("unlockable row must be locked") };
+            return OpOutcome::Locked {
+                holder: row.lock.expect("unlockable row must be locked"),
+            };
         }
         row.lock = Some(txn);
-        OpOutcome::Ok { version: row.version }
+        OpOutcome::Ok {
+            version: row.version,
+        }
     }
 
     /// OCC read-set validation: the observed version must still be current
@@ -125,7 +133,10 @@ impl Table {
                 if observed == 0 {
                     OpOutcome::Ok { version: 0 }
                 } else {
-                    OpOutcome::VersionMismatch { expected: observed, found: 0 }
+                    OpOutcome::VersionMismatch {
+                        expected: observed,
+                        found: 0,
+                    }
                 }
             }
             Some(row) => {
@@ -135,9 +146,14 @@ impl Table {
                     }
                 }
                 if row.version != observed {
-                    OpOutcome::VersionMismatch { expected: observed, found: row.version }
+                    OpOutcome::VersionMismatch {
+                        expected: observed,
+                        found: row.version,
+                    }
                 } else {
-                    OpOutcome::Ok { version: row.version }
+                    OpOutcome::Ok {
+                        version: row.version,
+                    }
                 }
             }
         }
@@ -196,8 +212,11 @@ impl Table {
 
     /// Snapshot of all rows for migration / replica bootstrap.
     pub fn snapshot(&self) -> Vec<(Key, u64, Box<[u8]>)> {
-        let mut out: Vec<_> =
-            self.rows.iter().map(|(&k, r)| (k, r.version, r.value.clone())).collect();
+        let mut out: Vec<_> = self
+            .rows
+            .iter()
+            .map(|(&k, r)| (k, r.version, r.value.clone()))
+            .collect();
         out.sort_unstable_by_key(|(k, _, _)| *k);
         out
     }
@@ -252,13 +271,18 @@ mod tests {
     #[test]
     fn validation_detects_concurrent_commit() {
         let mut t = Table::populated(2, 8);
-        let OpOutcome::Ok { version } = t.occ_read(0, T1) else { panic!() };
+        let OpOutcome::Ok { version } = t.occ_read(0, T1) else {
+            panic!()
+        };
         // T2 commits a write to key 0 in between.
         assert!(t.occ_lock(0, T2).is_ok());
         t.occ_install(0, T2, Box::new([1u8; 8]));
         assert_eq!(
             t.occ_validate_read(0, version, T1),
-            OpOutcome::VersionMismatch { expected: version, found: version + 1 }
+            OpOutcome::VersionMismatch {
+                expected: version,
+                found: version + 1
+            }
         );
     }
 
@@ -283,7 +307,10 @@ mod tests {
         t.occ_install(3, T2, Box::new([0u8; 1]));
         assert!(matches!(
             t.occ_validate_read(3, 0, T1),
-            OpOutcome::VersionMismatch { expected: 0, found: 1 }
+            OpOutcome::VersionMismatch {
+                expected: 0,
+                found: 1
+            }
         ));
     }
 

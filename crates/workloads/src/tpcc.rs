@@ -157,61 +157,81 @@ macro_rules! impl_fixed_codec {
     };
 }
 
-impl_fixed_codec!(WarehouseRow, 26, |r, buf| {
-    buf[0..4].copy_from_slice(&r.w_id.to_le_bytes());
-    buf[4..8].copy_from_slice(&r.tax.to_le_bytes());
-    buf[8..16].copy_from_slice(&r.ytd.to_le_bytes());
-    buf[16..26].copy_from_slice(&r.name);
-}, |d| {
-    WarehouseRow {
-        w_id: u32::from_le_bytes(d[0..4].try_into().ok()?),
-        tax: f32::from_le_bytes(d[4..8].try_into().ok()?),
-        ytd: f64::from_le_bytes(d[8..16].try_into().ok()?),
-        name: d[16..26].try_into().ok()?,
+impl_fixed_codec!(
+    WarehouseRow,
+    26,
+    |r, buf| {
+        buf[0..4].copy_from_slice(&r.w_id.to_le_bytes());
+        buf[4..8].copy_from_slice(&r.tax.to_le_bytes());
+        buf[8..16].copy_from_slice(&r.ytd.to_le_bytes());
+        buf[16..26].copy_from_slice(&r.name);
+    },
+    |d| {
+        WarehouseRow {
+            w_id: u32::from_le_bytes(d[0..4].try_into().ok()?),
+            tax: f32::from_le_bytes(d[4..8].try_into().ok()?),
+            ytd: f64::from_le_bytes(d[8..16].try_into().ok()?),
+            name: d[16..26].try_into().ok()?,
+        }
     }
-});
+);
 
-impl_fixed_codec!(DistrictRow, 17, |r, buf| {
-    buf[0] = r.d_id;
-    buf[1..5].copy_from_slice(&r.tax.to_le_bytes());
-    buf[5..13].copy_from_slice(&r.ytd.to_le_bytes());
-    buf[13..17].copy_from_slice(&r.next_o_id.to_le_bytes());
-}, |d| {
-    DistrictRow {
-        d_id: d[0],
-        tax: f32::from_le_bytes(d[1..5].try_into().ok()?),
-        ytd: f64::from_le_bytes(d[5..13].try_into().ok()?),
-        next_o_id: u32::from_le_bytes(d[13..17].try_into().ok()?),
+impl_fixed_codec!(
+    DistrictRow,
+    17,
+    |r, buf| {
+        buf[0] = r.d_id;
+        buf[1..5].copy_from_slice(&r.tax.to_le_bytes());
+        buf[5..13].copy_from_slice(&r.ytd.to_le_bytes());
+        buf[13..17].copy_from_slice(&r.next_o_id.to_le_bytes());
+    },
+    |d| {
+        DistrictRow {
+            d_id: d[0],
+            tax: f32::from_le_bytes(d[1..5].try_into().ok()?),
+            ytd: f64::from_le_bytes(d[5..13].try_into().ok()?),
+            next_o_id: u32::from_le_bytes(d[13..17].try_into().ok()?),
+        }
     }
-});
+);
 
-impl_fixed_codec!(CustomerRow, 32, |r, buf| {
-    buf[0..4].copy_from_slice(&r.c_id.to_le_bytes());
-    buf[4..8].copy_from_slice(&r.discount.to_le_bytes());
-    buf[8..16].copy_from_slice(&r.balance.to_le_bytes());
-    buf[16..32].copy_from_slice(&r.last);
-}, |d| {
-    CustomerRow {
-        c_id: u32::from_le_bytes(d[0..4].try_into().ok()?),
-        discount: f32::from_le_bytes(d[4..8].try_into().ok()?),
-        balance: f64::from_le_bytes(d[8..16].try_into().ok()?),
-        last: d[16..32].try_into().ok()?,
+impl_fixed_codec!(
+    CustomerRow,
+    32,
+    |r, buf| {
+        buf[0..4].copy_from_slice(&r.c_id.to_le_bytes());
+        buf[4..8].copy_from_slice(&r.discount.to_le_bytes());
+        buf[8..16].copy_from_slice(&r.balance.to_le_bytes());
+        buf[16..32].copy_from_slice(&r.last);
+    },
+    |d| {
+        CustomerRow {
+            c_id: u32::from_le_bytes(d[0..4].try_into().ok()?),
+            discount: f32::from_le_bytes(d[4..8].try_into().ok()?),
+            balance: f64::from_le_bytes(d[8..16].try_into().ok()?),
+            last: d[16..32].try_into().ok()?,
+        }
     }
-});
+);
 
-impl_fixed_codec!(StockRow, 16, |r, buf| {
-    buf[0..4].copy_from_slice(&r.i_id.to_le_bytes());
-    buf[4..8].copy_from_slice(&r.quantity.to_le_bytes());
-    buf[8..12].copy_from_slice(&r.ytd.to_le_bytes());
-    buf[12..16].copy_from_slice(&r.order_cnt.to_le_bytes());
-}, |d| {
-    StockRow {
-        i_id: u32::from_le_bytes(d[0..4].try_into().ok()?),
-        quantity: i32::from_le_bytes(d[4..8].try_into().ok()?),
-        ytd: u32::from_le_bytes(d[8..12].try_into().ok()?),
-        order_cnt: u32::from_le_bytes(d[12..16].try_into().ok()?),
+impl_fixed_codec!(
+    StockRow,
+    16,
+    |r, buf| {
+        buf[0..4].copy_from_slice(&r.i_id.to_le_bytes());
+        buf[4..8].copy_from_slice(&r.quantity.to_le_bytes());
+        buf[8..12].copy_from_slice(&r.ytd.to_le_bytes());
+        buf[12..16].copy_from_slice(&r.order_cnt.to_le_bytes());
+    },
+    |d| {
+        StockRow {
+            i_id: u32::from_le_bytes(d[0..4].try_into().ok()?),
+            quantity: i32::from_le_bytes(d[4..8].try_into().ok()?),
+            ytd: u32::from_le_bytes(d[8..12].try_into().ok()?),
+            order_cnt: u32::from_le_bytes(d[12..16].try_into().ok()?),
+        }
     }
-});
+);
 
 // ---------------------------------------------------------------------
 // Workload generator
@@ -366,7 +386,10 @@ impl TpccWorkload {
             ops.push(Op::read(spart, encode_key(Relation::Stock, 0, item, 0)));
             ops.push(Op::write(spart, encode_key(Relation::Stock, 0, item, 0)));
             // INSERT order-line.
-            ops.push(Op::write(home, encode_key(Relation::OrderLine, d, o_id, ol)));
+            ops.push(Op::write(
+                home,
+                encode_key(Relation::OrderLine, d, o_id, ol),
+            ));
         }
         // INSERT order + new-order rows.
         ops.push(Op::write(home, encode_key(Relation::Order, d, o_id, 0)));
@@ -444,9 +467,19 @@ mod tests {
 
     #[test]
     fn row_codecs_roundtrip() {
-        let w = WarehouseRow { w_id: 7, tax: 0.06, ytd: 300_000.0, name: *b"WAREHOUSE7" };
+        let w = WarehouseRow {
+            w_id: 7,
+            tax: 0.06,
+            ytd: 300_000.0,
+            name: *b"WAREHOUSE7",
+        };
         assert_eq!(WarehouseRow::from_bytes(&w.to_bytes()), Some(w.clone()));
-        let d = DistrictRow { d_id: 3, tax: 0.01, ytd: 30_000.0, next_o_id: 3001 };
+        let d = DistrictRow {
+            d_id: 3,
+            tax: 0.01,
+            ytd: 30_000.0,
+            next_o_id: 3001,
+        };
         assert_eq!(DistrictRow::from_bytes(&d.to_bytes()), Some(d.clone()));
         let c = CustomerRow {
             c_id: 42,
@@ -455,7 +488,12 @@ mod tests {
             last: *b"BARBARBAR\0\0\0\0\0\0\0",
         };
         assert_eq!(CustomerRow::from_bytes(&c.to_bytes()), Some(c.clone()));
-        let s = StockRow { i_id: 11, quantity: 91, ytd: 100, order_cnt: 5 };
+        let s = StockRow {
+            i_id: 11,
+            quantity: 91,
+            ytd: 100,
+            order_cnt: 5,
+        };
         assert_eq!(StockRow::from_bytes(&s.to_bytes()), Some(s.clone()));
         assert_eq!(StockRow::from_bytes(&[0u8; 3]), None, "short input");
     }
@@ -481,12 +519,19 @@ mod tests {
             if parts.len() == 2 {
                 multi += 1;
                 let (a, b) = (parts[0].0, parts[1].0);
-                let (home, partner) = if w.partner_warehouse(a) == b { (a, b) } else { (b, a) };
+                let (home, partner) = if w.partner_warehouse(a) == b {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 assert_eq!(w.partner_warehouse(home), partner);
                 assert_ne!(home % 4, partner % 4, "partner on another node");
             }
         }
-        assert!(multi >= 95, "nearly all remote orders span two warehouses: {multi}");
+        assert!(
+            multi >= 95,
+            "nearly all remote orders span two warehouses: {multi}"
+        );
     }
 
     #[test]
@@ -513,15 +558,20 @@ mod tests {
         let mut neworders = 0;
         for _ in 0..200 {
             let t = w.next_txn(0);
-            let has_history =
-                t.ops.iter().any(|o| matches!(decode_key(o.key), Some((Relation::History, ..))));
+            let has_history = t
+                .ops
+                .iter()
+                .any(|o| matches!(decode_key(o.key), Some((Relation::History, ..))));
             if has_history {
                 payments += 1;
             } else {
                 neworders += 1;
             }
         }
-        assert!(payments > 50 && neworders > 50, "payments={payments} neworders={neworders}");
+        assert!(
+            payments > 50 && neworders > 50,
+            "payments={payments} neworders={neworders}"
+        );
     }
 
     #[test]
@@ -530,7 +580,7 @@ mod tests {
         let mut hot = 0;
         for _ in 0..1000 {
             let t = w.next_txn(0);
-            if t.partitions()[0].0 % 4 == 0 {
+            if t.partitions()[0].0.is_multiple_of(4) {
                 hot += 1;
             }
         }

@@ -64,17 +64,40 @@ impl Schedule {
     /// uniform/50%, skew/50%, skew/100%, skew/100% with an id offset.
     pub fn position_shift(period_us: Time, skew: f64, offset: u32) -> Self {
         Schedule::Cycle(vec![
-            PhaseCfg { duration_us: period_us, cross_ratio: 0.5, skew_factor: 0.0, offset: 0 },
-            PhaseCfg { duration_us: period_us, cross_ratio: 0.5, skew_factor: skew, offset: 0 },
-            PhaseCfg { duration_us: period_us, cross_ratio: 1.0, skew_factor: skew, offset: 0 },
-            PhaseCfg { duration_us: period_us, cross_ratio: 1.0, skew_factor: skew, offset },
+            PhaseCfg {
+                duration_us: period_us,
+                cross_ratio: 0.5,
+                skew_factor: 0.0,
+                offset: 0,
+            },
+            PhaseCfg {
+                duration_us: period_us,
+                cross_ratio: 0.5,
+                skew_factor: skew,
+                offset: 0,
+            },
+            PhaseCfg {
+                duration_us: period_us,
+                cross_ratio: 1.0,
+                skew_factor: skew,
+                offset: 0,
+            },
+            PhaseCfg {
+                duration_us: period_us,
+                cross_ratio: 1.0,
+                skew_factor: skew,
+                offset,
+            },
         ])
     }
 
     /// Resolves the active phase at virtual time `now`.
     pub fn phase_at(&self, now: Time) -> PhaseCfg {
         match self {
-            Schedule::Static { cross_ratio, skew_factor } => PhaseCfg {
+            Schedule::Static {
+                cross_ratio,
+                skew_factor,
+            } => PhaseCfg {
                 duration_us: Time::MAX,
                 cross_ratio: *cross_ratio,
                 skew_factor: *skew_factor,
@@ -134,14 +157,20 @@ impl YcsbConfig {
             read_ratio: 0.5,
             key_theta: 0.0,
             partner_stride: 0,
-            schedule: Schedule::Static { cross_ratio: 0.0, skew_factor: 0.0 },
+            schedule: Schedule::Static {
+                cross_ratio: 0.0,
+                skew_factor: 0.0,
+            },
             seed: 0x5EED_EC5B,
         }
     }
 
     /// Sets a static cross-partition ratio and skew factor.
     pub fn with_mix(mut self, cross_ratio: f64, skew_factor: f64) -> Self {
-        self.schedule = Schedule::Static { cross_ratio, skew_factor };
+        self.schedule = Schedule::Static {
+            cross_ratio,
+            skew_factor,
+        };
         self
     }
 
@@ -168,9 +197,16 @@ pub struct YcsbWorkload {
 impl YcsbWorkload {
     /// Builds the generator.
     pub fn new(cfg: YcsbConfig) -> Self {
-        assert!(cfg.n_partitions >= 2, "cross transactions need two partitions");
+        assert!(
+            cfg.n_partitions >= 2,
+            "cross transactions need two partitions"
+        );
         let key_dist = Zipf::new(cfg.keys_per_partition, cfg.key_theta);
-        YcsbWorkload { rng: SmallRng::seed_from_u64(cfg.seed), cfg, key_dist }
+        YcsbWorkload {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            key_dist,
+        }
     }
 
     /// Configuration accessor.
@@ -221,7 +257,11 @@ impl Workload for YcsbWorkload {
         let phase = self.cfg.schedule.phase_at(now);
         let a = self.pick_partition(&phase);
         let cross = self.rng.gen::<f64>() < phase.cross_ratio;
-        let b = if cross { Some(self.partner(a, &phase)) } else { None };
+        let b = if cross {
+            Some(self.partner(a, &phase))
+        } else {
+            None
+        };
 
         let mut ops = Vec::with_capacity(self.cfg.ops_per_txn);
         for i in 0..self.cfg.ops_per_txn {
@@ -282,7 +322,11 @@ mod tests {
         let nodes = 4u32;
         for p in 0..48 {
             let q = w.partner(p, &phase);
-            assert_ne!(p % nodes, q % nodes, "partner of {p} is {q}: same round-robin home");
+            assert_ne!(
+                p % nodes,
+                q % nodes,
+                "partner of {p} is {q}: same round-robin home"
+            );
         }
     }
 
@@ -290,10 +334,19 @@ mod tests {
     fn pairing_is_symmetric_and_disjoint() {
         let w = YcsbWorkload::new(cfg().with_mix(1.0, 0.0));
         for offset in [0u32, 7, 16] {
-            let phase = PhaseCfg { duration_us: 0, cross_ratio: 1.0, skew_factor: 0.0, offset };
+            let phase = PhaseCfg {
+                duration_us: 0,
+                cross_ratio: 1.0,
+                skew_factor: 0.0,
+                offset,
+            };
             for p in 0..48 {
                 let q = w.partner(p, &phase);
-                assert_eq!(w.partner(q, &phase), p, "offset {offset}: partner not symmetric");
+                assert_eq!(
+                    w.partner(q, &phase),
+                    p,
+                    "offset {offset}: partner not symmetric"
+                );
             }
         }
     }
@@ -301,10 +354,25 @@ mod tests {
     #[test]
     fn offset_changes_the_pairing() {
         let w = YcsbWorkload::new(cfg().with_mix(1.0, 0.0));
-        let a = PhaseCfg { duration_us: 0, cross_ratio: 1.0, skew_factor: 0.0, offset: 0 };
-        let b = PhaseCfg { duration_us: 0, cross_ratio: 1.0, skew_factor: 0.0, offset: 7 };
-        let changed = (0..48).filter(|&p| w.partner(p, &a) != w.partner(p, &b)).count();
-        assert!(changed > 24, "offset must re-pair most partitions: {changed}");
+        let a = PhaseCfg {
+            duration_us: 0,
+            cross_ratio: 1.0,
+            skew_factor: 0.0,
+            offset: 0,
+        };
+        let b = PhaseCfg {
+            duration_us: 0,
+            cross_ratio: 1.0,
+            skew_factor: 0.0,
+            offset: 7,
+        };
+        let changed = (0..48)
+            .filter(|&p| w.partner(p, &a) != w.partner(p, &b))
+            .count();
+        assert!(
+            changed > 24,
+            "offset must re-pair most partitions: {changed}"
+        );
     }
 
     #[test]
@@ -316,7 +384,7 @@ mod tests {
         for _ in 0..N {
             let t = w.next_txn(0);
             let p = t.partitions()[0].0;
-            if p % nodes == 0 {
+            if p.is_multiple_of(nodes) {
                 on_hot += 1;
             }
         }
@@ -366,10 +434,18 @@ mod tests {
         let b = s.phase_at(90_000_000);
         let c = s.phase_at(150_000_000);
         let d = s.phase_at(210_000_000);
-        assert_eq!((a.cross_ratio, a.skew_factor), (0.5, 0.0), "A: uniform, 50%");
+        assert_eq!(
+            (a.cross_ratio, a.skew_factor),
+            (0.5, 0.0),
+            "A: uniform, 50%"
+        );
         assert_eq!((b.cross_ratio, b.skew_factor), (0.5, 0.8), "B: skew, 50%");
         assert_eq!((c.cross_ratio, c.skew_factor), (1.0, 0.8), "C: skew, 100%");
-        assert_eq!((d.cross_ratio, d.skew_factor, d.offset), (1.0, 0.8, 24), "D: shifted");
+        assert_eq!(
+            (d.cross_ratio, d.skew_factor, d.offset),
+            (1.0, 0.8, 24),
+            "D: shifted"
+        );
     }
 
     #[test]

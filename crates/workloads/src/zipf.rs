@@ -25,13 +25,27 @@ impl Zipf {
         assert!(n > 0, "need at least one item");
         assert!((0.0..1.0).contains(&theta), "theta in [0, 1)");
         if theta == 0.0 {
-            return Zipf { n, theta, alpha: 0.0, zetan: 0.0, eta: 0.0, zeta2: 0.0 };
+            return Zipf {
+                n,
+                theta,
+                alpha: 0.0,
+                zetan: 0.0,
+                eta: 0.0,
+                zeta2: 0.0,
+            };
         }
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, alpha, zetan, eta, zeta2 }
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -108,7 +122,10 @@ mod tests {
         }
         let min = *counts.iter().min().unwrap();
         let max = *counts.iter().max().unwrap();
-        assert!(max < min * 2, "uniform spread expected: min {min}, max {max}");
+        assert!(
+            max < min * 2,
+            "uniform spread expected: min {min}, max {max}"
+        );
     }
 
     #[test]
@@ -124,7 +141,11 @@ mod tests {
         }
         // With θ=0.99, the hottest 1% of items draw far more than 1% of
         // accesses (YCSB reference: >50%).
-        assert!(head as f64 / N as f64 > 0.4, "head share {}", head as f64 / N as f64);
+        assert!(
+            head as f64 / N as f64 > 0.4,
+            "head share {}",
+            head as f64 / N as f64
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ fn main() {
         clients_per_node: 24,
         ..Default::default()
     };
-    let engine_cfg = EngineConfig { sim, plan_interval_us: 500_000, ..Default::default() };
+    let engine_cfg = EngineConfig {
+        sim,
+        plan_interval_us: 500_000,
+        ..Default::default()
+    };
     let schedule = Schedule::interval_shift(period * SECOND, 3, 9, 1.0);
     let horizon = period * periods * SECOND;
 
@@ -29,7 +33,9 @@ fn main() {
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     for lion_run in [true, false] {
         let wl = Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 8, 4_000).with_schedule(schedule.clone()).with_seed(3),
+            YcsbConfig::for_cluster(4, 8, 4_000)
+                .with_schedule(schedule.clone())
+                .with_seed(3),
         ));
         let mut eng = Engine::new(engine_cfg.clone(), wl);
         let report = if lion_run {
@@ -37,7 +43,9 @@ fn main() {
             let r = eng.run(&mut lion, horizon);
             println!(
                 "Lion: plans={} pre-replications={} remasters={} replica-adds={}",
-                lion.plans_applied, lion.pre_replications, eng.metrics.remasters,
+                lion.plans_applied,
+                lion.pre_replications,
+                eng.metrics.remasters,
                 eng.metrics.replica_adds
             );
             r

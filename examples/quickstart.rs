@@ -23,10 +23,16 @@ fn main() {
         clients_per_node: 24,
         ..Default::default()
     };
-    let engine_cfg = EngineConfig { sim, plan_interval_us: plan_ms * 1_000, ..Default::default() };
+    let engine_cfg = EngineConfig {
+        sim,
+        plan_interval_us: plan_ms * 1_000,
+        ..Default::default()
+    };
     let workload = || {
         Box::new(YcsbWorkload::new(
-            YcsbConfig::for_cluster(4, 8, 4_000).with_mix(cross, skew).with_seed(7),
+            YcsbConfig::for_cluster(4, 8, 4_000)
+                .with_mix(cross, skew)
+                .with_seed(7),
         ))
     };
 
@@ -48,7 +54,9 @@ fn main() {
             let rs: Vec<f64> = eng.metrics.remaster_series.buckets().to_vec();
             println!("  remasters/s: {rs:?}");
             let pl = &eng.cluster.placement;
-            let prim: Vec<u16> = (0..pl.n_partitions()).map(|p| pl.primary_of(lion::common::PartitionId(p as u32)).0).collect();
+            let prim: Vec<u16> = (0..pl.n_partitions())
+                .map(|p| pl.primary_of(lion::common::PartitionId(p as u32)).0)
+                .collect();
             println!("  primaries: {prim:?}");
             r
         } else {

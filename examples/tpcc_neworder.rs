@@ -23,9 +23,15 @@ fn main() {
         clients_per_node: 24,
         ..Default::default()
     };
-    let engine_cfg = EngineConfig { sim, plan_interval_us: 500_000, ..Default::default() };
+    let engine_cfg = EngineConfig {
+        sim,
+        plan_interval_us: 500_000,
+        ..Default::default()
+    };
     let mk_wl = || {
-        Box::new(TpccWorkload::new(TpccConfig::for_cluster(4, 8).with_mix(remote, skew)))
+        Box::new(TpccWorkload::new(
+            TpccConfig::for_cluster(4, 8).with_mix(remote, skew),
+        ))
     };
 
     println!("TPC-C NewOrder: remote_ratio={remote} warehouse_skew={skew}\n");

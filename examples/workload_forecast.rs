@@ -3,8 +3,8 @@
 //! the workload-variation metric wv(t, h), and the sampled pre-replication
 //! templates at a phase boundary.
 
-use lion::prelude::*;
 use lion::common::{PartitionId, TxnRecord};
+use lion::prelude::*;
 
 fn main() {
     let cfg = PredictorConfig {
@@ -28,7 +28,10 @@ fn main() {
             vec![PartitionId(8), PartitionId(9)]
         };
         for k in 0..30 {
-            records.push(TxnRecord { at: sec * SECOND + k * 1000, parts: parts.clone() });
+            records.push(TxnRecord {
+                at: sec * SECOND + k * 1000,
+                parts: parts.clone(),
+            });
         }
     }
     predictor.observe(&records);

@@ -35,6 +35,7 @@ pub use lion_cluster as cluster;
 pub use lion_common as common;
 pub use lion_core as core;
 pub use lion_engine as engine;
+pub use lion_faults as faults;
 pub use lion_planner as planner;
 pub use lion_predictor as predictor;
 pub use lion_sim as sim;
@@ -46,14 +47,13 @@ pub mod prelude {
     pub use lion_baselines::{clay, leap, two_pc, Aria, Calvin, Hermes, Lotus, Star};
     pub use lion_cluster::Cluster;
     pub use lion_common::{
-        ClientId, Key, NodeId, Op, OpKind, PartitionId, Phase, Placement, SimConfig, Time,
-        TxnId, TxnRequest, Workload, MILLIS, SECOND,
+        ClientId, Key, NodeId, Op, OpKind, PartitionId, Phase, Placement, SimConfig, Time, TxnId,
+        TxnRequest, Workload, MILLIS, SECOND,
     };
     pub use lion_core::{Lion, LionConfig, Partitioning};
     pub use lion_engine::{Engine, EngineConfig, Protocol, RunReport, TickKind};
+    pub use lion_faults::{FaultKind, FaultNotice, FaultPlan};
     pub use lion_planner::{CostWeights, PlannerConfig};
     pub use lion_predictor::{Lstm, PredictorConfig, WorkloadPredictor};
-    pub use lion_workloads::{
-        Schedule, TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload, Zipf,
-    };
+    pub use lion_workloads::{Schedule, TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload, Zipf};
 }

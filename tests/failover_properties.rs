@@ -1,0 +1,124 @@
+//! Property tests for the failover building blocks: the replication log's
+//! dense-prefix frontier and the promotion-target selection.
+
+use lion::common::{NodeId, PartitionId, TxnId};
+use lion::faults::{select_promotion_target, PromotionCandidate};
+use lion::storage::{ReplicaStore, Table};
+use proptest::prelude::*;
+
+fn cand(node: u16, applied: u64, gap: bool) -> PromotionCandidate {
+    PromotionCandidate {
+        node: NodeId(node),
+        applied_lsn: applied,
+        has_gap: gap,
+    }
+}
+
+/// Reference implementation of the selection rule: among gap-free
+/// candidates, the highest applied LSN, ties to the lowest node id.
+fn spec_select(cands: &[PromotionCandidate]) -> Option<NodeId> {
+    cands
+        .iter()
+        .filter(|c| !c.has_gap)
+        .map(|c| (c.applied_lsn, std::cmp::Reverse(c.node)))
+        .max()
+        .map(|(_, std::cmp::Reverse(node))| node)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Selection is a pure function of the candidate *set*: it matches the
+    /// reference rule and is invariant under permutation (deterministic
+    /// under seed — no iteration-order or tie-break ambiguity).
+    #[test]
+    fn selection_is_deterministic_and_order_independent(
+        raw in proptest::collection::vec((0u16..8, 0u64..50, 0u8..4), 0..12),
+    ) {
+        let cands: Vec<PromotionCandidate> =
+            raw.iter().map(|&(n, a, g)| cand(n, a, g == 0)).collect();
+        let picked = select_promotion_target(&cands);
+        prop_assert_eq!(picked, spec_select(&cands));
+        let mut reversed = cands.clone();
+        reversed.reverse();
+        prop_assert_eq!(select_promotion_target(&reversed), picked);
+        let mut rotated = cands.clone();
+        if !rotated.is_empty() {
+            rotated.rotate_left(1);
+        }
+        prop_assert_eq!(select_promotion_target(&rotated), picked);
+    }
+
+    /// Promotion never elects a replica whose applied-epoch prefix has a
+    /// gap, no matter how fresh it claims to be.
+    #[test]
+    fn gapped_replicas_are_never_promoted(
+        raw in proptest::collection::vec((0u16..8, 0u64..1000, 0u8..2), 1..12),
+    ) {
+        // Each node holds at most one replica of a partition: dedupe ids.
+        let mut seen = std::collections::BTreeSet::new();
+        let cands: Vec<PromotionCandidate> = raw
+            .iter()
+            .filter(|(n, _, _)| seen.insert(*n))
+            .map(|&(n, a, g)| cand(n, a, g == 0))
+            .collect();
+        if let Some(node) = select_promotion_target(&cands) {
+            let winner = cands.iter().find(|c| c.node == node).expect("winner in set");
+            prop_assert!(!winner.has_gap, "elected a gapped replica {:?}", winner);
+        } else {
+            prop_assert!(cands.iter().all(|c| c.has_gap), "refused despite gap-free options");
+        }
+    }
+
+    /// The replica frontier is exactly the longest dense prefix of the
+    /// delivered LSNs, regardless of delivery order or duplication, and
+    /// `has_gap` flags precisely the out-of-prefix leftovers. Delivering
+    /// everything always converges to the primary's state.
+    #[test]
+    fn applied_lsn_is_the_longest_dense_prefix(
+        order in proptest::collection::vec((0usize..20, 0u8..2), 1..60),
+    ) {
+        let part = PartitionId(0);
+        let n_entries = 20u64;
+        let mut primary = ReplicaStore::new_primary(part, n_entries + 1, 8);
+        let mut log = Vec::new();
+        for k in 0..n_entries {
+            let txn = TxnId(k);
+            primary.table.occ_lock(k, txn);
+            let v = primary.table.occ_install(k, txn, Table::synth_value(k, 1, 8));
+            primary.log.append(part, k, v, Table::synth_value(k, 1, 8));
+            log = primary.log.pending().to_vec();
+        }
+
+        let mut secondary = ReplicaStore::new_secondary(part, n_entries + 1, 8);
+        let mut delivered = std::collections::BTreeSet::new();
+        for &(idx, dup) in &order {
+            let e = &log[idx % log.len()];
+            secondary.apply_entries(std::slice::from_ref(e));
+            if dup == 1 {
+                secondary.apply_entries(std::slice::from_ref(e)); // duplicate delivery
+            }
+            delivered.insert(e.lsn);
+
+            let mut prefix = 0u64;
+            while delivered.contains(&(prefix + 1)) {
+                prefix += 1;
+            }
+            prop_assert_eq!(secondary.applied_lsn, prefix,
+                "frontier must be the longest dense prefix of {:?}", delivered);
+            prop_assert_eq!(secondary.has_gap(), delivered.iter().any(|&l| l > prefix),
+                "gap flag wrong for {:?}", delivered);
+        }
+
+        // Deliver the rest: the secondary converges to the primary.
+        secondary.apply_entries(&log);
+        prop_assert_eq!(secondary.applied_lsn, primary.log.head_lsn());
+        prop_assert!(!secondary.has_gap());
+        for k in 0..n_entries {
+            prop_assert_eq!(
+                &secondary.table.get(k).unwrap().value,
+                &primary.table.get(k).unwrap().value
+            );
+        }
+    }
+}

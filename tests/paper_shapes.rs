@@ -16,12 +16,18 @@ fn sim(nodes: usize) -> SimConfig {
 
 fn ycsb(nodes: u32, cross: f64, skew: f64, seed: u64) -> Box<YcsbWorkload> {
     Box::new(YcsbWorkload::new(
-        YcsbConfig::for_cluster(nodes, 4, 2048).with_mix(cross, skew).with_seed(seed),
+        YcsbConfig::for_cluster(nodes, 4, 2048)
+            .with_mix(cross, skew)
+            .with_seed(seed),
     ))
 }
 
 fn engine(nodes: usize, cross: f64, skew: f64, seed: u64) -> Engine {
-    let cfg = EngineConfig { sim: sim(nodes), plan_interval_us: 500_000, ..Default::default() };
+    let cfg = EngineConfig {
+        sim: sim(nodes),
+        plan_interval_us: 500_000,
+        ..Default::default()
+    };
     Engine::new(cfg, ycsb(nodes as u32, cross, skew, seed))
 }
 
@@ -36,7 +42,8 @@ fn lion_beats_2pc_on_cross_partition_workloads() {
     };
     let twopc_tps = {
         let mut eng = engine(4, 1.0, 0.0, 5);
-        eng.run(&mut lion::baselines::two_pc(), horizon).throughput_tps
+        eng.run(&mut lion::baselines::two_pc(), horizon)
+            .throughput_tps
     };
     assert!(
         lion_tps > twopc_tps * 1.2,
@@ -50,7 +57,8 @@ fn lion_beats_2pc_on_cross_partition_workloads() {
 fn twopc_degrades_with_cross_ratio() {
     let tput = |cross: f64| {
         let mut eng = engine(2, cross, 0.0, 6);
-        eng.run(&mut lion::baselines::two_pc(), SECOND).throughput_tps
+        eng.run(&mut lion::baselines::two_pc(), SECOND)
+            .throughput_tps
     };
     let t0 = tput(0.0);
     let t1 = tput(1.0);
@@ -73,7 +81,10 @@ fn lion_converts_to_single_node() {
 #[test]
 fn star_super_node_saturates() {
     let tput = |cross: f64, seed| {
-        let cfg = EngineConfig { sim: sim(4), ..Default::default() };
+        let cfg = EngineConfig {
+            sim: sim(4),
+            ..Default::default()
+        };
         let mut eng = Engine::new(cfg, ycsb(4, cross, 0.0, seed));
         eng.run(&mut Star::new(), 2 * SECOND).throughput_tps
     };
@@ -87,7 +98,10 @@ fn star_super_node_saturates() {
 #[test]
 fn calvin_is_lock_manager_bound() {
     let tput = |nodes: usize| {
-        let cfg = EngineConfig { sim: sim(nodes), ..Default::default() };
+        let cfg = EngineConfig {
+            sim: sim(nodes),
+            ..Default::default()
+        };
         let mut eng = Engine::new(cfg, ycsb(nodes as u32, 0.5, 0.0, 11));
         eng.run(&mut Calvin::new(), 2 * SECOND).throughput_tps
     };
@@ -106,11 +120,16 @@ fn leap_ping_pong_hurts() {
     let horizon = 2 * SECOND;
     let leap_tps = {
         let mut eng = engine(4, 1.0, 0.0, 12);
-        eng.run(&mut lion::baselines::leap(), horizon).throughput_tps
+        eng.run(&mut lion::baselines::leap(), horizon)
+            .throughput_tps
     };
     let twopc_tps = {
         let mut eng = engine(4, 1.0, 0.0, 12);
-        eng.run(&mut lion::baselines::two_pc(), horizon).throughput_tps
+        eng.run(&mut lion::baselines::two_pc(), horizon)
+            .throughput_tps
     };
-    assert!(leap_tps < twopc_tps, "Leap {leap_tps:.0} vs 2PC {twopc_tps:.0}");
+    assert!(
+        leap_tps < twopc_tps,
+        "Leap {leap_tps:.0} vs 2PC {twopc_tps:.0}"
+    );
 }

@@ -2,10 +2,8 @@
 //! placements must never violate placement invariants, and plans must be
 //! idempotent once applied.
 
-use lion::common::{Placement, PartitionId};
-use lion::planner::{
-    generate_clumps, rearrange, schism_plan, HeatGraph, PlannerConfig,
-};
+use lion::common::{PartitionId, Placement};
+use lion::planner::{generate_clumps, rearrange, schism_plan, HeatGraph, PlannerConfig};
 use proptest::prelude::*;
 
 fn arb_txn(n_parts: u32) -> impl Strategy<Value = Vec<PartitionId>> {

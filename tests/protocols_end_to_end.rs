@@ -17,7 +17,9 @@ fn small_sim(nodes: usize) -> SimConfig {
 
 fn ycsb(nodes: u32, cross: f64, skew: f64, seed: u64) -> Box<YcsbWorkload> {
     Box::new(YcsbWorkload::new(
-        YcsbConfig::for_cluster(nodes, 4, 1024).with_mix(cross, skew).with_seed(seed),
+        YcsbConfig::for_cluster(nodes, 4, 1024)
+            .with_mix(cross, skew)
+            .with_seed(seed),
     ))
 }
 
@@ -28,7 +30,12 @@ fn assert_replicas_in_sync(eng: &mut Engine) {
     for p in 0..eng.cluster.n_partitions() {
         let part = lion::common::PartitionId(p as u32);
         let primary = eng.cluster.placement.primary_of(part);
-        let head = eng.cluster.store(primary, part).expect("primary store").log.head_lsn();
+        let head = eng
+            .cluster
+            .store(primary, part)
+            .expect("primary store")
+            .log
+            .head_lsn();
         for &s in eng.cluster.placement.secondaries_of(part) {
             let store = eng.cluster.store(s, part).expect("secondary store");
             assert_eq!(store.lag_behind(head), 0, "{part} secondary on {s} lags");
@@ -39,8 +46,15 @@ fn assert_replicas_in_sync(eng: &mut Engine) {
 fn run_end_to_end(proto: &mut dyn Protocol, cross: f64, skew: f64) -> RunReport {
     let mut eng = Engine::new(small_sim(4), ycsb(4, cross, skew, 99));
     let report = eng.run(proto, SECOND);
-    assert!(report.commits > 50, "{} committed only {}", report.protocol, report.commits);
-    eng.cluster.check_invariants().unwrap_or_else(|e| panic!("{}: {e}", report.protocol));
+    assert!(
+        report.commits > 50,
+        "{} committed only {}",
+        report.protocol,
+        report.commits
+    );
+    eng.cluster
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("{}: {e}", report.protocol));
     assert_replicas_in_sync(&mut eng);
     report
 }
@@ -101,7 +115,9 @@ fn lotus_end_to_end() {
 #[test]
 fn tpcc_runs_on_lion_and_2pc() {
     for lion_run in [true, false] {
-        let wl = Box::new(TpccWorkload::new(TpccConfig::for_cluster(4, 4).with_mix(0.5, 0.5)));
+        let wl = Box::new(TpccWorkload::new(
+            TpccConfig::for_cluster(4, 4).with_mix(0.5, 0.5),
+        ));
         let mut eng = Engine::new(small_sim(4), wl);
         let r = if lion_run {
             eng.run(&mut Lion::standard(), SECOND)

@@ -29,7 +29,7 @@ proptest! {
     #[test]
     fn occ_versions_monotonic(steps in proptest::collection::vec(arb_step(8), 1..200)) {
         let mut table = Table::populated(8, 16);
-        let mut versions = vec![1u64; 8];
+        let mut versions = [1u64; 8];
         for step in steps {
             match step {
                 Step::Read { key, txn } => {
