@@ -11,9 +11,8 @@
 
 use crate::calvin::charge_replication;
 use crate::tags::{fresh, tag, untag};
-use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
+use lion_common::{FastMap, NodeId, OpKind, Phase, Time, TxnId};
 use lion_engine::{Engine, Protocol, TxnClass};
-use std::collections::HashMap;
 
 const K_COMMIT: u8 = 1;
 const K_ABORT: u8 = 2;
@@ -49,13 +48,12 @@ impl Protocol for Aria {
         let now = eng.now();
         // ---- Execution phase: everything runs in parallel ---------------
         let mut completion: Vec<Time> = Vec::with_capacity(batch.len());
-        let mut res_w: HashMap<(u32, u64), usize> = HashMap::new();
-        let mut res_r: HashMap<(u32, u64), usize> = HashMap::new();
+        let mut res_w: FastMap<(u32, u64), usize> = FastMap::default();
+        let mut res_r: FastMap<(u32, u64), usize> = FastMap::default();
         for (i, &t) in batch.iter().enumerate() {
             eng.load_declared_sets(t);
-            let ops = eng.txn(t).req.ops.clone();
-            let mut by_node: HashMap<NodeId, (usize, usize)> = HashMap::new();
-            for op in &ops {
+            let mut by_node: FastMap<NodeId, (usize, usize)> = FastMap::default();
+            for op in &eng.txn(t).req.ops {
                 let n = eng.cluster.placement.primary_of(op.partition);
                 let e = by_node.entry(n).or_insert((0, 0));
                 match op.kind {
@@ -88,7 +86,7 @@ impl Protocol for Aria {
             eng.charge_phase(t, Phase::Execution, done - now);
             completion.push(done);
             // Reservations in deterministic (batch) order: first wins.
-            for op in &ops {
+            for op in &eng.txn(t).req.ops {
                 let k = (op.partition.0, op.key);
                 match op.kind {
                     OpKind::Write => {
@@ -109,11 +107,10 @@ impl Protocol for Aria {
         let barrier = exec_end + barrier_rtt + reorder;
 
         for (i, &t) in batch.iter().enumerate() {
-            let ops = eng.txn(t).req.ops.clone();
             let mut waw = false;
             let mut raw = false;
             let mut war = false;
-            for op in &ops {
+            for op in &eng.txn(t).req.ops {
                 let k = (op.partition.0, op.key);
                 match op.kind {
                     OpKind::Write => {

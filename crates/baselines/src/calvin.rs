@@ -9,18 +9,17 @@
 //! scalability ceiling Fig. 11b shows.
 
 use crate::tags::{fresh, tag, untag};
-use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
+use lion_common::{FastMap, NodeId, OpKind, Phase, Time, TxnId};
 use lion_engine::{Engine, Protocol, TxnClass};
 use lion_sim::MultiServer;
-use std::collections::HashMap;
 
 const K_DONE: u8 = 1;
 
 /// Row-lock release times for one batch.
 #[derive(Default)]
 pub(crate) struct RowLocks {
-    write_rel: HashMap<(u32, u64), Time>,
-    read_rel: HashMap<(u32, u64), Time>,
+    write_rel: FastMap<(u32, u64), Time>,
+    read_rel: FastMap<(u32, u64), Time>,
 }
 
 impl RowLocks {
@@ -65,9 +64,8 @@ impl RowLocks {
 /// plus a remote-read exchange when more than one node is involved.
 /// Returns `(completion, participants)`.
 pub(crate) fn execute_deterministic(eng: &mut Engine, txn: TxnId, start: Time) -> (Time, usize) {
-    let ops = eng.txn(txn).req.ops.clone();
-    let mut by_node: HashMap<NodeId, (usize, usize)> = HashMap::new();
-    for op in &ops {
+    let mut by_node: FastMap<NodeId, (usize, usize)> = FastMap::default();
+    for op in &eng.txn(txn).req.ops {
         let n = eng.cluster.placement.primary_of(op.partition);
         let e = by_node.entry(n).or_insert((0, 0));
         match op.kind {
@@ -100,16 +98,16 @@ pub(crate) fn execute_deterministic(eng: &mut Engine, txn: TxnId, start: Time) -
 /// Charges the asynchronous replication of a transaction's writes to its
 /// partitions' secondaries (bytes + replication phase time).
 pub(crate) fn charge_replication(eng: &mut Engine, txn: TxnId, at: Time) {
-    let writes = eng.txn(txn).write_set.clone();
     let mut bytes = 0u64;
-    for w in &writes {
+    let n_writes = eng.txn(txn).write_set.len() as u64;
+    for w in &eng.txn(txn).write_set {
         let n_secs = eng.cluster.placement.secondaries_of(w.part).len() as u64;
         bytes += n_secs * (eng.config().sim.value_size as u64 + 32);
     }
     if bytes > 0 {
         eng.metrics.replication_bytes += bytes;
         eng.metrics.bytes_series.add(at, bytes as f64);
-        let apply = eng.config().sim.cpu.install_us * writes.len() as u64;
+        let apply = eng.config().sim.cpu.install_us * n_writes;
         eng.charge_phase(txn, Phase::Replication, apply);
     }
 }
@@ -153,16 +151,15 @@ impl Protocol for Calvin {
         self.locks = RowLocks::default();
         for &t in batch {
             eng.load_declared_sets(t);
-            let ops = eng.txn(t).req.ops.clone();
             // Single-threaded lock manager grants locks in fixed order.
-            let service = eng.config().sim.cpu.lock_mgr_us * ops.len() as u64;
+            let service = eng.config().sim.cpu.lock_mgr_us * eng.txn(t).req.ops.len() as u64;
             let grant = self.lock_mgr.acquire(now, service);
             eng.charge_phase(t, Phase::Scheduling, grant.end - now);
             // Deterministic lock availability.
-            let start = self.locks.admit(&ops, grant.end);
+            let start = self.locks.admit(&eng.txn(t).req.ops, grant.end);
             eng.charge_phase(t, Phase::Scheduling, start - grant.end);
             let (done, _) = execute_deterministic(eng, t, start);
-            self.locks.release(&ops, done);
+            self.locks.release(&eng.txn(t).req.ops, done);
             charge_replication(eng, t, done);
             let commit_cpu = eng.config().sim.cpu.install_us;
             eng.charge_phase(t, Phase::Commit, commit_cpu);

@@ -12,9 +12,8 @@
 //! distributed transactions" (§II-B.1).
 
 use crate::standard::{most_primaries, RemoteAction, Standard, StandardPolicy};
-use lion_common::{NodeId, PartitionId, TxnId};
+use lion_common::{FastMap, NodeId, PartitionId, TxnId};
 use lion_engine::{Engine, TickKind};
-use std::collections::HashMap;
 
 /// Clay's monitor policy over the standard 2PC machine.
 pub struct ClayPolicy {
@@ -22,7 +21,7 @@ pub struct ClayPolicy {
     pub epsilon: f64,
     /// Max partitions moved per monitor tick.
     pub moves_per_tick: usize,
-    co_access: HashMap<(u32, u32), u64>,
+    co_access: FastMap<(u32, u32), u64>,
     /// Diagnostics: monitor activations.
     pub activations: u64,
 }
@@ -32,7 +31,7 @@ impl Default for ClayPolicy {
         ClayPolicy {
             epsilon: 0.35,
             moves_per_tick: 2,
-            co_access: HashMap::new(),
+            co_access: FastMap::default(),
             activations: 0,
         }
     }

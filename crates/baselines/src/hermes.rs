@@ -86,15 +86,14 @@ impl Protocol for Hermes {
 
         for t in ordered {
             eng.load_declared_sets(t);
-            let ops = eng.txn(t).req.ops.clone();
             let executor = Self::executor_of(eng, t);
 
             // Demand migration: pull every non-local partition to the
             // executor before locking; waiting on an in-flight migration to
             // the same place reuses it.
             let mut migration_ready = now;
-            let parts = eng.txn(t).parts.clone();
-            for part in parts {
+            for pi in 0..eng.txn(t).parts.len() {
+                let part = eng.txn(t).parts[pi];
                 if eng.cluster.placement.primary_of(part) == executor {
                     continue;
                 }
@@ -116,14 +115,14 @@ impl Protocol for Hermes {
             }
 
             // Single-threaded lock manager, deterministic order.
-            let service = eng.config().sim.cpu.lock_mgr_us * ops.len() as u64;
+            let service = eng.config().sim.cpu.lock_mgr_us * eng.txn(t).req.ops.len() as u64;
             let grant = self.lock_mgr.acquire(migration_ready, service);
             eng.charge_phase(t, Phase::Scheduling, grant.end - migration_ready);
-            let start = self.locks.admit(&ops, grant.end);
+            let start = self.locks.admit(&eng.txn(t).req.ops, grant.end);
             eng.charge_phase(t, Phase::Scheduling, start - grant.end);
 
             let (done, _) = execute_deterministic(eng, t, start);
-            self.locks.release(&ops, done);
+            self.locks.release(&eng.txn(t).req.ops, done);
             charge_replication(eng, t, done);
             let commit_cpu = eng.config().sim.cpu.install_us;
             eng.charge_phase(t, Phase::Commit, commit_cpu);

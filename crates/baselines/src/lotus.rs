@@ -10,9 +10,8 @@
 
 use crate::calvin::charge_replication;
 use crate::tags::{fresh, tag, untag};
-use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
+use lion_common::{FastMap, FastSet, NodeId, OpKind, Phase, Time, TxnId};
 use lion_engine::{Engine, Protocol, TxnClass};
-use std::collections::HashSet;
 
 const K_COMMIT: u8 = 1;
 const K_ABORT: u8 = 2;
@@ -47,16 +46,15 @@ impl Protocol for Lotus {
         // Granule (row) claims held until epoch end: the first transaction
         // of the epoch to touch a row owns it; later conflicting ones abort
         // and re-execute next epoch.
-        let mut claimed_w: HashSet<(u32, u64)> = HashSet::new();
-        let mut claimed_r: HashSet<(u32, u64)> = HashSet::new();
+        let mut claimed_w: FastSet<(u32, u64)> = FastSet::default();
+        let mut claimed_r: FastSet<(u32, u64)> = FastSet::default();
         let mut epoch_end: Time = now;
         let mut winners: Vec<(TxnId, Time)> = Vec::new();
         let mut losers: Vec<TxnId> = Vec::new();
 
         for &t in batch {
             eng.load_declared_sets(t);
-            let ops = eng.txn(t).req.ops.clone();
-            let conflict = ops.iter().any(|op| {
+            let conflict = eng.txn(t).req.ops.iter().any(|op| {
                 let k = (op.partition.0, op.key);
                 match op.kind {
                     OpKind::Write => claimed_w.contains(&k) || claimed_r.contains(&k),
@@ -68,7 +66,7 @@ impl Protocol for Lotus {
                 losers.push(t);
                 continue;
             }
-            for op in &ops {
+            for op in &eng.txn(t).req.ops {
                 let k = (op.partition.0, op.key);
                 match op.kind {
                     OpKind::Write => {
@@ -81,9 +79,8 @@ impl Protocol for Lotus {
             }
             // Execute: per-node CPU in parallel; zero scheduling time (the
             // epoch structure replaces a lock manager, §VI-G).
-            let mut by_node: std::collections::HashMap<NodeId, (usize, usize)> =
-                std::collections::HashMap::new();
-            for op in &ops {
+            let mut by_node: FastMap<NodeId, (usize, usize)> = FastMap::default();
+            for op in &eng.txn(t).req.ops {
                 let n = eng.cluster.placement.primary_of(op.partition);
                 let e = by_node.entry(n).or_insert((0, 0));
                 match op.kind {

@@ -70,13 +70,11 @@ impl<P: StandardPolicy> Standard<P> {
     /// Advances to the current partition group (ctx.step) or the commit
     /// phase when all groups are done.
     fn process_group(&mut self, eng: &mut Engine, txn: TxnId) {
-        let groups = eng.txn(txn).partition_groups();
         let gi = eng.txn(txn).step as usize;
-        if gi >= groups.len() {
+        if gi >= eng.txn(txn).n_groups() {
             return self.begin_commit(eng, txn);
         }
-        let (part, ops) = &groups[gi];
-        let part = *part;
+        let part = eng.txn(txn).group_part(gi);
         let now = eng.now();
 
         // A partition mid-remaster/migration blocks operations (§III).
@@ -91,8 +89,10 @@ impl<P: StandardPolicy> Standard<P> {
         let primary = eng.cluster.placement.primary_of(part);
         if primary == home {
             // Local group: execute now, then occupy a worker for the cost.
-            for op in ops {
-                match eng.exec_op_at(home, txn, *op) {
+            // Index walk over the precomputed group — no per-wake clone.
+            for i in 0..eng.txn(txn).group_ops(gi).len() {
+                let op = eng.txn(txn).group_ops(gi)[i];
+                match eng.exec_op_at(home, txn, op) {
                     Ok(()) => {}
                     Err(OpFail::Locked) => return eng.abort_retry(txn),
                     Err(_) => {
@@ -102,11 +102,7 @@ impl<P: StandardPolicy> Standard<P> {
                     }
                 }
             }
-            let reads = ops
-                .iter()
-                .filter(|o| o.kind == lion_common::OpKind::Read)
-                .count();
-            let writes = ops.len() - reads;
+            let (reads, writes) = eng.txn(txn).group_reads_writes(gi);
             let mut cost = eng.op_cpu(reads, writes);
             if gi == 0 {
                 cost += eng.config().sim.cpu.txn_overhead_us;
@@ -120,12 +116,8 @@ impl<P: StandardPolicy> Standard<P> {
                     if !eng.txn(txn).participants.contains(&primary) {
                         eng.txn_mut(txn).participants.push(primary);
                     }
-                    let reads = ops
-                        .iter()
-                        .filter(|o| o.kind == lion_common::OpKind::Read)
-                        .count();
-                    let writes = ops.len() - reads;
-                    let req = 24 * ops.len() as u32;
+                    let (reads, writes) = eng.txn(txn).group_reads_writes(gi);
+                    let req = 24 * (reads + writes) as u32;
                     let resp = 16 + (reads as u32) * eng.config().sim.value_size;
                     let cpu = eng.op_cpu(reads, writes) + eng.config().sim.cpu.msg_handle_us;
                     let t = self.t(eng, txn, K_GROUP, 1);
@@ -153,12 +145,12 @@ impl<P: StandardPolicy> Standard<P> {
         if remote {
             // The response returned: execute the ops against the (current)
             // remote primary. Placement may have moved — retry if so.
-            let groups = eng.txn(txn).partition_groups();
             let gi = eng.txn(txn).step as usize;
-            let (part, ops) = &groups[gi];
-            let primary = eng.cluster.placement.primary_of(*part);
-            for op in ops {
-                match eng.exec_op_at(primary, txn, *op) {
+            let part = eng.txn(txn).group_part(gi);
+            let primary = eng.cluster.placement.primary_of(part);
+            for i in 0..eng.txn(txn).group_ops(gi).len() {
+                let op = eng.txn(txn).group_ops(gi)[i];
+                match eng.exec_op_at(primary, txn, op) {
                     Ok(()) => {}
                     Err(OpFail::Locked) => return eng.abort_retry(txn),
                     Err(_) => {

@@ -13,5 +13,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod perf;
 
 pub use harness::{base_sim, run_all, run_job, Job, ProtoKind, Scale, WorkloadSpec};

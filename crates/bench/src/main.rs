@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|figf1|all] [--full]
+//! lion-bench perf [--quick] [--check]
 //! ```
 //!
 //! `figf1` is the fault-injection experiment: throughput under a node crash
@@ -9,6 +10,12 @@
 //!
 //! `--full` lengthens the runs (5 s steady-state, 15 s hotspot periods);
 //! the default quick scale finishes the whole suite in a few minutes.
+//!
+//! `perf` is the self-measuring wall-clock performance harness: it runs a
+//! fixed-seed YCSB + TPC-C + crash/recovery matrix, reports engine
+//! events/sec and commits/sec of *host* time, and maintains
+//! `BENCH_perf.json` at the repo root (`--check` compares against the
+//! committed numbers instead of writing, for CI).
 
 use lion_bench::figures;
 use lion_bench::Scale;
@@ -25,6 +32,18 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".into());
+
+    if which == "perf" {
+        let quick = args.iter().any(|a| a == "--quick");
+        let check = args.iter().any(|a| a == "--check");
+        let repeat = args
+            .iter()
+            .position(|a| a == "--repeat")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        std::process::exit(lion_bench::perf::perf(quick, check, repeat));
+    }
 
     let out = match which.as_str() {
         "table1" => figures::table1(),

@@ -7,15 +7,18 @@
 //! in a sliding window plus a per-(partition, node) last-use stamp for
 //! eviction tie-breaks.
 
-use lion_common::{NodeId, PartitionId, Time};
-use std::collections::HashMap;
+use lion_common::{FastMap, NodeId, PartitionId, Time};
 
 /// Sliding-window access counters.
 #[derive(Debug, Clone)]
 pub struct FreqTracker {
     window: Vec<u64>,
     previous: Vec<u64>,
-    last_used: HashMap<(PartitionId, NodeId), Time>,
+    /// Cached `max(previous)`: `previous` only changes on `roll_window`,
+    /// while [`FreqTracker::normalized`] runs on every routed transaction —
+    /// rescanning the window there made routing O(partitions²) per txn.
+    previous_max: u64,
+    last_used: FastMap<(PartitionId, NodeId), Time>,
 }
 
 impl FreqTracker {
@@ -24,7 +27,8 @@ impl FreqTracker {
         FreqTracker {
             window: vec![0; n_partitions],
             previous: vec![0; n_partitions],
-            last_used: HashMap::new(),
+            previous_max: 0,
+            last_used: FastMap::default(),
         }
     }
 
@@ -45,6 +49,7 @@ impl FreqTracker {
     pub fn roll_window(&mut self) {
         std::mem::swap(&mut self.previous, &mut self.window);
         self.window.iter_mut().for_each(|c| *c = 0);
+        self.previous_max = self.previous.iter().copied().max().unwrap_or(0);
     }
 
     /// Raw access count of `part` in the last complete window.
@@ -55,7 +60,7 @@ impl FreqTracker {
     /// Normalized access frequency in `[0, 1]` relative to the hottest
     /// partition of the last window (paper's `f(v, n)` for the primary).
     pub fn normalized(&self, part: PartitionId) -> f64 {
-        let max = self.previous.iter().copied().max().unwrap_or(0);
+        let max = self.previous_max;
         if max == 0 {
             0.0
         } else {

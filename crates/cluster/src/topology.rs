@@ -1,10 +1,9 @@
 //! The simulated cluster: nodes, replica stores, adaptor operations.
 
 use crate::freq::FreqTracker;
-use lion_common::{NodeId, PartitionId, SimConfig, Time};
+use lion_common::{FastMap, NodeId, PartitionId, SimConfig, Time};
 use lion_sim::MultiServer;
 use lion_storage::{LogEntry, ReplicaRole, ReplicaStore};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Per-µs cost of syncing one lagging log entry during remastering (and,
@@ -126,7 +125,7 @@ pub struct Cluster {
     pub freq: FreqTracker,
     /// Per-node liveness (fault injection; all nodes start up).
     pub node_up: Vec<bool>,
-    stores: Vec<HashMap<u32, ReplicaStore>>,
+    stores: Vec<FastMap<u32, ReplicaStore>>,
 }
 
 impl Cluster {
@@ -139,8 +138,8 @@ impl Cluster {
         let workers = (0..cfg.nodes)
             .map(|_| MultiServer::new(cfg.workers_per_node))
             .collect();
-        let mut stores: Vec<HashMap<u32, ReplicaStore>> =
-            (0..cfg.nodes).map(|_| HashMap::new()).collect();
+        let mut stores: Vec<FastMap<u32, ReplicaStore>> =
+            (0..cfg.nodes).map(|_| FastMap::default()).collect();
         for p in 0..n_parts {
             let part = PartitionId(p as u32);
             let primary = placement.primary_of(part);
@@ -817,6 +816,7 @@ impl Cluster {
 mod tests {
     use super::*;
     use lion_common::TxnId;
+    use lion_storage::Bytes;
 
     fn small_cfg() -> SimConfig {
         SimConfig {
@@ -871,8 +871,8 @@ mod tests {
         {
             let store = c.primary_store_mut(p(0));
             store.table.occ_lock(5, txn);
-            let v = store.table.occ_install(5, txn, Box::new([7u8; 16]));
-            store.log.append(p(0), 5, v, Box::new([7u8; 16]));
+            let v = store.table.occ_install(5, txn, Bytes::from(vec![7u8; 16]));
+            store.log.append(p(0), 5, v, Bytes::from(vec![7u8; 16]));
         }
         let dur = c.begin_remaster(p(0), n(1), 0).unwrap();
         assert!(dur > c.cfg.remaster_delay_us, "lag adds sync time");
@@ -881,7 +881,7 @@ mod tests {
         let new_primary = c.store(n(1), p(0)).unwrap();
         assert_eq!(
             new_primary.table.get(5).unwrap().value,
-            vec![7u8; 16].into_boxed_slice()
+            Bytes::from(vec![7u8; 16])
         );
         c.check_invariants().unwrap();
     }
@@ -976,8 +976,8 @@ mod tests {
         {
             let store = c.primary_store_mut(p(0));
             store.table.occ_lock(9, txn);
-            let v = store.table.occ_install(9, txn, Box::new([4u8; 16]));
-            store.log.append(p(0), 9, v, Box::new([4u8; 16]));
+            let v = store.table.occ_install(9, txn, Bytes::from(vec![4u8; 16]));
+            store.log.append(p(0), 9, v, Bytes::from(vec![4u8; 16]));
         }
         let head_before = c.store(n(0), p(0)).unwrap().log.head_lsn();
         let report = c.crash_node(n(0), 1_000);
@@ -1019,7 +1019,7 @@ mod tests {
         assert_eq!(new_primary.log.head_lsn(), head_before);
         assert_eq!(
             new_primary.table.get(9).unwrap().value,
-            vec![4u8; 16].into_boxed_slice(),
+            Bytes::from(vec![4u8; 16]),
             "replayed write visible at the new primary"
         );
         c.check_invariants().unwrap();
@@ -1098,15 +1098,15 @@ mod tests {
         {
             let store = c.primary_store_mut(p(2));
             store.table.occ_lock(0, txn);
-            let v = store.table.occ_install(0, txn, Box::new([3u8; 16]));
-            store.log.append(p(2), 0, v, Box::new([3u8; 16]));
+            let v = store.table.occ_install(0, txn, Bytes::from(vec![3u8; 16]));
+            store.log.append(p(2), 0, v, Bytes::from(vec![3u8; 16]));
         }
         let bytes = c.epoch_flush_all();
         assert!(bytes > 0);
         let sec = c.placement.secondaries_of(p(2))[0];
         assert_eq!(
             c.store(sec, p(2)).unwrap().table.get(0).unwrap().value,
-            vec![3u8; 16].into_boxed_slice()
+            Bytes::from(vec![3u8; 16])
         );
         // flushing again is free
         assert_eq!(c.epoch_flush_all(), 0);

@@ -18,6 +18,12 @@ pub struct PartitionId(pub u32);
 
 /// Identifies one transaction instance. A retried transaction keeps its id;
 /// retries are tracked separately by the engine.
+///
+/// The engine allocates ids from a slab arena: the low 32 bits are the
+/// arena slot, the high 32 bits a per-slot generation bumped on every
+/// reuse. A stale id (a wake-up or fault-path completion outliving its
+/// transaction) therefore never matches the slot's current occupant, while
+/// lookups stay a plain vector index — no hashing on the protocol hot path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
@@ -53,6 +59,26 @@ impl ClientId {
     }
 }
 
+impl TxnId {
+    /// Packs an arena `(slot, generation)` pair into an id.
+    #[inline]
+    pub fn compose(slot: u32, generation: u32) -> Self {
+        TxnId(((generation as u64) << 32) | slot as u64)
+    }
+
+    /// The arena slot this id addresses.
+    #[inline]
+    pub fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    /// The slot generation this id was minted under.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "N{}", self.0)
@@ -67,7 +93,11 @@ impl fmt::Display for PartitionId {
 
 impl fmt::Display for TxnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "T{}", self.0)
+        if self.generation() == 0 {
+            write!(f, "T{}", self.slot())
+        } else {
+            write!(f, "T{}.g{}", self.slot(), self.generation())
+        }
     }
 }
 
@@ -80,6 +110,18 @@ mod tests {
         assert_eq!(NodeId(3).to_string(), "N3");
         assert_eq!(PartitionId(7).to_string(), "P7");
         assert_eq!(TxnId(42).to_string(), "T42");
+    }
+
+    #[test]
+    fn txn_id_packs_slot_and_generation() {
+        let id = TxnId::compose(7, 3);
+        assert_eq!(id.slot(), 7);
+        assert_eq!(id.generation(), 3);
+        assert_eq!(id.to_string(), "T7.g3");
+        assert_ne!(id, TxnId::compose(7, 4), "reused slot mints a fresh id");
+        // Generation-0 ids are plain small integers, as tests construct them.
+        assert_eq!(TxnId(9).slot(), 9);
+        assert_eq!(TxnId(9).generation(), 0);
     }
 
     #[test]

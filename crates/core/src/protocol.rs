@@ -15,11 +15,10 @@
 use crate::config::LionConfig;
 use crate::router::route_txn;
 use lion_cluster::AdaptorError;
-use lion_common::{NodeId, OpKind, Phase, Time, TxnId};
+use lion_common::{FastMap, NodeId, Phase, Time, TxnId};
 use lion_engine::{Engine, FaultNotice, OpFail, Protocol, TickKind, TxnClass};
 use lion_planner::TxnPlacementClass;
 use lion_predictor::WorkloadPredictor;
-use std::collections::HashMap;
 
 // Continuation kinds (attempt-stamped, see lion-baselines::tags for the
 // packing scheme, re-implemented here to keep lion-core standalone).
@@ -52,7 +51,7 @@ pub struct Lion {
     /// to the same node, which reduces ping-pong remastering" (§III) — the
     /// affinity keeps routing stable while replica copies are in flight, so
     /// the greedy cost model cannot undo the plan mid-transition.
-    pub(crate) affinity: HashMap<u32, NodeId>,
+    pub(crate) affinity: FastMap<u32, NodeId>,
     /// Diagnostics: plan rounds that produced adaptor actions.
     pub plans_applied: u64,
     /// Diagnostics: last workload-variation metric (Eq. 6).
@@ -74,7 +73,7 @@ impl Lion {
         Lion {
             predictor: WorkloadPredictor::new(cfg.predictor),
             cfg,
-            affinity: HashMap::new(),
+            affinity: FastMap::default(),
             plans_applied: 0,
             last_wv: 0.0,
             pre_replications: 0,
@@ -183,13 +182,11 @@ impl Lion {
 
     /// Advances to the current partition group or to the commit phase.
     fn process_group(&mut self, eng: &mut Engine, txn: TxnId) {
-        let groups = eng.txn(txn).partition_groups();
         let gi = eng.txn(txn).step as usize;
-        if gi >= groups.len() {
+        if gi >= eng.txn(txn).n_groups() {
             return self.begin_commit(eng, txn);
         }
-        let (part, ops) = &groups[gi];
-        let part = *part;
+        let part = eng.txn(txn).group_part(gi);
         let now = eng.now();
 
         let avail = eng.cluster.available_at(part);
@@ -204,8 +201,10 @@ impl Lion {
         let home = eng.txn(txn).home;
         let primary = eng.cluster.placement.primary_of(part);
         if primary == home {
-            for op in ops {
-                match eng.exec_op_at(home, txn, *op) {
+            // Index walk over the precomputed group — no per-wake clone.
+            for i in 0..eng.txn(txn).group_ops(gi).len() {
+                let op = eng.txn(txn).group_ops(gi)[i];
+                match eng.exec_op_at(home, txn, op) {
                     Ok(()) => {}
                     Err(OpFail::Locked) => return eng.abort_retry(txn),
                     Err(_) => {
@@ -214,8 +213,7 @@ impl Lion {
                     }
                 }
             }
-            let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count();
-            let writes = ops.len() - reads;
+            let (reads, writes) = eng.txn(txn).group_reads_writes(gi);
             let mut cost = eng.op_cpu(reads, writes);
             if gi == 0 {
                 cost += eng.config().sim.cpu.txn_overhead_us;
@@ -266,16 +264,14 @@ impl Lion {
 
     /// §III case 3: remote execution at the partition's primary.
     fn remote_group(&mut self, eng: &mut Engine, txn: TxnId, gi: usize) {
-        let groups = eng.txn(txn).partition_groups();
-        let (part, ops) = &groups[gi];
-        let primary = eng.cluster.placement.primary_of(*part);
+        let part = eng.txn(txn).group_part(gi);
+        let primary = eng.cluster.placement.primary_of(part);
         eng.txn_mut(txn).class = TxnClass::Distributed;
         if !eng.txn(txn).participants.contains(&primary) {
             eng.txn_mut(txn).participants.push(primary);
         }
-        let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count();
-        let writes = ops.len() - reads;
-        let req = 24 * ops.len() as u32;
+        let (reads, writes) = eng.txn(txn).group_reads_writes(gi);
+        let req = 24 * (reads + writes) as u32;
         let resp = 16 + (reads as u32) * eng.config().sim.value_size;
         let cpu = eng.op_cpu(reads, writes) + eng.config().sim.cpu.msg_handle_us;
         let t = self.t(eng, txn, K_GROUP, 1);
@@ -285,12 +281,12 @@ impl Lion {
 
     fn finish_group(&mut self, eng: &mut Engine, txn: TxnId, remote: bool) {
         if remote {
-            let groups = eng.txn(txn).partition_groups();
             let gi = eng.txn(txn).step as usize;
-            let (part, ops) = &groups[gi];
-            let primary = eng.cluster.placement.primary_of(*part);
-            for op in ops {
-                match eng.exec_op_at(primary, txn, *op) {
+            let part = eng.txn(txn).group_part(gi);
+            let primary = eng.cluster.placement.primary_of(part);
+            for i in 0..eng.txn(txn).group_ops(gi).len() {
+                let op = eng.txn(txn).group_ops(gi)[i];
+                match eng.exec_op_at(primary, txn, op) {
                     Ok(()) => {}
                     Err(OpFail::Locked) => return eng.abort_retry(txn),
                     Err(_) => {

@@ -3,10 +3,11 @@
 use crate::metrics::{FailoverRecord, Metrics};
 use crate::protocol::{Protocol, TickKind};
 use crate::report::RunReport;
+use crate::slab::TxnSlab;
 use crate::txn::{ReadEntry, TxnClass, TxnCtx, WriteEntry};
 use lion_cluster::{AdaptorError, Cluster};
 use lion_common::{
-    ClientId, NodeId, Op, OpKind, PartitionId, Phase, SimConfig, Time, TxnId, TxnRecord,
+    ClientId, FastMap, NodeId, Op, OpKind, PartitionId, Phase, SimConfig, Time, TxnId, TxnRecord,
     TxnRequest, Workload,
 };
 use lion_faults::{plan_failover, FaultKind, FaultNotice, FaultPlan};
@@ -14,7 +15,6 @@ use lion_sim::EventQueue;
 use lion_storage::{LogEntry, OpOutcome, Table};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Engine-level configuration on top of the cluster's [`SimConfig`].
 #[derive(Debug, Clone)]
@@ -128,9 +128,9 @@ pub struct Engine {
     pub rng: SmallRng,
     cfg: EngineConfig,
     queue: EventQueue<Ev>,
-    txns: HashMap<u64, TxnCtx>,
+    txns: TxnSlab,
     workload: Box<dyn Workload>,
-    next_txn: u64,
+    next_seq: u64,
     history: Vec<TxnRecord>,
     horizon: Time,
     batch_mode: bool,
@@ -138,8 +138,13 @@ pub struct Engine {
     deferred: Vec<TxnId>,
     window_busy: Vec<Time>,
     submitted: u64,
-    pending_failovers: HashMap<u32, PendingFailover>,
+    events: u64,
+    pending_failovers: FastMap<u32, PendingFailover>,
     isolated: Vec<NodeId>,
+    /// Reusable batch-assembly buffer (no per-tick allocation).
+    batch_buf: Vec<TxnId>,
+    /// Reusable fault-abort victim buffer (no per-crash allocation).
+    victim_buf: Vec<(u64, TxnId)>,
 }
 
 impl Engine {
@@ -154,9 +159,9 @@ impl Engine {
             metrics: Metrics::new(),
             cfg,
             queue: EventQueue::new(),
-            txns: HashMap::new(),
+            txns: TxnSlab::new(),
             workload,
-            next_txn: 0,
+            next_seq: 0,
             history: Vec::new(),
             horizon: 0,
             batch_mode: false,
@@ -164,8 +169,11 @@ impl Engine {
             deferred: Vec::new(),
             window_busy: vec![0; nodes],
             submitted: 0,
-            pending_failovers: HashMap::new(),
+            events: 0,
+            pending_failovers: FastMap::default(),
             isolated: Vec::new(),
+            batch_buf: Vec::new(),
+            victim_buf: Vec::new(),
         }
     }
 
@@ -182,17 +190,18 @@ impl Engine {
 
     /// Immutable transaction context.
     pub fn txn(&self, id: TxnId) -> &TxnCtx {
-        &self.txns[&id.0]
+        self.txns.get(id).expect("live transaction")
     }
 
     /// Mutable transaction context.
     pub fn txn_mut(&mut self, id: TxnId) -> &mut TxnCtx {
-        self.txns.get_mut(&id.0).expect("live transaction")
+        self.txns.get_mut(id).expect("live transaction")
     }
 
-    /// True when the context is still live (not committed).
+    /// True when the context is still live (not committed, and the id's
+    /// slab generation has not been retired).
     pub fn is_live(&self, id: TxnId) -> bool {
-        self.txns.contains_key(&id.0)
+        self.txns.contains(id)
     }
 
     /// The executor node that "owns" a client (Leap executes transactions at
@@ -213,6 +222,13 @@ impl Engine {
     /// Total submitted transactions.
     pub fn submitted(&self) -> u64 {
         self.submitted
+    }
+
+    /// Total events popped from the future-event list so far. One event is
+    /// the engine's unit of hot-path work, which makes wall-clock
+    /// events/second the primary metric of `lion-bench perf`.
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     /// Busy µs per node accumulated during the last monitoring window.
@@ -263,6 +279,7 @@ impl Engine {
                 break;
             }
             let (_, ev) = self.queue.pop().expect("peeked");
+            self.events += 1;
             match ev {
                 Ev::ClientNext(client) => {
                     let id = self.create_txn(client);
@@ -306,6 +323,7 @@ impl Engine {
                         self.batch_outstanding = batch.len();
                         proto.on_batch(self, &batch);
                     }
+                    self.batch_buf = batch; // recycle the allocation
                 }
                 Ev::Fault(i) => {
                     let kind = self.cfg.faults.events()[i].kind.clone();
@@ -368,7 +386,7 @@ impl Engine {
         let report = self.cluster.crash_node(node, now);
         self.metrics.crashes += 1;
         self.fault_abort_touching(node);
-        let mut replays: HashMap<u32, Vec<LogEntry>> =
+        let mut replays: FastMap<u32, Vec<LogEntry>> =
             report.orphaned.into_iter().map(|(p, r)| (p.0, r)).collect();
         for d in plan_failover(&self.cluster, node) {
             self.metrics.unavail_begin(d.part, now);
@@ -515,25 +533,28 @@ impl Engine {
     /// abort paths (back-off in standard mode, defer in batch mode).
     fn fault_abort_touching(&mut self, node: NodeId) {
         let now = self.now();
-        let mut victims: Vec<TxnId> = self
-            .txns
-            .values()
-            .filter(|ctx| {
-                !ctx.parked
-                    && (ctx.home == node
-                        || ctx.participants.contains(&node)
-                        || ctx
-                            .parts
-                            .iter()
-                            .any(|&p| self.cluster.placement.primary_of(p) == node))
-            })
-            .map(|ctx| ctx.id)
-            .collect();
-        // HashMap iteration order is arbitrary; sort for a deterministic
+        let mut victims = std::mem::take(&mut self.victim_buf);
+        victims.clear();
+        victims.extend(
+            self.txns
+                .iter()
+                .filter(|ctx| {
+                    !ctx.parked
+                        && (ctx.home == node
+                            || ctx.participants.contains(&node)
+                            || ctx
+                                .parts
+                                .iter()
+                                .any(|&p| self.cluster.placement.primary_of(p) == node))
+                })
+                .map(|ctx| (ctx.seq, ctx.id)),
+        );
+        // Slab iteration follows slot order, which slot reuse decouples from
+        // arrival order; sort by submission sequence for a deterministic
         // retry/defer sequence (same seed ⇒ identical recovery timeline).
         victims.sort_unstable();
         let backoff = self.cfg.sim.retry_backoff_us;
-        for txn in victims {
+        for &(_, txn) in &victims {
             self.metrics.aborts += 1;
             self.metrics.fault_aborts += 1;
             self.release_all(txn);
@@ -546,37 +567,40 @@ impl Engine {
                 self.queue.schedule(backoff, Ev::Retry(txn));
             }
         }
+        self.victim_buf = victims; // recycle the allocation
     }
 
     fn create_txn(&mut self, client: ClientId) -> TxnId {
         let now = self.now();
         let req = self.workload.next_txn(now);
-        let id = TxnId(self.next_txn);
-        self.next_txn += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.submitted += 1;
-        let ctx = TxnCtx::new(id, client, req, now);
+        let id = self.txns.insert_with(|id| {
+            let mut ctx = TxnCtx::new(id, client, req, now);
+            ctx.seq = seq;
+            ctx
+        });
         if self.history.len() < self.cfg.history_cap {
             self.history.push(TxnRecord {
                 at: now,
-                parts: ctx.parts.clone(),
+                parts: self.txn(id).parts.clone(),
             });
         }
-        self.txns.insert(id.0, ctx);
         id
     }
 
     fn arm_batch(&mut self) -> Vec<TxnId> {
         let now = self.now();
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        batch.clear();
         if now >= self.horizon {
-            return Vec::new();
+            return batch;
         }
-        let mut batch: Vec<TxnId> = Vec::with_capacity(self.cfg.sim.batch_size);
+        batch.reserve(self.cfg.sim.batch_size);
         batch.append(&mut self.deferred);
         for &t in &batch {
-            self.txns
-                .get_mut(&t.0)
-                .expect("deferred txn is live")
-                .parked = false;
+            self.txns.get_mut(t).expect("deferred txn is live").parked = false;
         }
         while batch.len() < self.cfg.sim.batch_size {
             // Batch distributors pull from the open stream (§IV-D buffers
@@ -818,17 +842,17 @@ impl Engine {
     /// Executes every operation of `txn` whose partition primary is at
     /// `node`. Stops at the first failure.
     pub fn exec_local_ops(&mut self, node: NodeId, txn: TxnId) -> Result<usize, OpFail> {
-        let ops: Vec<Op> = self
-            .txn(txn)
-            .req
-            .ops
-            .iter()
-            .copied()
-            .filter(|o| self.cluster.placement.is_primary(o.partition, node))
-            .collect();
-        let n = ops.len();
-        for op in ops {
+        // Index walk instead of collecting the matching ops into a scratch
+        // `Vec`: this runs once per submission attempt, `Op` is tiny, and
+        // `exec_op_at` never changes the placement the filter reads.
+        let mut n = 0;
+        for i in 0..self.txn(txn).req.ops.len() {
+            let op = self.txn(txn).req.ops[i];
+            if !self.cluster.placement.is_primary(op.partition, node) {
+                continue;
+            }
             self.exec_op_at(node, txn, op)?;
+            n += 1;
         }
         Ok(n)
     }
@@ -844,35 +868,32 @@ impl Engine {
     /// locks taken here are released and `false` is returned.
     pub fn validate_at(&mut self, node: NodeId, txn: TxnId) -> bool {
         let id = txn;
-        let writes: Vec<WriteEntry> = self
-            .txn(txn)
-            .write_set
-            .iter()
-            .copied()
-            .filter(|w| self.cluster.placement.is_primary(w.part, node))
-            .collect();
-        let reads: Vec<ReadEntry> = self
-            .txn(txn)
-            .read_set
-            .iter()
-            .copied()
-            .filter(|r| self.cluster.placement.is_primary(r.part, node))
-            .collect();
-
-        let mut locked: Vec<WriteEntry> = Vec::with_capacity(writes.len());
+        let Engine { txns, cluster, .. } = self;
+        let ctx = txns.get(txn).expect("live transaction");
+        // Walk the sets in place (disjoint borrows: context is read-only,
+        // stores are mutated) instead of cloning them into scratch `Vec`s.
+        // `locked` counts the prefix of local write entries holding a
+        // prepare-lock, so the failure path can release exactly those.
+        let mut locked = 0usize;
         let mut ok = true;
-        for w in &writes {
-            let store = self.cluster.store_mut(node, w.part).expect("primary store");
+        for w in &ctx.write_set {
+            if !cluster.placement.is_primary(w.part, node) {
+                continue;
+            }
+            let store = cluster.store_mut(node, w.part).expect("primary store");
             if store.table.occ_lock(w.key, id).is_ok() {
-                locked.push(*w);
+                locked += 1;
             } else {
                 ok = false;
                 break;
             }
         }
         if ok {
-            for r in &reads {
-                let store = self.cluster.store(node, r.part).expect("primary store");
+            for r in &ctx.read_set {
+                if !cluster.placement.is_primary(r.part, node) {
+                    continue;
+                }
+                let store = cluster.store(node, r.part).expect("primary store");
                 if !store.table.occ_validate_read(r.key, r.version, id).is_ok() {
                     ok = false;
                     break;
@@ -880,10 +901,17 @@ impl Engine {
             }
         }
         if !ok {
-            for w in locked {
-                if let Some(store) = self.cluster.store_mut(node, w.part) {
+            for w in &ctx.write_set {
+                if locked == 0 {
+                    break;
+                }
+                if !cluster.placement.is_primary(w.part, node) {
+                    continue;
+                }
+                if let Some(store) = cluster.store_mut(node, w.part) {
                     store.table.occ_unlock(w.key, id);
                 }
+                locked -= 1;
             }
         }
         ok
@@ -900,13 +928,16 @@ impl Engine {
     /// partition remasters back.
     pub fn install_at(&mut self, node: NodeId, txn: TxnId) {
         let value_size = self.cfg.sim.value_size;
-        let attempt = self.txn(txn).attempts as u64;
-        let writes: Vec<WriteEntry> = self.txn(txn).write_set.clone();
-        for w in writes {
-            if !self.cluster.placement.is_primary(w.part, node) {
-                if self.cluster.store(node, w.part).is_some() {
-                    for holder in self.cluster.placement.replica_nodes(w.part) {
-                        if let Some(store) = self.cluster.store_mut(holder, w.part) {
+        // Split borrow: the context is read in place (no write-set clone)
+        // while the stores are mutated.
+        let Engine { txns, cluster, .. } = self;
+        let ctx = txns.get(txn).expect("live transaction");
+        let attempt = ctx.attempts as u64;
+        for w in &ctx.write_set {
+            if !cluster.placement.is_primary(w.part, node) {
+                if cluster.store(node, w.part).is_some() {
+                    for holder in cluster.placement.replica_nodes(w.part) {
+                        if let Some(store) = cluster.store_mut(holder, w.part) {
                             store.table.occ_unlock(w.key, txn);
                         }
                     }
@@ -915,10 +946,29 @@ impl Engine {
             }
             let stamp = txn.0.wrapping_mul(31).wrapping_add(attempt);
             let value = Table::synth_value(w.key, stamp, value_size);
-            let store = self.cluster.store_mut(node, w.part).expect("primary store");
+            let store = cluster.store_mut(node, w.part).expect("primary store");
             let version = store.table.occ_install(w.key, txn, value.clone());
             store.log.append(w.part, w.key, version, value);
+            Self::assert_zero_copy_install(store, w.key);
         }
+    }
+
+    /// Commit installs must be zero-copy: the row and the replication-log
+    /// entry it just produced share one payload allocation — synthesizing
+    /// the value is the *only* allocation an install performs. (The pre-PR2
+    /// path cloned the write set and then deep-copied the payload again in
+    /// `occ_install`.)
+    #[inline]
+    fn assert_zero_copy_install(store: &lion_storage::ReplicaStore, key: lion_common::Key) {
+        debug_assert!(
+            {
+                let row = store.table.get(key).expect("row just installed");
+                let entry = store.log.pending().last().expect("entry just appended");
+                lion_storage::Bytes::ptr_eq(&row.value, &entry.value)
+            },
+            "commit install copied the payload instead of sharing it"
+        );
+        let _ = (store, key);
     }
 
     /// Installs `txn`'s writes directly at their current primaries without
@@ -927,29 +977,30 @@ impl Engine {
     /// protocols whose lock schedule already serialized the writers).
     pub fn install_unchecked(&mut self, txn: TxnId) {
         let value_size = self.cfg.sim.value_size;
-        let attempt = self.txn(txn).attempts as u64;
-        let writes: Vec<WriteEntry> = self.txn(txn).write_set.clone();
-        for w in writes {
+        let Engine { txns, cluster, .. } = self;
+        let ctx = txns.get(txn).expect("live transaction");
+        let attempt = ctx.attempts as u64;
+        for w in &ctx.write_set {
             let stamp = txn.0.wrapping_mul(31).wrapping_add(attempt);
             let value = Table::synth_value(w.key, stamp, value_size);
-            let primary = self.cluster.placement.primary_of(w.part);
-            let store = self
-                .cluster
-                .store_mut(primary, w.part)
-                .expect("primary store");
+            let primary = cluster.placement.primary_of(w.part);
+            let store = cluster.store_mut(primary, w.part).expect("primary store");
             let version = store.table.occ_install(w.key, txn, value.clone());
             store.log.append(w.part, w.key, version, value);
+            Self::assert_zero_copy_install(store, w.key);
         }
     }
 
     /// Records the write set of `txn` from its declared ops without
     /// executing reads (deterministic protocols declare sets up front).
     pub fn load_declared_sets(&mut self, txn: TxnId) {
-        let ops: Vec<Op> = self.txn(txn).req.ops.clone();
-        for op in ops {
+        // Disjoint field borrows within one context: read the declared ops,
+        // append to the write set — no `req.ops` clone.
+        let TxnCtx { req, write_set, .. } = self.txn_mut(txn);
+        for op in &req.ops {
             match op.kind {
                 OpKind::Read => {}
-                OpKind::Write => self.txn_mut(txn).write_set.push(WriteEntry {
+                OpKind::Write => write_set.push(WriteEntry {
                     part: op.partition,
                     key: op.key,
                 }),
@@ -960,10 +1011,11 @@ impl Engine {
     /// Releases any prepare-locks `txn` may hold anywhere (abort path). Scans
     /// every replica holder so racing placement changes cannot leak locks.
     pub fn release_all(&mut self, txn: TxnId) {
-        let writes: Vec<WriteEntry> = self.txn(txn).write_set.clone();
-        for w in writes {
-            for node in self.cluster.placement.replica_nodes(w.part) {
-                if let Some(store) = self.cluster.store_mut(node, w.part) {
+        let Engine { txns, cluster, .. } = self;
+        let ctx = txns.get(txn).expect("live transaction");
+        for w in &ctx.write_set {
+            for node in cluster.placement.replica_nodes(w.part) {
+                if let Some(store) = cluster.store_mut(node, w.part) {
                     store.table.occ_unlock(w.key, txn);
                 }
             }
@@ -975,37 +1027,35 @@ impl Engine {
     /// secondary replicas"). Books the max secondary round trip as
     /// `Replication` time and wakes `(txn, tag)`.
     pub fn replicate_prepare(&mut self, node: NodeId, txn: TxnId, tag: u32) {
-        let parts: Vec<PartitionId> = {
-            let ctx = self.txn(txn);
-            let mut ps: Vec<PartitionId> = ctx
-                .write_set
-                .iter()
-                .map(|w| w.part)
-                .filter(|&p| self.cluster.placement.is_primary(p, node))
-                .collect();
-            ps.sort_unstable();
-            ps.dedup();
-            ps
-        };
         let now = self.now();
         let overhead = self.cfg.sim.net.msg_overhead_bytes as u64;
+        let value_size = self.cfg.sim.value_size;
+        let Engine {
+            txns,
+            cluster,
+            metrics,
+            ..
+        } = self;
+        let ctx = txns.get(txn).expect("live transaction");
+        let mut parts: Vec<PartitionId> = ctx
+            .write_set
+            .iter()
+            .map(|w| w.part)
+            .filter(|&p| cluster.placement.is_primary(p, node))
+            .collect();
+        parts.sort_unstable();
+        parts.dedup();
         let mut max_rtt = 0;
         for part in parts {
-            let writes_here = self
-                .txn(txn)
-                .write_set
-                .iter()
-                .filter(|w| w.part == part)
-                .count() as u32;
-            let bytes = writes_here * (self.cfg.sim.value_size + 32);
-            let n_secs = self.cluster.placement.secondaries_of(part).len() as u64;
+            let writes_here = ctx.write_set.iter().filter(|w| w.part == part).count() as u32;
+            let bytes = writes_here * (value_size + 32);
+            let n_secs = cluster.placement.secondaries_of(part).len() as u64;
             if n_secs == 0 {
                 continue;
             }
-            let rtt = self.cluster.net_delay(bytes) + self.cluster.net_delay(0);
+            let rtt = cluster.net_delay(bytes) + cluster.net_delay(0);
             max_rtt = max_rtt.max(rtt);
-            self.metrics
-                .add_bytes(now, n_secs * (bytes as u64 + 2 * overhead));
+            metrics.add_bytes(now, n_secs * (bytes as u64 + 2 * overhead));
         }
         if max_rtt == 0 {
             // No secondaries / read-only at this participant: complete now.
@@ -1024,7 +1074,7 @@ impl Engine {
     /// mode) immediately re-arms the issuing client.
     pub fn commit(&mut self, txn: TxnId) {
         let now = self.now();
-        let ctx = self.txns.remove(&txn.0).expect("live transaction");
+        let ctx = self.txns.remove(txn).expect("live transaction");
         self.metrics.commits += 1;
         self.metrics.commits_series.incr(now);
         self.metrics.goodput_series.incr(now);
@@ -1141,15 +1191,18 @@ impl Engine {
     /// request (bypasses the workload).
     pub fn inject_txn(&mut self, client: ClientId, req: TxnRequest) -> TxnId {
         let now = self.now();
-        let id = TxnId(self.next_txn);
-        self.next_txn += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.submitted += 1;
-        let ctx = TxnCtx::new(id, client, req, now);
+        let id = self.txns.insert_with(|id| {
+            let mut ctx = TxnCtx::new(id, client, req, now);
+            ctx.seq = seq;
+            ctx
+        });
         self.history.push(TxnRecord {
             at: now,
-            parts: ctx.parts.clone(),
+            parts: self.txn(id).parts.clone(),
         });
-        self.txns.insert(id.0, ctx);
         id
     }
 }

@@ -20,6 +20,7 @@ pub mod engine;
 pub mod metrics;
 pub mod protocol;
 pub mod report;
+pub mod slab;
 pub mod txn;
 
 pub use engine::{Engine, EngineConfig, OpFail};
@@ -27,4 +28,5 @@ pub use lion_faults::{FaultEvent, FaultKind, FaultNotice, FaultPlan};
 pub use metrics::{FailoverRecord, Metrics, UnavailWindow};
 pub use protocol::{Protocol, TickKind};
 pub use report::RunReport;
+pub use slab::TxnSlab;
 pub use txn::{TxnClass, TxnCtx};

@@ -1,9 +1,8 @@
 //! Run metrics: counters, latency histogram, per-phase totals, time series,
 //! and the availability bookkeeping behind the fault-injection figures.
 
-use lion_common::{NodeId, PartitionId, Phase, Time};
+use lion_common::{FastMap, NodeId, PartitionId, Phase, Time};
 use lion_sim::{Histogram, TimeSeries};
-use std::collections::HashMap;
 
 /// Time-series bucket width (1 simulated second), matching the granularity
 /// of the paper's timeline figures.
@@ -109,7 +108,7 @@ pub struct Metrics {
     /// Commits per 100 ms bucket (goodput dip/ramp around failures).
     pub goodput_series: TimeSeries,
     /// Open unavailability windows keyed by partition index.
-    unavail_open: HashMap<u32, Time>,
+    unavail_open: FastMap<u32, Time>,
 }
 
 impl Default for Metrics {
@@ -150,7 +149,7 @@ impl Metrics {
             unavailability: Vec::new(),
             failover_log: Vec::new(),
             goodput_series: TimeSeries::new(GOODPUT_BUCKET_US),
-            unavail_open: HashMap::new(),
+            unavail_open: FastMap::default(),
         }
     }
 

@@ -58,6 +58,10 @@ pub struct RunReport {
     pub unavailability_windows: usize,
     /// Commits per second at 100 ms resolution (goodput dip/ramp analysis).
     pub goodput_series: Vec<f64>,
+    /// Events processed by the engine (the perf harness's work unit).
+    /// Deterministic, but excluded from [`RunReport::digest`] because the
+    /// golden values predate this field.
+    pub events: u64,
 }
 
 impl RunReport {
@@ -104,7 +108,75 @@ impl RunReport {
             unavailability_us: m.unavailability_us(duration_us),
             unavailability_windows: m.unavailability.len(),
             goodput_series: m.goodput_series.rates_per_sec(),
+            events: eng.events(),
         }
+    }
+
+    /// Stable 64-bit digest of the whole report (FNV-1a over a canonical
+    /// byte serialization; floats are hashed by bit pattern so *any*
+    /// numeric drift changes the digest). Same seed ⇒ same digest is the
+    /// determinism contract the hot-path optimizations must preserve; the
+    /// golden values in `tests/determinism_digest.rs` were captured before
+    /// the FxHash/slab/zero-copy swaps and pin that behavior.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, b: &[u8]) {
+                for &x in b {
+                    self.0 = (self.0 ^ x as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
+            fn u64(&mut self, v: u64) {
+                self.bytes(&v.to_le_bytes());
+            }
+            fn u128(&mut self, v: u128) {
+                self.bytes(&v.to_le_bytes());
+            }
+            fn f64(&mut self, v: f64) {
+                self.u64(v.to_bits());
+            }
+        }
+        let mut h = Fnv(FNV_OFFSET);
+        h.bytes(self.protocol.as_bytes());
+        h.u64(self.duration_us);
+        h.u64(self.commits);
+        h.u64(self.aborts);
+        h.f64(self.throughput_tps);
+        h.f64(self.mean_latency_us);
+        for &p in &self.latency_p {
+            h.u64(p);
+        }
+        for &f in &self.class_fractions {
+            h.f64(f);
+        }
+        for &f in &self.phase_fractions {
+            h.f64(f);
+        }
+        h.f64(self.bytes_per_txn);
+        h.u64(self.remasters);
+        h.u64(self.migrations);
+        h.u64(self.replica_adds);
+        h.f64(self.abort_rate);
+        for &v in &self.throughput_series {
+            h.f64(v);
+        }
+        for &v in &self.bytes_per_txn_series {
+            h.f64(v);
+        }
+        h.u64(self.crashes);
+        h.u64(self.failovers);
+        h.u64(self.fault_aborts);
+        h.u64(self.replayed_entries);
+        h.f64(self.mean_recovery_latency_us);
+        h.u64(self.max_recovery_latency_us);
+        h.u128(self.unavailability_us);
+        h.u64(self.unavailability_windows as u64);
+        for &v in &self.goodput_series {
+            h.f64(v);
+        }
+        h.0
     }
 
     /// One-line summary for harness tables.

@@ -34,13 +34,29 @@ pub struct WriteEntry {
     pub key: Key,
 }
 
+/// One partition group of a transaction's declared ops: a range into
+/// [`TxnCtx`]'s flattened, regrouped op array.
+#[derive(Debug, Clone, Copy)]
+struct GroupRange {
+    part: PartitionId,
+    start: u32,
+    end: u32,
+    reads: u32,
+}
+
 /// Engine-owned state of one in-flight transaction. Protocols use `step`,
 /// `pending`, and `scratch` as state-machine scratch space; everything else
 /// is shared bookkeeping.
 #[derive(Debug, Clone)]
 pub struct TxnCtx {
-    /// Transaction id (stable across retries).
+    /// Transaction id (stable across retries). Slab-allocated: encodes an
+    /// arena slot + generation, *not* submission order — use [`TxnCtx::seq`]
+    /// when ordering transactions by arrival.
     pub id: TxnId,
+    /// Global submission sequence number (0 for the first transaction ever
+    /// submitted, monotonic thereafter). Deterministic tie-breaker wherever
+    /// the engine must order in-flight transactions by arrival.
+    pub seq: u64,
     /// Closed-loop client that issued it (standard mode).
     pub client: ClientId,
     /// Declared operations.
@@ -76,14 +92,45 @@ pub struct TxnCtx {
     /// Parked between attempts (retry back-off / deferred to the next
     /// batch): not in flight, so fault aborts must not touch it again.
     pub parked: bool,
+    /// Declared ops regrouped by partition in first-touch order, flattened.
+    /// Built once at creation (`req` never changes), so the per-wake group
+    /// walks of the protocol state machines are allocation-free.
+    grouped_ops: Vec<lion_common::Op>,
+    /// Per-group ranges into `grouped_ops`.
+    group_index: Vec<GroupRange>,
 }
 
 impl TxnCtx {
     /// Creates a fresh context.
     pub fn new(id: TxnId, client: ClientId, req: TxnRequest, now: Time) -> Self {
         let parts = req.partitions();
+        // Group the ops by partition once, preserving first-touch order:
+        // stable scratch for every later group walk.
+        let mut group_index: Vec<GroupRange> = Vec::new();
+        for op in &req.ops {
+            if !group_index.iter().any(|g| g.part == op.partition) {
+                group_index.push(GroupRange {
+                    part: op.partition,
+                    start: 0,
+                    end: 0,
+                    reads: 0,
+                });
+            }
+        }
+        let mut grouped_ops = Vec::with_capacity(req.ops.len());
+        for g in &mut group_index {
+            g.start = grouped_ops.len() as u32;
+            for op in req.ops.iter().filter(|o| o.partition == g.part) {
+                if op.kind == lion_common::OpKind::Read {
+                    g.reads += 1;
+                }
+                grouped_ops.push(*op);
+            }
+            g.end = grouped_ops.len() as u32;
+        }
         TxnCtx {
             id,
+            seq: 0,
             client,
             req,
             parts,
@@ -101,7 +148,37 @@ impl TxnCtx {
             scratch: 0,
             phase_us: [0; 5],
             parked: false,
+            grouped_ops,
+            group_index,
         }
+    }
+
+    /// Number of partition groups (distinct partitions touched, in
+    /// first-touch order).
+    #[inline]
+    pub fn n_groups(&self) -> usize {
+        self.group_index.len()
+    }
+
+    /// Partition of group `gi`.
+    #[inline]
+    pub fn group_part(&self, gi: usize) -> PartitionId {
+        self.group_index[gi].part
+    }
+
+    /// The ops of group `gi`, in declaration order.
+    #[inline]
+    pub fn group_ops(&self, gi: usize) -> &[lion_common::Op] {
+        let g = self.group_index[gi];
+        &self.grouped_ops[g.start as usize..g.end as usize]
+    }
+
+    /// `(reads, writes)` op counts of group `gi` (precomputed).
+    #[inline]
+    pub fn group_reads_writes(&self, gi: usize) -> (usize, usize) {
+        let g = self.group_index[gi];
+        let len = (g.end - g.start) as usize;
+        (g.reads as usize, len - g.reads as usize)
     }
 
     /// Resets per-attempt state for a retry, keeping `id`/`start`/`attempts`.
@@ -121,15 +198,13 @@ impl TxnCtx {
     /// Groups the transaction's ops by partition, preserving first-touch
     /// order: the executor processes one group at a time (and 2PC sends one
     /// message per participant group, as in Fig. 1).
+    ///
+    /// Allocates owned `Vec`s from the precomputed grouping; hot paths use
+    /// [`TxnCtx::group_ops`] / [`TxnCtx::group_part`] instead.
     pub fn partition_groups(&self) -> Vec<(PartitionId, Vec<lion_common::Op>)> {
-        let mut groups: Vec<(PartitionId, Vec<lion_common::Op>)> = Vec::new();
-        for op in &self.req.ops {
-            match groups.iter_mut().find(|(p, _)| *p == op.partition) {
-                Some((_, ops)) => ops.push(*op),
-                None => groups.push((op.partition, vec![*op])),
-            }
-        }
-        groups
+        (0..self.n_groups())
+            .map(|gi| (self.group_part(gi), self.group_ops(gi).to_vec()))
+            .collect()
     }
 }
 

@@ -7,15 +7,14 @@
 //! priority given to e_c" — those are the edges that currently force
 //! distributed transactions.
 
-use lion_common::{PartitionId, Placement};
-use std::collections::HashMap;
+use lion_common::{FastMap, PartitionId, Placement};
 
 /// Weighted co-access graph over partitions.
 #[derive(Debug, Clone)]
 pub struct HeatGraph {
     n_partitions: usize,
     vertex_w: Vec<f64>,
-    adj: Vec<HashMap<u32, f64>>,
+    adj: Vec<FastMap<u32, f64>>,
     edge_count: usize,
 }
 
@@ -25,7 +24,7 @@ impl HeatGraph {
         HeatGraph {
             n_partitions,
             vertex_w: vec![0.0; n_partitions],
-            adj: vec![HashMap::new(); n_partitions],
+            adj: vec![FastMap::default(); n_partitions],
             edge_count: 0,
         }
     }

@@ -6,11 +6,10 @@
 use crate::classify::{classify_templates, WorkloadClass};
 use crate::lstm::Lstm;
 use crate::template::TemplateRegistry;
-use lion_common::{PartitionId, Time, TxnRecord};
+use lion_common::{FastMap, PartitionId, Time, TxnRecord};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// Prediction tuning knobs (§VI-A defaults).
@@ -104,7 +103,7 @@ struct ClassModel {
 pub struct WorkloadPredictor {
     cfg: PredictorConfig,
     registry: TemplateRegistry,
-    models: HashMap<u64, ClassModel>,
+    models: FastMap<u64, ClassModel>,
     rng: SmallRng,
     /// Diagnostics: total (re)train invocations.
     pub trainings: u64,
@@ -115,7 +114,7 @@ impl WorkloadPredictor {
     pub fn new(cfg: PredictorConfig) -> Self {
         WorkloadPredictor {
             registry: TemplateRegistry::new(cfg.sample_interval_us),
-            models: HashMap::new(),
+            models: FastMap::default(),
             rng: SmallRng::seed_from_u64(cfg.seed),
             cfg,
             trainings: 0,

@@ -6,8 +6,7 @@
 //! queries." — the registry interns partition sets and buckets arrivals.
 
 use crate::arrival::ArrivalHistory;
-use lion_common::{PartitionId, Time, TxnRecord};
-use std::collections::HashMap;
+use lion_common::{FastMap, PartitionId, Time, TxnRecord};
 
 /// Dense template identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -33,7 +32,7 @@ pub struct Template {
 #[derive(Debug, Clone)]
 pub struct TemplateRegistry {
     bucket_us: Time,
-    by_parts: HashMap<Vec<PartitionId>, TemplateId>,
+    by_parts: FastMap<Vec<PartitionId>, TemplateId>,
     templates: Vec<Template>,
 }
 
@@ -42,7 +41,7 @@ impl TemplateRegistry {
     pub fn new(bucket_us: Time) -> Self {
         TemplateRegistry {
             bucket_us,
-            by_parts: HashMap::new(),
+            by_parts: FastMap::default(),
             templates: Vec::new(),
         }
     }

@@ -16,6 +16,6 @@ pub mod store;
 pub mod table;
 
 pub use log::{LogEntry, ReplicationLog};
-pub use row::Row;
+pub use row::{Bytes, Row};
 pub use store::{ReplicaRole, ReplicaStore};
 pub use table::{OpOutcome, Table};

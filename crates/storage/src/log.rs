@@ -6,6 +6,7 @@
 //! A secondary's *lag* — how far its applied LSN trails the primary's — is
 //! what remastering must sync before the leader hand-off (§III).
 
+use crate::row::Bytes;
 use lion_common::{Key, PartitionId};
 
 /// One replicated write.
@@ -19,8 +20,8 @@ pub struct LogEntry {
     pub key: Key,
     /// Row version after the write.
     pub version: u64,
-    /// Payload bytes.
-    pub value: Box<[u8]>,
+    /// Payload bytes (shared with the row that installed them).
+    pub value: Bytes,
 }
 
 impl LogEntry {
@@ -53,13 +54,7 @@ impl ReplicationLog {
     }
 
     /// Appends a write, returning its LSN.
-    pub fn append(
-        &mut self,
-        partition: PartitionId,
-        key: Key,
-        version: u64,
-        value: Box<[u8]>,
-    ) -> u64 {
+    pub fn append(&mut self, partition: PartitionId, key: Key, version: u64, value: Bytes) -> u64 {
         self.next_lsn += 1;
         self.buffer.push(LogEntry {
             lsn: self.next_lsn,
@@ -101,16 +96,22 @@ mod tests {
     #[test]
     fn lsns_are_dense_from_one() {
         let mut log = ReplicationLog::new();
-        assert_eq!(log.append(PartitionId(0), 1, 2, Box::new([0u8; 4])), 1);
-        assert_eq!(log.append(PartitionId(0), 2, 2, Box::new([0u8; 4])), 2);
+        assert_eq!(
+            log.append(PartitionId(0), 1, 2, Bytes::from(vec![0u8; 4])),
+            1
+        );
+        assert_eq!(
+            log.append(PartitionId(0), 2, 2, Bytes::from(vec![0u8; 4])),
+            2
+        );
         assert_eq!(log.head_lsn(), 2);
     }
 
     #[test]
     fn take_pending_drains_buffer() {
         let mut log = ReplicationLog::new();
-        log.append(PartitionId(1), 1, 1, Box::new([0u8; 8]));
-        log.append(PartitionId(1), 2, 1, Box::new([0u8; 8]));
+        log.append(PartitionId(1), 1, 1, Bytes::from(vec![0u8; 8]));
+        log.append(PartitionId(1), 2, 1, Bytes::from(vec![0u8; 8]));
         assert_eq!(log.pending().len(), 2);
         assert_eq!(log.pending_bytes(), 2 * (8 + 32));
         let shipped = log.take_pending();
@@ -123,7 +124,7 @@ mod tests {
     fn adopt_head_continues_sequence() {
         let mut log = ReplicationLog::new();
         log.adopt_head(41);
-        assert_eq!(log.append(PartitionId(0), 9, 5, Box::new([])), 42);
+        assert_eq!(log.append(PartitionId(0), 9, 5, Bytes::from(vec![])), 42);
     }
 
     #[test]
@@ -133,7 +134,7 @@ mod tests {
             partition: PartitionId(0),
             key: 0,
             version: 1,
-            value: Box::new([0u8; 100]),
+            value: Bytes::from(vec![0u8; 100]),
         };
         assert_eq!(e.wire_bytes(), 132);
     }

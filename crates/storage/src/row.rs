@@ -1,6 +1,17 @@
 //! Versioned, lockable rows.
 
 use lion_common::TxnId;
+use std::sync::Arc;
+
+/// Immutable, reference-counted row payload.
+///
+/// A committed value is written once and then *shared* — between the row,
+/// its replication-log entry, every shipped copy of that entry, and
+/// partition snapshots. `Arc<[u8]>` makes all of those an 8-byte pointer
+/// bump instead of a payload memcpy, which is what "zero-copy write sets"
+/// means on this engine's commit path: the only allocation per installed
+/// write is synthesizing the new payload itself.
+pub type Bytes = Arc<[u8]>;
 
 /// One stored row: payload bytes plus the OCC metadata word.
 ///
@@ -14,13 +25,14 @@ pub struct Row {
     pub version: u64,
     /// Transaction holding the prepare-lock, if any.
     pub lock: Option<TxnId>,
-    /// Row payload.
-    pub value: Box<[u8]>,
+    /// Row payload (shared with the replication log; never mutated in
+    /// place).
+    pub value: Bytes,
 }
 
 impl Row {
     /// Creates a fresh row at version 1.
-    pub fn new(value: Box<[u8]>) -> Self {
+    pub fn new(value: Bytes) -> Self {
         Row {
             version: 1,
             lock: None,
@@ -41,7 +53,7 @@ mod tests {
 
     #[test]
     fn new_rows_start_unlocked_at_v1() {
-        let r = Row::new(vec![1, 2, 3].into_boxed_slice());
+        let r = Row::new(Bytes::from(vec![1, 2, 3]));
         assert_eq!(r.version, 1);
         assert!(r.lock.is_none());
         assert_eq!(&*r.value, &[1, 2, 3]);
@@ -49,10 +61,20 @@ mod tests {
 
     #[test]
     fn reentrant_lock_check() {
-        let mut r = Row::new(Box::new([0u8; 4]));
+        let mut r = Row::new(Bytes::from(vec![0u8; 4]));
         assert!(r.lockable_by(TxnId(1)));
         r.lock = Some(TxnId(1));
         assert!(r.lockable_by(TxnId(1)));
         assert!(!r.lockable_by(TxnId(2)));
+    }
+
+    #[test]
+    fn clone_shares_the_payload_allocation() {
+        let r = Row::new(Bytes::from(vec![7u8; 32]));
+        let c = r.clone();
+        assert!(
+            Bytes::ptr_eq(&r.value, &c.value),
+            "row clones are zero-copy"
+        );
     }
 }

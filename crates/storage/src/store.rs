@@ -142,6 +142,7 @@ impl ReplicaStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::row::Bytes;
     use lion_common::TxnId;
 
     fn p() -> PartitionId {
@@ -184,8 +185,10 @@ mod tests {
         let mut primary = ReplicaStore::new_primary(p(), 4, 8);
         let mut secondary = ReplicaStore::new_secondary(p(), 4, 8);
         primary.table.occ_lock(0, TxnId(1));
-        let v = primary.table.occ_install(0, TxnId(1), Box::new([1u8; 8]));
-        primary.log.append(p(), 0, v, Box::new([1u8; 8]));
+        let v = primary
+            .table
+            .occ_install(0, TxnId(1), Bytes::from(vec![1u8; 8]));
+        primary.log.append(p(), 0, v, Bytes::from(vec![1u8; 8]));
         let shipped = primary.log.take_pending();
         secondary.apply_entries(&shipped);
 
@@ -195,7 +198,7 @@ mod tests {
         assert_eq!(secondary.role, ReplicaRole::Primary);
         assert_eq!(primary.role, ReplicaRole::Secondary);
         // new primary continues the LSN sequence
-        let next = secondary.log.append(p(), 1, 2, Box::new([2u8; 8]));
+        let next = secondary.log.append(p(), 1, 2, Bytes::from(vec![2u8; 8]));
         assert_eq!(next, head + 1);
     }
 
@@ -235,8 +238,10 @@ mod tests {
     fn snapshot_bootstrap_is_in_sync() {
         let mut primary = ReplicaStore::new_primary(p(), 8, 8);
         primary.table.occ_lock(3, TxnId(7));
-        let v = primary.table.occ_install(3, TxnId(7), Box::new([9u8; 8]));
-        primary.log.append(p(), 3, v, Box::new([9u8; 8]));
+        let v = primary
+            .table
+            .occ_install(3, TxnId(7), Bytes::from(vec![9u8; 8]));
+        primary.log.append(p(), 3, v, Bytes::from(vec![9u8; 8]));
         primary.log.take_pending(); // shipped elsewhere
 
         let copy = ReplicaStore::from_snapshot(p(), &primary);

@@ -1,8 +1,7 @@
 //! A single partition replica's key→row table with OCC operations.
 
-use crate::row::Row;
-use lion_common::{Key, TxnId};
-use std::collections::HashMap;
+use crate::row::{Bytes, Row};
+use lion_common::{fast_map_with_capacity, FastMap, Key, TxnId};
 
 /// Result of an OCC step against one row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +27,7 @@ impl OpOutcome {
 /// Key→row map for one partition replica.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
-    rows: HashMap<Key, Row>,
+    rows: FastMap<Key, Row>,
     /// Payload bytes currently stored (maintained incrementally).
     bytes: u64,
 }
@@ -43,7 +42,10 @@ impl Table {
     /// each initialised to a key-derived pattern (so that migrated/replicated
     /// copies can be content-checked in tests).
     pub fn populated(keys: u64, value_size: u32) -> Self {
-        let mut t = Table::new();
+        let mut t = Table {
+            rows: fast_map_with_capacity(keys as usize),
+            bytes: 0,
+        };
         for k in 0..keys {
             t.upsert(k, Self::synth_value(k, 1, value_size));
         }
@@ -51,7 +53,7 @@ impl Table {
     }
 
     /// Deterministic synthetic payload for (key, version).
-    pub fn synth_value(key: Key, version: u64, value_size: u32) -> Box<[u8]> {
+    pub fn synth_value(key: Key, version: u64, value_size: u32) -> Bytes {
         let mut v = vec![0u8; value_size as usize];
         let stamp = key
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -59,7 +61,14 @@ impl Table {
         for (i, b) in v.iter_mut().enumerate() {
             *b = (stamp >> ((i % 8) * 8)) as u8;
         }
-        v.into_boxed_slice()
+        Bytes::from(v)
+    }
+
+    /// The shared empty payload used for insert placeholders (no per-lock
+    /// allocation).
+    fn empty_value() -> Bytes {
+        static EMPTY: std::sync::OnceLock<Bytes> = std::sync::OnceLock::new();
+        EMPTY.get_or_init(|| Bytes::from(&[][..])).clone()
     }
 
     /// Number of rows.
@@ -83,7 +92,7 @@ impl Table {
     }
 
     /// Inserts or replaces a row wholesale (population, migration apply).
-    pub fn upsert(&mut self, key: Key, value: Box<[u8]>) {
+    pub fn upsert(&mut self, key: Key, value: Bytes) {
         let add = value.len() as u64;
         match self.rows.insert(key, Row::new(value)) {
             Some(old) => self.bytes = self.bytes - old.value.len() as u64 + add,
@@ -110,7 +119,7 @@ impl Table {
     /// materialising an empty version-0 row.
     pub fn occ_lock(&mut self, key: Key, txn: TxnId) -> OpOutcome {
         let row = self.rows.entry(key).or_insert_with(|| {
-            let mut r = Row::new(Box::new([]));
+            let mut r = Row::new(Self::empty_value());
             r.version = 0; // insert placeholder: not yet visible
             r
         });
@@ -160,11 +169,13 @@ impl Table {
     }
 
     /// Installs a write: stores the new payload, bumps the version, releases
-    /// the lock. Returns the new version.
-    pub fn occ_install(&mut self, key: Key, txn: TxnId, value: Box<[u8]>) -> u64 {
+    /// the lock. Returns the new version. The payload is shared, not copied:
+    /// callers keep (an `Arc` clone of) the same allocation for the
+    /// replication log.
+    pub fn occ_install(&mut self, key: Key, txn: TxnId, value: Bytes) -> u64 {
         let add = value.len() as u64;
         let row = self.rows.entry(key).or_insert_with(|| {
-            let mut r = Row::new(Box::new([]));
+            let mut r = Row::new(Self::empty_value());
             r.version = 0;
             r
         });
@@ -195,10 +206,12 @@ impl Table {
     }
 
     /// Applies a replicated write (no locking: replication is ordered).
-    pub fn apply_replicated(&mut self, key: Key, version: u64, value: Box<[u8]>) {
+    /// `value` is an `Arc` clone of the primary's payload — the apply is
+    /// zero-copy.
+    pub fn apply_replicated(&mut self, key: Key, version: u64, value: Bytes) {
         let add = value.len() as u64;
         let row = self.rows.entry(key).or_insert_with(|| {
-            let mut r = Row::new(Box::new([]));
+            let mut r = Row::new(Self::empty_value());
             r.version = 0;
             r
         });
@@ -210,8 +223,9 @@ impl Table {
         }
     }
 
-    /// Snapshot of all rows for migration / replica bootstrap.
-    pub fn snapshot(&self) -> Vec<(Key, u64, Box<[u8]>)> {
+    /// Snapshot of all rows for migration / replica bootstrap. Payloads are
+    /// shared (`Arc` clones), so snapshotting never copies row bytes.
+    pub fn snapshot(&self) -> Vec<(Key, u64, Bytes)> {
         let mut out: Vec<_> = self
             .rows
             .iter()
@@ -222,8 +236,11 @@ impl Table {
     }
 
     /// Rebuilds a table from a snapshot.
-    pub fn from_snapshot(snap: Vec<(Key, u64, Box<[u8]>)>) -> Self {
-        let mut t = Table::new();
+    pub fn from_snapshot(snap: Vec<(Key, u64, Bytes)>) -> Self {
+        let mut t = Table {
+            rows: fast_map_with_capacity(snap.len()),
+            bytes: 0,
+        };
         for (k, version, value) in snap {
             t.bytes += value.len() as u64;
             let mut row = Row::new(value);
@@ -251,7 +268,7 @@ mod tests {
     fn install_bumps_version_and_unlocks() {
         let mut t = Table::new();
         assert!(t.occ_lock(1, T1).is_ok());
-        let v = t.occ_install(1, T1, Box::new([9u8; 4]));
+        let v = t.occ_install(1, T1, Bytes::from(vec![9u8; 4]));
         assert_eq!(v, 1);
         assert!(t.get(1).unwrap().lock.is_none());
         assert_eq!(t.occ_read(1, T2), OpOutcome::Ok { version: 1 });
@@ -276,7 +293,7 @@ mod tests {
         };
         // T2 commits a write to key 0 in between.
         assert!(t.occ_lock(0, T2).is_ok());
-        t.occ_install(0, T2, Box::new([1u8; 8]));
+        t.occ_install(0, T2, Bytes::from(vec![1u8; 8]));
         assert_eq!(
             t.occ_validate_read(0, version, T1),
             OpOutcome::VersionMismatch {
@@ -293,7 +310,7 @@ mod tests {
         t.occ_unlock(5, T1);
         assert!(t.get(5).is_none());
         // but aborting a lock on an existing row keeps the row
-        t.upsert(6, Box::new([1u8; 2]));
+        t.upsert(6, Bytes::from(vec![1u8; 2]));
         assert!(t.occ_lock(6, T1).is_ok());
         t.occ_unlock(6, T1);
         assert_eq!(t.get(6).unwrap().version, 1);
@@ -304,7 +321,7 @@ mod tests {
         let mut t = Table::new();
         // reader saw "missing" (version 0); insert commits; reader must fail
         assert!(t.occ_lock(3, T2).is_ok());
-        t.occ_install(3, T2, Box::new([0u8; 1]));
+        t.occ_install(3, T2, Bytes::from(vec![0u8; 1]));
         assert!(matches!(
             t.occ_validate_read(3, 0, T1),
             OpOutcome::VersionMismatch {
@@ -317,11 +334,11 @@ mod tests {
     #[test]
     fn replicated_apply_is_idempotent_and_ordered() {
         let mut t = Table::new();
-        t.apply_replicated(1, 3, Box::new([3u8; 4]));
-        t.apply_replicated(1, 2, Box::new([2u8; 4])); // stale: ignored
+        t.apply_replicated(1, 3, Bytes::from(vec![3u8; 4]));
+        t.apply_replicated(1, 2, Bytes::from(vec![2u8; 4])); // stale: ignored
         assert_eq!(t.get(1).unwrap().version, 3);
         assert_eq!(&*t.get(1).unwrap().value, &[3u8; 4]);
-        t.apply_replicated(1, 3, Box::new([3u8; 4])); // duplicate: fine
+        t.apply_replicated(1, 3, Bytes::from(vec![3u8; 4])); // duplicate: fine
         assert_eq!(t.get(1).unwrap().version, 3);
     }
 
@@ -329,7 +346,7 @@ mod tests {
     fn snapshot_roundtrip_preserves_contents() {
         let mut t = Table::populated(16, 32);
         t.occ_lock(3, T1);
-        t.occ_install(3, T1, Box::new([7u8; 32]));
+        t.occ_install(3, T1, Bytes::from(vec![7u8; 32]));
         let copy = Table::from_snapshot(t.snapshot());
         assert_eq!(copy.len(), t.len());
         assert_eq!(copy.bytes(), t.bytes());
@@ -342,12 +359,12 @@ mod tests {
     #[test]
     fn bytes_tracking_follows_updates() {
         let mut t = Table::new();
-        t.upsert(1, Box::new([0u8; 10]));
+        t.upsert(1, Bytes::from(vec![0u8; 10]));
         assert_eq!(t.bytes(), 10);
-        t.upsert(1, Box::new([0u8; 4]));
+        t.upsert(1, Bytes::from(vec![0u8; 4]));
         assert_eq!(t.bytes(), 4);
         t.occ_lock(1, T1);
-        t.occ_install(1, T1, Box::new([0u8; 20]));
+        t.occ_install(1, T1, Bytes::from(vec![0u8; 20]));
         assert_eq!(t.bytes(), 20);
     }
 

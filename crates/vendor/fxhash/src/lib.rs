@@ -1,0 +1,181 @@
+//! Offline stand-in for the crates.io `fxhash` / `rustc-hash` crates.
+//!
+//! The build environment has no network registry, so this vendored crate
+//! provides the tiny API surface the workspace needs: [`FxHasher`] (the
+//! Firefox/rustc multiply-rotate hash), the zero-state [`FxBuildHasher`],
+//! and the [`FxHashMap`] / [`FxHashSet`] aliases.
+//!
+//! Two properties matter here, in this order:
+//!
+//! 1. **Determinism.** `std`'s default `RandomState` seeds SipHash per
+//!    process, so anything leaked from iteration order varies run to run.
+//!    `FxBuildHasher` has no state at all: the same keys hash identically
+//!    in every process, which tightens the simulator's bit-for-bit
+//!    reproducibility guarantee.
+//! 2. **Speed.** The hot maps are keyed by small integers (row keys, txn
+//!    ids, partition ids); Fx hashes a `u64` in a handful of cycles where
+//!    SipHash-1-3 pays its full permutation, which is most of the lookup
+//!    cost at these key sizes.
+//!
+//! Not DoS-resistant — irrelevant for a simulator hashing its own ids.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hash map keyed by the deterministic Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Hash set keyed by the deterministic Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Zero-state builder: every hasher starts identically.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The multiply-rotate hasher used by rustc and Firefox: each word is
+/// folded in as `hash = (hash.rotl(5) ^ word) * K` with a golden-ratio
+/// derived odd constant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `2^64 / φ`, forced odd — the classic Fx multiplier.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (chunk, tail) = rest.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            rest = tail;
+        }
+        if rest.len() >= 4 {
+            let (chunk, tail) = rest.split_at(4);
+            self.add_to_hash(u32::from_le_bytes(chunk.try_into().expect("4-byte chunk")) as u64);
+            rest = tail;
+        }
+        if rest.len() >= 2 {
+            let (chunk, tail) = rest.split_at(2);
+            self.add_to_hash(u16::from_le_bytes(chunk.try_into().expect("2-byte chunk")) as u64);
+            rest = tail;
+        }
+        if let [b] = rest {
+            self.add_to_hash(*b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Finalizer: hashbrown indexes buckets with the *low* bits of the
+        // hash, but a single multiply pushes its entropy toward the *high*
+        // bits — bit-packed keys that differ only above bit `b` (e.g.
+        // TPC-C's `rel<<56 | w<<40 | x<<16 | y` row keys sharing the low
+        // component) would collide into one bucket and degenerate the map
+        // into a chain. Rotating the well-mixed high bits down fixes that
+        // for one cycle, the same finalization rustc-hash 2.x adopted.
+        self.hash.rotate_left(26)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // No per-process or per-instance seeding: the whole point.
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"partition"), hash_of(&"partition"));
+        let a = FxBuildHasher::default().hash_one(17u64);
+        let b = FxBuildHasher::default().hash_one(17u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Dense integer keys (row ids) must not collide trivially.
+        let hashes: std::collections::BTreeSet<u64> = (0u64..10_000).map(|k| hash_of(&k)).collect();
+        assert_eq!(hashes.len(), 10_000, "dense u64 keys hash injectively");
+    }
+
+    #[test]
+    fn bit_packed_keys_spread_over_low_hash_bits() {
+        // TPC-C-style keys differ only in bits ≥16; the bucket index (low
+        // hash bits) must still spread. Without the rotate finalizer every
+        // one of these landed in `hash % 4096 == const`.
+        let mut low_bits = std::collections::BTreeSet::new();
+        for b in 0u64..4_096 {
+            let key = (3u64 << 56) | (2 << 40) | (b << 16);
+            low_bits.insert(hash_of(&key) & 0xFFF);
+        }
+        assert!(
+            low_bits.len() > 3_000,
+            "only {} distinct 12-bit buckets for 4096 packed keys",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn byte_stream_matches_chunked_writes() {
+        // write() folds 8/4/2/1-byte chunks; a 15-byte slice exercises all.
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        let full = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        h2.write_u32(u32::from_le_bytes([9, 10, 11, 12]));
+        h2.write_u16(u16::from_le_bytes([13, 14]));
+        h2.write_u8(15);
+        assert_eq!(full, h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<(u32, u64)> = FxHashSet::default();
+        assert!(s.insert((3, 4)));
+        assert!(!s.insert((3, 4)));
+    }
+}
