@@ -76,17 +76,28 @@ pub(crate) fn execute_deterministic(eng: &mut Engine, txn: TxnId, start: Time) -
     let n_nodes = by_node.len();
     let mut done = start;
     let mut read_bytes = 0u32;
+    let mut participants: Vec<NodeId> = Vec::with_capacity(n_nodes);
     for (node, (r, w)) in by_node {
         let cost = eng.op_cpu(r, w);
         let (_, end) = eng.cpu_grant(node, start, cost);
         done = done.max(end);
         read_bytes += r as u32 * eng.config().sim.value_size;
+        participants.push(node);
     }
     if n_nodes > 1 {
         // Distributed: participants forward remote reads to each other
         // ("the necessity of remote reads ... consuming over 90% of the
-        // execution time", §VI-G).
-        let rtt = eng.cluster.net_delay(read_bytes) + eng.cluster.net_delay(16);
+        // execution time", §VI-G). The slowest pairwise exchange gates the
+        // barrier — cross-zone participant pairs pay the rack surcharge.
+        let crosses_zones = participants
+            .iter()
+            .any(|&n| eng.cluster.zone(n) != eng.cluster.zone(participants[0]));
+        let surcharge = if crosses_zones {
+            2 * eng.cluster.cfg.net.cross_zone_extra_us
+        } else {
+            0
+        };
+        let rtt = eng.cluster.net_delay(read_bytes) + eng.cluster.net_delay(16) + surcharge;
         eng.metrics.add_bytes(start, read_bytes as u64 + 32);
         done += rtt;
         eng.txn_mut(txn).class = TxnClass::Distributed;

@@ -6,7 +6,7 @@
 
 use crate::tags::{fresh, tag, untag};
 use lion_common::{NodeId, PartitionId, Phase, TxnId};
-use lion_engine::{Engine, OpFail, Protocol, TickKind, TxnClass};
+use lion_engine::{Engine, FaultNotice, OpFail, Protocol, TickKind, TxnClass};
 
 /// What to do with a partition group whose primary is not at the executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +28,8 @@ pub trait StandardPolicy {
     fn remote_action(&mut self, eng: &mut Engine, txn: TxnId, part: PartitionId) -> RemoteAction;
     /// Periodic hook (Clay's load monitor).
     fn on_tick(&mut self, _eng: &mut Engine, _kind: TickKind) {}
+    /// Topology-change hook (crash / recovery / failover completion).
+    fn on_fault(&mut self, _eng: &mut Engine, _notice: &FaultNotice) {}
 }
 
 /// Continuation kinds.
@@ -276,6 +278,10 @@ impl<P: StandardPolicy> Protocol for Standard<P> {
     fn on_tick(&mut self, eng: &mut Engine, kind: TickKind) {
         self.policy.on_tick(eng, kind);
     }
+
+    fn on_fault(&mut self, eng: &mut Engine, notice: &FaultNotice) {
+        self.policy.on_fault(eng, notice);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -283,8 +289,85 @@ impl<P: StandardPolicy> Protocol for Standard<P> {
 // ---------------------------------------------------------------------
 
 /// Routing policy of the classic 2PC baseline: coordinate at the node
-/// hosting the most primaries of the transaction; never adapt placement.
-pub struct TwoPcPolicy;
+/// hosting the most primaries of the transaction; never adapt placement to
+/// the *workload* — but it is failover-aware: after a crashed node restarts,
+/// a one-shot primary rebalance remasters its former partitions back.
+/// Without it the promoted primaries stay piled on the survivors forever
+/// and 2PC never regains its pre-crash throughput (the Fig. F1 asymmetry
+/// the ROADMAP called unfair to the baseline).
+#[derive(Default)]
+pub struct TwoPcPolicy {
+    /// Recovered nodes still owed their one-shot rebalance. A node leaves
+    /// the list once the rebalance ran (or it crashed again).
+    rebalance_pending: Vec<NodeId>,
+    /// One-shot rebalances that actually moved at least one primary
+    /// (diagnostics / tests; dropped and no-op resolutions don't count).
+    pub rebalances: u64,
+}
+
+impl TwoPcPolicy {
+    /// One-shot rebalance for `node`: once its rejoin snapshot copies have
+    /// landed, remaster partitions with a secondary on `node` back onto it —
+    /// most-loaded donors first, each donating only its surplus over the
+    /// fair share. Returns `None` while the copies are still in flight,
+    /// otherwise `Some(primaries moved)`.
+    fn try_rebalance(eng: &mut Engine, node: NodeId) -> Option<usize> {
+        if !eng.cluster.is_up(node) {
+            return Some(0); // crashed again before the rebalance: drop it
+        }
+        let n_parts = eng.cluster.n_partitions();
+        let copies_inbound = (0..n_parts).any(|p| eng.cluster.parts[p].copying_to.contains(&node));
+        if copies_inbound {
+            return None; // not rejoined yet: check again next monitor tick
+        }
+        let candidates: Vec<PartitionId> = (0..n_parts as u32)
+            .map(PartitionId)
+            .filter(|&p| eng.cluster.placement.has_secondary(p, node))
+            .collect();
+        let live = eng.cluster.live_count().max(1);
+        let fair_share = n_parts / live;
+        if candidates.is_empty() {
+            // No secondaries to promote: either the node's primaries were
+            // restored in place (nothing to rebalance) or there is nothing
+            // it can take over — done either way.
+            return Some(0);
+        }
+        let mut deficit = fair_share.saturating_sub(eng.cluster.placement.primaries_on(node));
+        let mut moved = 0usize;
+        // Donate from the most-overloaded survivors first; partition-id
+        // order within a donor keeps the move set deterministic. The
+        // remasters are asynchronous (the placement flips after the
+        // hand-off), so surplus is tracked locally instead of re-reading
+        // the stale placement inside the loop — a donor gives away only
+        // what it holds beyond the fair share.
+        let mut donors: Vec<(usize, NodeId)> = eng
+            .cluster
+            .live_nodes()
+            .filter(|&n| n != node)
+            .map(|n| (eng.cluster.placement.primaries_on(n), n))
+            .collect();
+        donors.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (load, donor) in donors {
+            if deficit == 0 {
+                break;
+            }
+            let mut surplus = load.saturating_sub(fair_share);
+            for part in &candidates {
+                if deficit == 0 || surplus == 0 {
+                    break;
+                }
+                if eng.cluster.placement.primary_of(*part) == donor
+                    && eng.remaster_async(*part, node).is_ok()
+                {
+                    deficit -= 1;
+                    surplus -= 1;
+                    moved += 1;
+                }
+            }
+        }
+        Some(moved)
+    }
+}
 
 impl StandardPolicy for TwoPcPolicy {
     fn name(&self) -> &'static str {
@@ -297,6 +380,34 @@ impl StandardPolicy for TwoPcPolicy {
 
     fn remote_action(&mut self, _: &mut Engine, _: TxnId, _: PartitionId) -> RemoteAction {
         RemoteAction::TwoPc
+    }
+
+    fn on_fault(&mut self, _eng: &mut Engine, notice: &FaultNotice) {
+        match notice {
+            FaultNotice::NodeUp(node) => {
+                if !self.rebalance_pending.contains(node) {
+                    self.rebalance_pending.push(*node);
+                }
+            }
+            FaultNotice::NodeDown(node) => {
+                self.rebalance_pending.retain(|n| n != node);
+            }
+            FaultNotice::FailoverComplete { .. } => {}
+        }
+    }
+
+    fn on_tick(&mut self, eng: &mut Engine, kind: TickKind) {
+        if kind != TickKind::Monitor || self.rebalance_pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.rebalance_pending);
+        for node in pending {
+            match Self::try_rebalance(eng, node) {
+                Some(moved) if moved > 0 => self.rebalances += 1,
+                Some(_) => {} // dropped or nothing to move: resolved silently
+                None => self.rebalance_pending.push(node), // copies in flight
+            }
+        }
     }
 }
 
@@ -322,7 +433,7 @@ pub type TwoPc = Standard<TwoPcPolicy>;
 
 /// Builds the 2PC baseline.
 pub fn two_pc() -> TwoPc {
-    Standard::new(TwoPcPolicy)
+    Standard::new(TwoPcPolicy::default())
 }
 
 // ---------------------------------------------------------------------
@@ -434,6 +545,39 @@ mod tests {
         let r = eng.run(&mut leap(), SECOND);
         assert!(r.commits > 50, "commits {}", r.commits);
         assert!(r.migrations > 0, "Leap must migrate");
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    /// ROADMAP satellite: after a crash + recovery, the one-shot rebalance
+    /// must hand the recovered node its fair share of primaries back —
+    /// without it 2PC routes everything at the survivors forever.
+    #[test]
+    fn two_pc_rebalances_primaries_after_recovery() {
+        use lion_common::{NodeId, SECOND};
+        let victim = NodeId(1);
+        let sim = small_cfg(4); // 16 partitions, fair share 4
+        let mut cfg = lion_engine::EngineConfig::from(sim);
+        cfg.faults = lion_engine::FaultPlan::single_failure(SECOND, victim, 2 * SECOND);
+        let mut eng = Engine::new(cfg, ycsb(4, 0.5, 0.0, 9));
+        let mut proto = two_pc();
+        let r = eng.run(&mut proto, 6 * SECOND);
+        assert_eq!(r.crashes, 1);
+        assert!(r.failovers > 0, "victim's primaries promoted away");
+        assert_eq!(
+            proto.policy().rebalances,
+            1,
+            "exactly one one-shot rebalance"
+        );
+        assert!(
+            r.remasters > 0,
+            "the rebalance works by remastering, not migration"
+        );
+        let share = eng.cluster.placement.primaries_on(victim);
+        assert_eq!(
+            share, 4,
+            "recovered node must regain its fair share of primaries"
+        );
+        assert!(r.commits > 1_000);
         eng.cluster.check_invariants().unwrap();
     }
 

@@ -102,7 +102,16 @@ impl Protocol for Star {
         }
 
         // ---- Phase switch: mastership moves to the super node -----------
-        let switch = phase_end + 2 * eng.cluster.net_delay(64);
+        // The switch barrier reaches every *live* node; the farthest
+        // (possibly cross-zone) round trip gates it — dead nodes cannot
+        // ack and must not stretch the barrier.
+        let switch_rtt = eng
+            .cluster
+            .live_nodes()
+            .map(|n| 2 * eng.cluster.net_delay_between(SUPER_NODE, n, 64))
+            .max()
+            .unwrap_or(0);
+        let switch = phase_end + switch_rtt;
 
         // ---- Single-master phase: all cross txns through node 0 ---------
         for t in crosses {
@@ -116,11 +125,23 @@ impl Protocol for Star {
             let (start, end) = eng.cpu_grant(SUPER_NODE, switch, cost);
             eng.charge_phase(t, Phase::Scheduling, start - now);
             eng.charge_phase(t, Phase::Execution, cost);
-            // Writes replicate from the super node back to the owners.
+            // Writes replicate from the super node back to the owners; the
+            // farthest owner (zone-aware) gates the replication time.
             let bytes = writes as u64 * (eng.config().sim.value_size as u64 + 32);
             eng.metrics.replication_bytes += bytes;
             eng.metrics.bytes_series.add(end, bytes as f64);
-            eng.charge_phase(t, Phase::Replication, eng.cluster.net_delay(bytes as u32));
+            let repl = eng
+                .txn(t)
+                .write_set
+                .iter()
+                .map(|w| {
+                    let owner = eng.cluster.placement.primary_of(w.part);
+                    eng.cluster
+                        .net_delay_between(SUPER_NODE, owner, bytes as u32)
+                })
+                .max()
+                .unwrap_or_else(|| eng.cluster.net_delay(bytes as u32));
+            eng.charge_phase(t, Phase::Replication, repl);
             let attempt = eng.txn(t).attempts;
             eng.wake_at(end, t, tag(K_CROSS, attempt, 0));
         }

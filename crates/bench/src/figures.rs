@@ -613,6 +613,118 @@ pub fn fig_f1(scale: Scale) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Fig. F2: the locality-vs-availability frontier (failure domains)
+// ---------------------------------------------------------------------
+
+/// Fig. F2: LocalityFirst vs RackSafe placement under a single-zone loss.
+///
+/// A 4-node cluster is split into two racks (Z0 = {N0,N1}, Z1 = {N2,N3})
+/// with a cross-zone latency surcharge; a deterministic
+/// [`lion_engine::FaultPlan`] kills rack Z1 one third into the run and
+/// restores it at two thirds. Each protocol runs twice — locality-first
+/// placement (the paper's Algorithm 1) and rack-safe anti-affinity
+/// (`min_zones = 2`) — and the matrix reports what rack-safety costs in
+/// throughput against what it buys in availability: under LocalityFirst,
+/// partitions whose replicas were rack-local stall for the whole outage
+/// (`stalled > 0`); under RackSafe every partition keeps a live replica and
+/// fails over (`stalled = 0`).
+pub fn fig_f2(scale: Scale) -> String {
+    use lion_common::{PlacementPolicy, ZoneId};
+    let horizon = scale.steady_us * 3;
+    let crash_at = horizon / 3;
+    let heal_at = 2 * horizon / 3;
+    let faults = lion_engine::FaultPlan::zone_failure(crash_at, ZoneId(1), heal_at);
+    let protos = [
+        ProtoKind::LionStd,
+        ProtoKind::TwoPc,
+        ProtoKind::Star,
+        ProtoKind::Calvin,
+    ];
+    let policies = [
+        ("LocalityFirst", PlacementPolicy::LocalityFirst),
+        ("RackSafe(2)", PlacementPolicy::RackSafe { min_zones: 2 }),
+    ];
+    // Two arms per (protocol, policy): a fault-free steady-state run that
+    // isolates the pure locality cost of rack-safe placement (cross-zone
+    // prepare replication), and the zone-outage run that shows what that
+    // cost buys. Job order: [steady, outage] per policy per protocol.
+    let mut jobs = Vec::new();
+    for proto in &protos {
+        for (pname, policy) in &policies {
+            let mut sim = base_sim(4).with_zones(2).with_placement(*policy);
+            sim.net.cross_zone_extra_us = 60; // aggregation-layer hop
+            jobs.push(Job::new(
+                format!("{}/{}/steady", proto.label(), pname),
+                *proto,
+                sim.clone(),
+                ycsb_spec(4, 0.5, 0.0, 91),
+                scale.steady_us,
+            ));
+            jobs.push(
+                Job::new(
+                    format!("{}/{}/outage", proto.label(), pname),
+                    *proto,
+                    sim,
+                    ycsb_spec(4, 0.5, 0.0, 91),
+                    horizon,
+                )
+                .with_faults(faults.clone()),
+            );
+        }
+    }
+    let reports = run_all(jobs);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Fig. F2: failure domains — rack Z1 = {{N2,N3}} lost at t={}s, restored at t={}s",
+        crash_at / 1_000_000,
+        heal_at / 1_000_000
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<14} {:>9} {:>8} {:>9} {:>8} {:>10} {:>12}",
+        "protocol", "placement", "steady", "cost", "outage", "stalled", "failovers", "unavail(ms)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<14} {:>9} {:>8} {:>9}",
+        "", "", "(ktxn/s)", "", "(ktxn/s)"
+    );
+    for (pi, proto) in protos.iter().enumerate() {
+        let base = pi * 4;
+        let lf_steady = &reports[base];
+        for (qi, (pname, _)) in policies.iter().enumerate() {
+            let steady = &reports[base + qi * 2];
+            let outage = &reports[base + qi * 2 + 1];
+            // Locality cost of this policy in failure-free steady state,
+            // relative to LocalityFirst (0% for the LocalityFirst row).
+            let cost = (steady.throughput_tps / lf_steady.throughput_tps.max(1.0) - 1.0) * 100.0;
+            let _ = writeln!(
+                out,
+                "{:<10} {:<14} {:>9.1} {:>+7.1}% {:>9.1} {:>8} {:>10} {:>12.1}",
+                proto.label(),
+                pname,
+                steady.throughput_tps / 1000.0,
+                cost,
+                outage.throughput_tps / 1000.0,
+                outage.stalled_partitions,
+                outage.failovers,
+                outage.unavailability_us as f64 / 1000.0,
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n(`cost` = steady-state throughput of this placement vs LocalityFirst: what\n\
+         anti-affinity spends on cross-rack replication. `stalled` = partitions whose\n\
+         every replica sat in the dead rack — they blocked until the heal. RackSafe\n\
+         keeps stalled at 0: the availability its locality cost buys.)"
+    );
+    out
+}
+
 /// Runs every experiment in sequence.
 pub fn all(scale: Scale) -> String {
     let mut out = String::new();
@@ -632,6 +744,7 @@ pub fn all(scale: Scale) -> String {
         ("fig13b", fig13b(scale)),
         ("fig14", fig14(scale)),
         ("figf1", fig_f1(scale)),
+        ("figf2", fig_f2(scale)),
     ] {
         let _ = name;
         out.push_str(&s);

@@ -1,12 +1,17 @@
 //! `lion-bench`: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|figf1|all] [--full]
+//! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|figf1|figf2|all] [--full]
 //! lion-bench perf [--quick] [--check]
 //! ```
 //!
 //! `figf1` is the fault-injection experiment: throughput under a node crash
 //! and recovery, Lion vs 2PC/Star/Calvin/Hermes.
+//!
+//! `figf2` is the failure-domain experiment: LocalityFirst vs RackSafe
+//! replica placement under the loss of a whole rack, measuring the
+//! throughput cost of anti-affinity against the stalled partitions it
+//! prevents.
 //!
 //! `--full` lengthens the runs (5 s steady-state, 15 s hotspot periods);
 //! the default quick scale finishes the whole suite in a few minutes.
@@ -59,10 +64,11 @@ fn main() {
         "fig13b" => figures::fig13b(scale),
         "fig14" => figures::fig14(scale),
         "figf1" => figures::fig_f1(scale),
+        "figf2" => figures::fig_f2(scale),
         "all" => figures::all(scale),
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: lion-bench [table1|table2|fig6..fig14|figf1|all] [--full]");
+            eprintln!("usage: lion-bench [table1|table2|fig6..fig14|figf1|figf2|all] [--full]");
             std::process::exit(2);
         }
     };

@@ -6,10 +6,14 @@
 //! epochs and 10 k-transaction batches. DESIGN.md §5 documents the CPU cost
 //! calibration.
 
+use crate::ids::{NodeId, ZoneId};
+use crate::placement::PlacementPolicy;
 use crate::Time;
 
 /// Network model: every message pays a fixed one-way latency plus a
-/// bandwidth-proportional serialization delay.
+/// bandwidth-proportional serialization delay. Messages crossing a zone
+/// (rack) boundary pay an extra fixed hop on top — traffic leaves the
+/// top-of-rack switch and traverses the aggregation layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
     /// One-way message latency in µs (LAN RTT ≈ 80 µs).
@@ -19,6 +23,10 @@ pub struct NetConfig {
     pub bytes_per_us: f64,
     /// Fixed per-message framing overhead in bytes.
     pub msg_overhead_bytes: u32,
+    /// Extra one-way latency in µs for messages that cross a zone boundary.
+    /// Zero by default: single-zone clusters and the paper's figures see no
+    /// change; the figf2 failure-domain experiment turns it on.
+    pub cross_zone_extra_us: Time,
 }
 
 impl Default for NetConfig {
@@ -27,15 +35,27 @@ impl Default for NetConfig {
             one_way_us: 40,
             bytes_per_us: 117.0,
             msg_overhead_bytes: 64,
+            cross_zone_extra_us: 0,
         }
     }
 }
 
 impl NetConfig {
-    /// Delay for a message carrying `payload` bytes.
+    /// Delay for a message carrying `payload` bytes (zone-local path).
     pub fn delay(&self, payload: u32) -> Time {
         let bytes = (payload + self.msg_overhead_bytes) as f64;
         self.one_way_us + (bytes / self.bytes_per_us).ceil() as Time
+    }
+
+    /// Delay for a message carrying `payload` bytes between two zones: the
+    /// zone-local delay plus the aggregation-hop surcharge when they differ.
+    pub fn delay_between(&self, from: ZoneId, to: ZoneId, payload: u32) -> Time {
+        let base = self.delay(payload);
+        if from == to {
+            base
+        } else {
+            base + self.cross_zone_extra_us
+        }
     }
 }
 
@@ -118,6 +138,18 @@ pub struct SimConfig {
     pub retry_backoff_us: Time,
     /// RNG seed for deterministic runs.
     pub seed: u64,
+    /// Number of failure domains (racks / availability zones). Nodes map to
+    /// zones in contiguous blocks unless [`SimConfig::zone_map`] overrides
+    /// it. 1 (the default) disables failure-domain modeling entirely.
+    pub zones: usize,
+    /// Explicit node→zone assignment; empty means the contiguous-block
+    /// default derived from [`SimConfig::zones`] (nodes 0..n/z in zone 0,
+    /// the next block in zone 1, …) — the layout of racked hardware.
+    pub zone_map: Vec<u16>,
+    /// Replica placement policy: pure locality (the paper's Algorithm 1) or
+    /// rack-safe anti-affinity that spreads every partition's replicas
+    /// across at least `min_zones` failure domains.
+    pub placement: PlacementPolicy,
 }
 
 impl Default for SimConfig {
@@ -141,6 +173,9 @@ impl Default for SimConfig {
             batch_size: 512,
             retry_backoff_us: 50,
             seed: 0xD1CE_5EED,
+            zones: 1,
+            zone_map: Vec::new(),
+            placement: PlacementPolicy::LocalityFirst,
         }
     }
 }
@@ -183,6 +218,63 @@ impl SimConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Override the failure-domain count (contiguous-block node assignment).
+    pub fn with_zones(mut self, zones: usize) -> Self {
+        assert!(zones >= 1, "need at least one zone");
+        assert!(
+            zones <= self.nodes,
+            "{zones} zones over {} nodes would leave some zones empty \
+             (set nodes first, or use an explicit zone_map)",
+            self.nodes
+        );
+        self.zones = zones;
+        self
+    }
+
+    /// Override the replica placement policy.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Zone of `node`: the explicit [`SimConfig::zone_map`] entry when one
+    /// is set, otherwise the contiguous-block default (`idx·zones/nodes`).
+    pub fn zone_of(&self, node: NodeId) -> ZoneId {
+        if let Some(&z) = self.zone_map.get(node.idx()) {
+            return ZoneId(z);
+        }
+        debug_assert!(self.zones >= 1 && node.idx() < self.nodes);
+        ZoneId((node.idx() * self.zones / self.nodes) as u16)
+    }
+
+    /// The full node→zone map, one entry per node.
+    pub fn node_zones(&self) -> Vec<ZoneId> {
+        (0..self.nodes as u16)
+            .map(|n| self.zone_of(NodeId(n)))
+            .collect()
+    }
+
+    /// Nodes assigned to `zone`, in id order.
+    pub fn nodes_in_zone(&self, zone: ZoneId) -> Vec<NodeId> {
+        (0..self.nodes as u16)
+            .map(NodeId)
+            .filter(|&n| self.zone_of(n) == zone)
+            .collect()
+    }
+
+    /// Number of distinct zones actually referenced by the per-node
+    /// resolution (equals [`SimConfig::zones`] for the derived layout).
+    /// Computed from [`SimConfig::node_zones`] so a partial `zone_map` —
+    /// explicit entries for some nodes, the derived formula for the rest —
+    /// still counts every zone a node can land in.
+    pub fn n_zones(&self) -> usize {
+        self.node_zones()
+            .into_iter()
+            .map(|z| z.idx() + 1)
+            .max()
+            .unwrap_or(1)
     }
 }
 
@@ -230,5 +322,60 @@ mod tests {
         assert_eq!(c.remaster_delay_us, 500);
         assert_eq!(c.seed, 7);
         assert_eq!(c.n_partitions(), 10 * c.partitions_per_node);
+    }
+
+    #[test]
+    fn zone_map_defaults_to_contiguous_blocks() {
+        let c = SimConfig::default().with_nodes(4).with_zones(2);
+        // Racked layout: nodes 0-1 in Z0, nodes 2-3 in Z1.
+        assert_eq!(
+            c.node_zones(),
+            vec![ZoneId(0), ZoneId(0), ZoneId(1), ZoneId(1)]
+        );
+        assert_eq!(c.nodes_in_zone(ZoneId(1)), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(c.n_zones(), 2);
+        // single-zone default: everyone in Z0
+        let c1 = SimConfig::default().with_nodes(3);
+        assert!(c1.node_zones().iter().all(|&z| z == ZoneId(0)));
+    }
+
+    #[test]
+    fn explicit_zone_map_overrides_blocks() {
+        let mut c = SimConfig::default().with_nodes(4).with_zones(2);
+        c.zone_map = vec![0, 1, 0, 1]; // interleaved racks
+        assert_eq!(c.zone_of(NodeId(1)), ZoneId(1));
+        assert_eq!(c.zone_of(NodeId(2)), ZoneId(0));
+        assert_eq!(c.n_zones(), 2);
+    }
+
+    #[test]
+    fn partial_zone_map_counts_derived_zones() {
+        // N0 pinned explicitly; N1-N3 fall back to the contiguous-block
+        // formula (Z0, Z1, Z1) — n_zones must count those too.
+        let mut c = SimConfig::default().with_nodes(4).with_zones(2);
+        c.zone_map = vec![0];
+        assert_eq!(c.zone_of(NodeId(3)), ZoneId(1));
+        assert_eq!(c.n_zones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zones over")]
+    fn more_zones_than_nodes_is_rejected() {
+        let _ = SimConfig::default().with_nodes(2).with_zones(4);
+    }
+
+    #[test]
+    fn cross_zone_delay_adds_fixed_hop() {
+        let net = NetConfig {
+            cross_zone_extra_us: 150,
+            ..NetConfig::default()
+        };
+        let local = net.delay_between(ZoneId(0), ZoneId(0), 100);
+        let cross = net.delay_between(ZoneId(0), ZoneId(1), 100);
+        assert_eq!(local, net.delay(100));
+        assert_eq!(cross, local + 150);
+        // zero surcharge (the default) leaves every path identical
+        let flat = NetConfig::default();
+        assert_eq!(flat.delay_between(ZoneId(0), ZoneId(1), 64), flat.delay(64));
     }
 }

@@ -16,6 +16,13 @@ pub struct NodeId(pub u16);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PartitionId(pub u32);
 
+/// Identifies one failure domain (rack / availability zone). Nodes in the
+/// same zone share a blast radius: a rack power or switch loss takes all of
+/// them down at once, which is exactly what `FaultKind::ZoneCrash` models.
+/// Zone ids are dense (allocated from 0), like every other id here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ZoneId(pub u16);
+
 /// Identifies one transaction instance. A retried transaction keeps its id;
 /// retries are tracked separately by the engine.
 ///
@@ -59,6 +66,14 @@ impl ClientId {
     }
 }
 
+impl ZoneId {
+    /// Returns the dense index of this zone for `Vec` addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
 impl TxnId {
     /// Packs an arena `(slot, generation)` pair into an id.
     #[inline]
@@ -91,6 +106,12 @@ impl fmt::Display for PartitionId {
     }
 }
 
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Z{}", self.0)
+    }
+}
+
 impl fmt::Display for TxnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.generation() == 0 {
@@ -110,6 +131,8 @@ mod tests {
         assert_eq!(NodeId(3).to_string(), "N3");
         assert_eq!(PartitionId(7).to_string(), "P7");
         assert_eq!(TxnId(42).to_string(), "T42");
+        assert_eq!(ZoneId(2).to_string(), "Z2");
+        assert_eq!(ZoneId(2).idx(), 2);
     }
 
     #[test]

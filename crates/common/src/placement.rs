@@ -11,8 +11,41 @@
 //! * a node holds at most one replica of a given partition;
 //! * all referenced nodes exist.
 
-use crate::ids::{NodeId, PartitionId};
+use crate::ids::{NodeId, PartitionId, ZoneId};
 use std::fmt;
+
+/// How the planner and adaptor trade access locality against blast radius
+/// when choosing replica holders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Pure Algorithm 1: replicas go wherever `f(v, n)` is cheapest, with no
+    /// regard for failure domains. A single rack loss can take out every
+    /// replica of a partition.
+    #[default]
+    LocalityFirst,
+    /// Anti-affinity: every partition's replica set must span at least
+    /// `min_zones` failure domains. Placement still optimizes `f(v, n)`
+    /// within that constraint, paying a measurable locality cost (figf2).
+    RackSafe {
+        /// Minimum number of distinct zones each partition's replicas cover.
+        min_zones: usize,
+    },
+}
+
+impl PlacementPolicy {
+    /// The zone-coverage floor this policy demands (1 = unconstrained).
+    pub fn min_zones(&self) -> usize {
+        match self {
+            PlacementPolicy::LocalityFirst => 1,
+            PlacementPolicy::RackSafe { min_zones } => (*min_zones).max(1),
+        }
+    }
+
+    /// True when the policy actually constrains placement.
+    pub fn is_rack_safe(&self) -> bool {
+        self.min_zones() > 1
+    }
+}
 
 /// Errors returned by placement mutations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +119,66 @@ impl Placement {
         }
     }
 
+    /// Builds the zone-safe variant of the default layout: primaries still
+    /// round-robin across nodes (locality and balance are untouched), but
+    /// each partition's secondaries are chosen so the replica set spans at
+    /// least `min_zones` failure domains — walking the nodes after the
+    /// primary in ring order, taking nodes in not-yet-covered zones first,
+    /// then filling the remaining replica slots in plain ring order.
+    pub fn zone_spread(
+        n_partitions: usize,
+        n_nodes: usize,
+        replication_factor: usize,
+        zone_of: &[ZoneId],
+        min_zones: usize,
+    ) -> Self {
+        assert_eq!(zone_of.len(), n_nodes, "one zone per node");
+        assert!(replication_factor >= 1 && replication_factor <= n_nodes);
+        let n_zones = zone_of.iter().map(|z| z.idx() + 1).max().unwrap_or(1);
+        assert!(
+            min_zones <= n_zones.min(replication_factor),
+            "cannot spread {replication_factor} replicas across {min_zones} of {n_zones} zones"
+        );
+        let mut primary = Vec::with_capacity(n_partitions);
+        let mut secondaries = Vec::with_capacity(n_partitions);
+        for p in 0..n_partitions {
+            let home = p % n_nodes;
+            primary.push(NodeId(home as u16));
+            let mut covered = vec![false; n_zones];
+            covered[zone_of[home].idx()] = true;
+            let mut n_covered = 1usize;
+            let mut secs: Vec<NodeId> = Vec::with_capacity(replication_factor - 1);
+            // First pass: cross-zone picks until the coverage floor holds.
+            for j in 1..n_nodes {
+                if secs.len() + 1 >= replication_factor || n_covered >= min_zones {
+                    break;
+                }
+                let cand = (home + j) % n_nodes;
+                if !covered[zone_of[cand].idx()] {
+                    covered[zone_of[cand].idx()] = true;
+                    n_covered += 1;
+                    secs.push(NodeId(cand as u16));
+                }
+            }
+            // Second pass: fill the remaining slots in ring order.
+            for j in 1..n_nodes {
+                if secs.len() + 1 >= replication_factor {
+                    break;
+                }
+                let cand = NodeId(((home + j) % n_nodes) as u16);
+                if !secs.contains(&cand) {
+                    secs.push(cand);
+                }
+            }
+            secondaries.push(secs);
+        }
+        Placement {
+            n_nodes,
+            primary,
+            secondaries,
+        }
+    }
+
     /// Number of partitions tracked.
     pub fn n_partitions(&self) -> usize {
         self.primary.len()
@@ -137,6 +230,41 @@ impl Placement {
         v.push(self.primary_of(part));
         v.extend_from_slice(self.secondaries_of(part));
         v
+    }
+
+    /// Number of distinct failure domains covered by `part`'s replica set
+    /// under the given node→zone map (the anti-affinity metric).
+    pub fn zone_coverage(&self, part: PartitionId, zone_of: &[ZoneId]) -> usize {
+        self.coverage_excluding(part, None, zone_of)
+    }
+
+    /// Distinct failure domains covered by `part`'s replicas *excluding*
+    /// `without` — used to check whether evicting a replica would collapse
+    /// the partition's zone spread.
+    pub fn zone_coverage_without(
+        &self,
+        part: PartitionId,
+        without: NodeId,
+        zone_of: &[ZoneId],
+    ) -> usize {
+        self.coverage_excluding(part, Some(without), zone_of)
+    }
+
+    fn coverage_excluding(
+        &self,
+        part: PartitionId,
+        without: Option<NodeId>,
+        zone_of: &[ZoneId],
+    ) -> usize {
+        let mut zones: Vec<ZoneId> = self
+            .replica_nodes(part)
+            .into_iter()
+            .filter(|&n| Some(n) != without)
+            .map(|n| zone_of[n.idx()])
+            .collect();
+        zones.sort_unstable();
+        zones.dedup();
+        zones.len()
     }
 
     /// Number of primary replicas hosted on `node`.
@@ -390,5 +518,70 @@ mod tests {
     #[should_panic(expected = "replication factor")]
     fn replication_factor_cannot_exceed_nodes() {
         let _ = Placement::round_robin(2, 2, 3);
+    }
+
+    fn z(i: u16) -> ZoneId {
+        ZoneId(i)
+    }
+
+    #[test]
+    fn zone_spread_covers_min_zones() {
+        // 4 nodes in 2 contiguous racks: N0,N1 in Z0; N2,N3 in Z1. Plain
+        // round-robin with rf=2 puts P0 on {N0,N1} — both in Z0; the
+        // zone-safe layout must never do that.
+        let zones = [z(0), z(0), z(1), z(1)];
+        let rr = Placement::round_robin(8, 4, 2);
+        assert_eq!(
+            rr.zone_coverage(p(0), &zones),
+            1,
+            "locality-first co-locates P0's replicas in one rack"
+        );
+        let safe = Placement::zone_spread(8, 4, 2, &zones, 2);
+        safe.validate().unwrap();
+        for i in 0..8 {
+            assert!(
+                safe.zone_coverage(p(i), &zones) >= 2,
+                "P{i} replicas collapse into one zone"
+            );
+            // primaries stay on the round-robin home: locality preserved
+            assert_eq!(safe.primary_of(p(i)), rr.primary_of(p(i)));
+        }
+    }
+
+    #[test]
+    fn zone_spread_single_zone_matches_round_robin() {
+        let zones = [z(0); 3];
+        let a = Placement::zone_spread(6, 3, 2, &zones, 1);
+        let b = Placement::round_robin(6, 3, 2);
+        assert_eq!(a, b, "one zone: no constraint, identical layout");
+    }
+
+    #[test]
+    fn zone_coverage_without_detects_collapse() {
+        let zones = [z(0), z(0), z(1)];
+        let mut pl = Placement::round_robin(1, 3, 1);
+        pl.add_secondary(p(0), n(1)).unwrap();
+        pl.add_secondary(p(0), n(2)).unwrap();
+        assert_eq!(pl.zone_coverage(p(0), &zones), 2);
+        // dropping N2 (the only Z1 holder) collapses coverage to 1
+        assert_eq!(pl.zone_coverage_without(p(0), n(2), &zones), 1);
+        assert_eq!(pl.zone_coverage_without(p(0), n(1), &zones), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot spread")]
+    fn zone_spread_rejects_impossible_floor() {
+        let zones = [z(0), z(0)];
+        let _ = Placement::zone_spread(2, 2, 2, &zones, 2);
+    }
+
+    #[test]
+    fn placement_policy_floors() {
+        assert_eq!(PlacementPolicy::LocalityFirst.min_zones(), 1);
+        assert!(!PlacementPolicy::LocalityFirst.is_rack_safe());
+        let rs = PlacementPolicy::RackSafe { min_zones: 2 };
+        assert_eq!(rs.min_zones(), 2);
+        assert!(rs.is_rack_safe());
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::LocalityFirst);
     }
 }

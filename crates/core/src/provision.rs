@@ -14,7 +14,7 @@
 use crate::config::Partitioning;
 use crate::protocol::Lion;
 use lion_engine::Engine;
-use lion_planner::{generate_clumps, rearrange_with_live, schism_plan, HeatGraph, PlanAction};
+use lion_planner::{generate_clumps, rearrange_with_topology, schism_plan, HeatGraph, PlanAction};
 
 impl Lion {
     /// One planner round. Called from the engine's planner tick.
@@ -56,12 +56,24 @@ impl Lion {
         // --- Plan generation (§IV-B) --------------------------------------
         // Dead nodes (fault injection) are masked out of the rearrangement;
         // the Schism path plans obliviously, so its output is filtered below.
+        // The failure-domain topology and placement policy ride in from the
+        // cluster config: under RackSafe the plan appends AddSecondary
+        // repairs restoring every planned partition's zone coverage.
         let live = eng.cluster.node_up.clone();
         let mut plan = match self.cfg.partitioning {
             Partitioning::Rearrange => {
                 let clumps = generate_clumps(&graph, pcfg.alpha, pcfg.max_clump_size);
                 let freq = graph.normalized_weights();
-                rearrange_with_live(clumps, &eng.cluster.placement, &freq, &pcfg, true, &live)
+                rearrange_with_topology(
+                    clumps,
+                    &eng.cluster.placement,
+                    &freq,
+                    &pcfg,
+                    true,
+                    &live,
+                    &eng.cluster.zone_of,
+                    eng.cluster.cfg.placement,
+                )
             }
             Partitioning::Schism => schism_plan(&graph, &eng.cluster.placement, pcfg.epsilon),
         };
@@ -90,6 +102,11 @@ impl Lion {
                 }
                 PlanAction::Migrate => {
                     let _ = eng.migrate_async(e.part, e.dest);
+                }
+                PlanAction::AddSecondary => {
+                    // Anti-affinity repair: a background copy only — the
+                    // primary stays put, the new replica restores coverage.
+                    let _ = eng.add_replica_async(e.part, e.dest, false);
                 }
             }
         }
@@ -155,6 +172,32 @@ mod tests {
             per_node.iter().all(|&c| c >= 1),
             "placement collapsed: {per_node:?}"
         );
+    }
+
+    /// Under RackSafe the provision loop must keep every partition's
+    /// replica set spanning both racks even while Algorithm 1 chases
+    /// locality — the repair copies ride along with the plan.
+    #[test]
+    fn rack_safe_provision_preserves_zone_coverage() {
+        let mut c = cfg();
+        c.zones = 2;
+        c.placement = lion_common::PlacementPolicy::RackSafe { min_zones: 2 };
+        let wl = Box::new(YcsbWorkload::new(
+            YcsbConfig::for_cluster(4, 4, 1024)
+                .with_mix(1.0, 0.0)
+                .with_seed(73),
+        ));
+        let mut eng = Engine::new(c, wl);
+        let mut lion = Lion::standard();
+        eng.run(&mut lion, 7 * SECOND);
+        assert!(lion.plans_applied >= 1, "planning rounds happened");
+        for p in 0..eng.cluster.n_partitions() {
+            assert!(
+                eng.cluster.zone_coverage(PartitionId(p as u32)) >= 2,
+                "P{p} collapsed into one rack after planning"
+            );
+        }
+        eng.cluster.check_invariants().unwrap();
     }
 
     #[test]

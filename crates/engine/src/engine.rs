@@ -256,9 +256,13 @@ impl Engine {
         self.queue
             .schedule(self.cfg.monitor_interval_us, Ev::Monitor);
         if !self.cfg.faults.is_empty() {
+            // Full validation: structure (ids, pairing, someone always
+            // alive) plus the liveness check — a plan whose combined node +
+            // zone crashes would orphan a partition to the end of the run
+            // is rejected here instead of silently stalling.
             self.cfg
                 .faults
-                .validate(self.cfg.sim.nodes)
+                .validate_against(&self.cluster.placement, &self.cluster.zone_of)
                 .expect("invalid fault plan");
             for (i, ev) in self.cfg.faults.events().iter().enumerate() {
                 self.queue.schedule_at(ev.at, Ev::Fault(i));
@@ -372,6 +376,39 @@ impl Engine {
                     }
                 }
             }
+            FaultKind::ZoneCrash(zone) => {
+                // Correlated loss: every live zone member halts on this one
+                // virtual-clock tick, in node-id order. A member that was
+                // the promotion target of an earlier member's failover dies
+                // mid-promotion and is re-planned over the survivors — the
+                // cascade the single-node DSL could not script.
+                self.metrics.zone_crashes += 1;
+                for n in self.cluster.zone_members(zone) {
+                    if self.cluster.is_up(n) && self.cluster.live_count() > 1 {
+                        self.node_down(proto, n);
+                    }
+                }
+            }
+            FaultKind::ZoneHeal(zone) => {
+                for n in self.cluster.zone_members(zone) {
+                    if !self.cluster.is_up(n) {
+                        self.node_up_event(proto, n);
+                    }
+                }
+            }
+            FaultKind::ZonePartition(zones) => {
+                let cut: Vec<NodeId> = zones
+                    .iter()
+                    .flat_map(|&z| self.cluster.zone_members(z))
+                    .filter(|&n| self.cluster.is_up(n))
+                    .collect();
+                self.isolated = cut.clone();
+                for n in cut {
+                    if self.cluster.live_count() > 1 {
+                        self.node_down(proto, n);
+                    }
+                }
+            }
         }
     }
 
@@ -416,6 +453,7 @@ impl Engine {
                     // No live gap-free replica: the partition stalls until
                     // the node comes back ("protocols without a live replica
                     // stall until Recover").
+                    self.metrics.stalled_partitions += 1;
                     let poll = self.cfg.sim.stall_poll_us;
                     self.cluster.stall_partition(d.part, now + poll);
                     self.queue.schedule(poll, Ev::StallCheck(d.part));
@@ -436,7 +474,12 @@ impl Engine {
     /// replica, or stall until the original primary recovers.
     fn replan_failover(&mut self, part: PartitionId, now: Time) {
         let candidates = lion_faults::promotion_candidates(&self.cluster, part);
-        match lion_faults::select_promotion_target(&candidates) {
+        let avoid = self
+            .pending_failovers
+            .get(&part.0)
+            .map(|pf| self.cluster.zone(pf.from));
+        match lion_faults::select_promotion_target_zoned(&candidates, &self.cluster.zone_of, avoid)
+        {
             Some(target) => {
                 let pf = self
                     .pending_failovers
@@ -458,6 +501,7 @@ impl Engine {
             None => {
                 // Every replica is gone: stall until the original primary
                 // restarts (its table still holds all committed writes).
+                self.metrics.stalled_partitions += 1;
                 self.pending_failovers.remove(&part.0);
                 let poll = self.cfg.sim.stall_poll_us;
                 self.cluster.stall_partition(part, now + poll);
@@ -730,9 +774,11 @@ impl Engine {
         let overhead = self.cfg.sim.net.msg_overhead_bytes;
         let handling = 2 * self.cfg.sim.cpu.msg_handle_us;
         let _ = self.cluster.workers[from.idx()].acquire(now, handling);
-        let d1 = self.cluster.net_delay(bytes_req);
+        // Zone-aware pricing: a round that crosses a rack boundary pays the
+        // aggregation-layer surcharge both ways (zero on single-zone runs).
+        let d1 = self.cluster.net_delay_between(from, to, bytes_req);
         let grant = self.cluster.workers[to.idx()].acquire(now + d1, remote_cpu);
-        let d2 = self.cluster.net_delay(bytes_resp);
+        let d2 = self.cluster.net_delay_between(to, from, bytes_resp);
         self.metrics.add_bytes(
             now,
             (bytes_req + overhead) as u64 + (bytes_resp + overhead) as u64,
@@ -1049,13 +1095,22 @@ impl Engine {
         for part in parts {
             let writes_here = ctx.write_set.iter().filter(|w| w.part == part).count() as u32;
             let bytes = writes_here * (value_size + 32);
-            let n_secs = cluster.placement.secondaries_of(part).len() as u64;
-            if n_secs == 0 {
+            let secondaries = cluster.placement.secondaries_of(part);
+            if secondaries.is_empty() {
                 continue;
             }
-            let rtt = cluster.net_delay(bytes) + cluster.net_delay(0);
-            max_rtt = max_rtt.max(rtt);
-            metrics.add_bytes(now, n_secs * (bytes as u64 + 2 * overhead));
+            // The prepare must reach *every* secondary: the slowest replica
+            // round trip gates the vote — a cross-zone secondary (rack-safe
+            // placement) stretches it by the zone surcharge both ways.
+            for &sec in secondaries {
+                let rtt = cluster.net_delay_between(node, sec, bytes)
+                    + cluster.net_delay_between(sec, node, 0);
+                max_rtt = max_rtt.max(rtt);
+            }
+            metrics.add_bytes(
+                now,
+                secondaries.len() as u64 * (bytes as u64 + 2 * overhead),
+            );
         }
         if max_rtt == 0 {
             // No secondaries / read-only at this participant: complete now.
@@ -1569,6 +1624,76 @@ mod tests {
         cfg.faults = lion_faults::FaultPlan::new().crash_at(10, NodeId(9));
         let mut eng = Engine::new(cfg, uniform_workload(4));
         eng.run(&mut TrivialProto, SECOND / 10);
+    }
+
+    /// A plan that crashes every replica holder of some partition with no
+    /// recovery in the script would stall the run forever; the validator
+    /// must reject it before a single event fires.
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn orphaning_fault_plan_is_rejected_at_run_start() {
+        let mut sim = tiny_cfg();
+        sim.nodes = 3;
+        sim.replication_factor = 2; // P0 lives on {N0, N1} only
+        let mut cfg = EngineConfig::from(sim);
+        cfg.faults = lion_faults::FaultPlan::new()
+            .crash_at(10, NodeId(0))
+            .crash_at(20, NodeId(1));
+        let mut eng = Engine::new(cfg, uniform_workload(6));
+        eng.run(&mut TrivialProto, SECOND / 10);
+    }
+
+    /// Correlated loss: both nodes of a rack die on one virtual-clock tick.
+    /// The 4-node/2-zone round-robin layout leaves some partitions wholly
+    /// inside the dead rack (they stall until the heal) while others fail
+    /// over to the surviving rack — both paths on the same event.
+    #[test]
+    fn zone_crash_takes_the_rack_down_atomically() {
+        let mut sim = tiny_cfg();
+        sim.nodes = 4;
+        sim.zones = 2; // Z0 = {N0, N1}, Z1 = {N2, N3}
+        let mut cfg = EngineConfig::from(sim);
+        cfg.faults =
+            lion_faults::FaultPlan::zone_failure(SECOND / 8, lion_common::ZoneId(1), SECOND / 2);
+        let mut eng = Engine::new(cfg, uniform_workload(8));
+        let report = eng.run(&mut TrivialProto, SECOND);
+        assert_eq!(report.zone_crashes, 1);
+        assert_eq!(report.crashes, 2, "both rack members died");
+        assert!(eng.cluster.is_up(NodeId(2)) && eng.cluster.is_up(NodeId(3)));
+        // Round-robin rf=2: P2 = {N2, N3} is rack-local and must stall;
+        // P1 = {N1, N2} and P3 = {N3, N0} keep a live replica and fail over.
+        assert!(report.stalled_partitions > 0, "rack-local partitions stall");
+        assert!(report.failovers > 0, "cross-rack partitions promote");
+        assert!(report.commits > 100, "survivors keep committing");
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    /// Under rack-safe placement the same rack loss leaves every partition
+    /// a live replica: zero stalls, every orphaned partition fails over.
+    #[test]
+    fn rack_safe_placement_survives_zone_crash_without_stalls() {
+        let mut sim = tiny_cfg();
+        sim.nodes = 4;
+        sim.zones = 2;
+        sim.placement = lion_common::PlacementPolicy::RackSafe { min_zones: 2 };
+        let mut cfg = EngineConfig::from(sim);
+        cfg.faults =
+            lion_faults::FaultPlan::zone_failure(SECOND / 8, lion_common::ZoneId(1), SECOND / 2);
+        let mut eng = Engine::new(cfg, uniform_workload(8));
+        let report = eng.run(&mut TrivialProto, SECOND);
+        assert_eq!(report.zone_crashes, 1);
+        assert_eq!(
+            report.stalled_partitions, 0,
+            "rack-safe placement must leave every partition promotable"
+        );
+        // Every partition primaried in the dead rack failed over to Z0.
+        assert!(report.failovers > 0);
+        for p in 0..eng.cluster.n_partitions() {
+            let primary = eng.cluster.placement.primary_of(PartitionId(p as u32));
+            assert!(eng.cluster.is_up(primary));
+        }
+        assert!(report.commits > 100);
+        eng.cluster.check_invariants().unwrap();
     }
 
     #[test]

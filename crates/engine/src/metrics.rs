@@ -91,6 +91,14 @@ pub struct Metrics {
     pub migration_series: TimeSeries,
     /// Injected node crashes (including partition isolations).
     pub crashes: u64,
+    /// Correlated zone-loss events (each also counts its members under
+    /// [`Metrics::crashes`]).
+    pub zone_crashes: u64,
+    /// Partitions that entered a stall — primary dead with *no* live
+    /// promotable replica — and could only resume when a node came back.
+    /// Zero under rack-safe placement during a single-zone loss; the
+    /// headline availability metric of figf2.
+    pub stalled_partitions: u64,
     /// Node restarts (including partition heals).
     pub node_recoveries: u64,
     /// Completed failover promotions.
@@ -141,6 +149,8 @@ impl Metrics {
             remaster_series: TimeSeries::new(SERIES_BUCKET_US),
             migration_series: TimeSeries::new(SERIES_BUCKET_US),
             crashes: 0,
+            zone_crashes: 0,
+            stalled_partitions: 0,
             node_recoveries: 0,
             failovers: 0,
             fault_aborts: 0,

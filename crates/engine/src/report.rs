@@ -41,6 +41,14 @@ pub struct RunReport {
     pub bytes_per_txn_series: Vec<f64>,
     /// Injected node crashes.
     pub crashes: u64,
+    /// Correlated zone-loss events. Deterministic, but excluded from
+    /// [`RunReport::digest`] because the golden values predate this field
+    /// (and it is zero on every zone-free configuration anyway).
+    pub zone_crashes: u64,
+    /// Partitions that stalled with no live promotable replica (see
+    /// [`crate::metrics::Metrics::stalled_partitions`]). Excluded from
+    /// [`RunReport::digest`] like `zone_crashes`.
+    pub stalled_partitions: u64,
     /// Completed failover promotions.
     pub failovers: u64,
     /// In-flight transactions aborted by node failures.
@@ -100,6 +108,8 @@ impl RunReport {
             throughput_series,
             bytes_per_txn_series,
             crashes: m.crashes,
+            zone_crashes: m.zone_crashes,
+            stalled_partitions: m.stalled_partitions,
             failovers: m.failovers,
             fault_aborts: m.fault_aborts,
             replayed_entries: m.replayed_entries,
@@ -199,10 +209,11 @@ impl RunReport {
     /// read as zeros for runs without a fault plan.
     pub fn failover_row(&self) -> String {
         format!(
-            "{:<10} crashes={} failovers={} fault_aborts={:>4} replayed={:>4}  recovery: mean={:>7.0}us max={:>7}us  unavail={:>8}us over {} windows",
+            "{:<10} crashes={} failovers={} stalled={} fault_aborts={:>4} replayed={:>4}  recovery: mean={:>7.0}us max={:>7}us  unavail={:>8}us over {} windows",
             self.protocol,
             self.crashes,
             self.failovers,
+            self.stalled_partitions,
             self.fault_aborts,
             self.replayed_entries,
             self.mean_recovery_latency_us,

@@ -27,7 +27,7 @@
 //! assert_eq!(plan.len(), 2);
 //! ```
 //!
-//! The four event kinds:
+//! The event kinds:
 //!
 //! | event | semantics |
 //! |---|---|
@@ -35,6 +35,17 @@
 //! | [`FaultKind::Recover`] | the node restarts with its on-disk state: stalled primaries resume after a restart window; stale secondaries re-join via background snapshot copies |
 //! | [`FaultKind::Partition`] | a network partition isolates a set of nodes; the majority side treats them exactly like crashed nodes (they are unreachable) |
 //! | [`FaultKind::Heal`] | the network partition heals; isolated nodes re-join like recovered nodes |
+//! | [`FaultKind::ZoneCrash`] | **correlated failure**: every live node of a failure domain halts atomically on one virtual-clock tick (rack power loss) — including a failover target mid-promotion, which is re-planned over the survivors |
+//! | [`FaultKind::ZoneHeal`] | power restored: every down node of the zone restarts |
+//! | [`FaultKind::ZonePartition`] | zone-aware network partition: whole racks are cut off until the matching [`FaultKind::Heal`] |
+//!
+//! Validation is two-layered: [`FaultPlan::validate_with_zones`] checks the
+//! script structurally (ids in range, no double-crash, someone always
+//! alive), and [`FaultPlan::validate_against`] additionally rejects plans
+//! whose combined node + zone crashes leave some partition with **zero live
+//! replica holders at the end of the script** — a run that would silently
+//! stall forever fails fast at submission instead. The engine applies the
+//! full check at run start.
 //!
 //! ## Failover semantics
 //!
@@ -62,7 +73,7 @@ pub mod recovery;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use recovery::{
     plan_failover, price_promotion, promotion_candidates, select_promotion_target,
-    FailoverDecision, PromotionCandidate,
+    select_promotion_target_zoned, FailoverDecision, PromotionCandidate,
 };
 
 use lion_common::{NodeId, PartitionId};

@@ -8,7 +8,7 @@
 //! first.
 
 use lion_cluster::{Cluster, LAG_SYNC_US_PER_ENTRY};
-use lion_common::{NodeId, PartitionId, SimConfig, Time};
+use lion_common::{NodeId, PartitionId, SimConfig, Time, ZoneId};
 
 /// Promotion price: failure detection + remaster hand-off + lag sync, the
 /// same per-entry rate normal remastering pays.
@@ -32,13 +32,36 @@ pub struct PromotionCandidate {
 /// replica (highest `applied_lsn`), ties broken toward the lowest node id so
 /// the choice is a pure function of the candidate set.
 pub fn select_promotion_target(candidates: &[PromotionCandidate]) -> Option<NodeId> {
+    select_promotion_target_zoned(candidates, &[], None)
+}
+
+/// [`select_promotion_target`] with failure-domain awareness: on *equal*
+/// freshness, candidates outside `avoid_zone` (the dead primary's zone) win
+/// — if the zone is failing, its surviving members are the likeliest next
+/// casualties, and promoting into it invites a mid-promotion re-plan.
+/// Freshness still dominates: a fresher in-zone replica beats a staler
+/// out-of-zone one (lag, not zone, prices the hand-off). With no zone map
+/// (or a single zone) this reduces exactly to the unzoned selection.
+pub fn select_promotion_target_zoned(
+    candidates: &[PromotionCandidate],
+    zone_of: &[ZoneId],
+    avoid_zone: Option<ZoneId>,
+) -> Option<NodeId> {
+    let outside = |n: NodeId| -> u8 {
+        match (avoid_zone, zone_of.get(n.idx())) {
+            (Some(avoid), Some(&z)) if z == avoid => 0,
+            (Some(_), Some(_)) => 1,
+            _ => 0, // no zone information: everyone ranks equal
+        }
+    };
     candidates
         .iter()
         .filter(|c| !c.has_gap)
         .max_by(|a, b| {
             a.applied_lsn
                 .cmp(&b.applied_lsn)
-                // prefer the *lower* node id on equal freshness
+                .then_with(|| outside(a.node).cmp(&outside(b.node)))
+                // prefer the *lower* node id on equal freshness and zone
                 .then_with(|| b.node.cmp(&a.node))
         })
         .map(|c| c.node)
@@ -92,7 +115,11 @@ pub fn plan_failover(cluster: &Cluster, dead: NodeId) -> Vec<FailoverDecision> {
             .map(|s| s.log.head_lsn())
             .unwrap_or(0);
         let candidates = promotion_candidates(cluster, part);
-        let target = select_promotion_target(&candidates);
+        // Avoid promoting back into the dead primary's failure domain when
+        // an equally-fresh replica exists elsewhere (correlated-failure
+        // hedge; a no-op on single-zone clusters).
+        let target =
+            select_promotion_target_zoned(&candidates, &cluster.zone_of, Some(cluster.zone(dead)));
         let (lag, duration) = match target {
             Some(node) => {
                 let applied = candidates
@@ -144,6 +171,31 @@ mod tests {
         let mut r = c;
         r.reverse();
         assert_eq!(select_promotion_target(&r), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn zoned_selection_prefers_surviving_zones_on_ties() {
+        use lion_common::ZoneId;
+        let zones = [ZoneId(0), ZoneId(0), ZoneId(1), ZoneId(1)];
+        // Equal freshness: N1 shares the dead primary N0's zone, N2 does
+        // not — N2 wins despite the higher id.
+        let c = [cand(1, 9, false), cand(2, 9, false)];
+        assert_eq!(
+            select_promotion_target_zoned(&c, &zones, Some(ZoneId(0))),
+            Some(NodeId(2))
+        );
+        // Freshness still dominates the zone preference.
+        let c = [cand(1, 10, false), cand(2, 9, false)];
+        assert_eq!(
+            select_promotion_target_zoned(&c, &zones, Some(ZoneId(0))),
+            Some(NodeId(1))
+        );
+        // No zone info: identical to the unzoned selection.
+        let c = [cand(3, 9, false), cand(1, 9, false)];
+        assert_eq!(
+            select_promotion_target_zoned(&c, &[], None),
+            select_promotion_target(&c)
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub use clump::{generate_clumps, Clump};
 pub use cost::{execution_cost, placement_cost, CostWeights, TxnPlacementClass};
 pub use graph::HeatGraph;
 pub use rearrange::{
-    rearrange, rearrange_with_live, PlanAction, PlanEntry, PlannerConfig, ReconfigurationPlan,
+    rearrange, rearrange_with_live, rearrange_with_topology, PlanAction, PlanEntry, PlannerConfig,
+    ReconfigurationPlan,
 };
 pub use schism::{schism_partition, schism_plan};

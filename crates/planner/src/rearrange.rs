@@ -13,7 +13,7 @@
 
 use crate::clump::Clump;
 use crate::cost::{placement_cost, CostWeights};
-use lion_common::{NodeId, PartitionId, Placement};
+use lion_common::{NodeId, PartitionId, Placement, PlacementPolicy, ZoneId};
 
 /// Planner tuning knobs (§IV defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +64,10 @@ pub enum PlanAction {
     /// Target holds nothing and the protocol is replica-oblivious: blocking
     /// full-data migration (Schism/Clay-style, §IV-B.1 case 3).
     Migrate,
+    /// Background-copy a secondary *without* remastering: the anti-affinity
+    /// repair of `PlacementPolicy::RackSafe` — the primary stays where
+    /// locality wants it, the copy restores cross-zone coverage.
+    AddSecondary,
 }
 
 /// One partition move of a reconfiguration plan.
@@ -112,6 +116,9 @@ impl ReconfigurationPlan {
                 }
                 PlanAction::Migrate => {
                     let _ = placement.migrate_primary(e.part, e.dest);
+                }
+                PlanAction::AddSecondary => {
+                    let _ = placement.add_secondary(e.part, e.dest);
                 }
             }
         }
@@ -241,12 +248,46 @@ pub fn rearrange(
 /// [`rearrange`] with a node-liveness mask: dead nodes (fault injection)
 /// receive no clumps, no replicas, and are ignored by the load balancer.
 pub fn rearrange_with_live(
+    clumps: Vec<Clump>,
+    placement: &Placement,
+    freq: &[f64],
+    cfg: &PlannerConfig,
+    replica_aware: bool,
+    live: &[bool],
+) -> ReconfigurationPlan {
+    let zone_of = vec![ZoneId(0); placement.n_nodes()];
+    rearrange_with_topology(
+        clumps,
+        placement,
+        freq,
+        cfg,
+        replica_aware,
+        live,
+        &zone_of,
+        PlacementPolicy::LocalityFirst,
+    )
+}
+
+/// [`rearrange_with_live`] with failure-domain awareness: under
+/// [`PlacementPolicy::RackSafe`] the emitted plan additionally repairs any
+/// planned partition whose replica set would span fewer than `min_zones`
+/// zones, appending [`PlanAction::AddSecondary`] copies onto the
+/// least-loaded live node of an uncovered zone. Locality-first policies (and
+/// single-zone clusters) produce byte-identical plans to
+/// [`rearrange_with_live`].
+// Algorithm 1's signature *is* the planning contract (workload, topology,
+// policy, liveness); bundling the slices into a context struct would only
+// rename the parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn rearrange_with_topology(
     mut clumps: Vec<Clump>,
     placement: &Placement,
     freq: &[f64],
     cfg: &PlannerConfig,
     replica_aware: bool,
     live: &[bool],
+    zone_of: &[ZoneId],
+    policy: PlacementPolicy,
 ) -> ReconfigurationPlan {
     let n_nodes = placement.n_nodes();
     debug_assert_eq!(live.len(), n_nodes);
@@ -343,6 +384,77 @@ pub fn rearrange_with_live(
                 PlanAction::Migrate
             };
             plan.entries.push(PlanEntry { part, dest, action });
+        }
+    }
+
+    // ---- Anti-affinity repair (RackSafe only) ----------------------------
+    // Every planned partition's *post-plan* replica set must span at least
+    // `min_zones` failure domains. Remastering never changes the set; an
+    // AddReplica adds the destination. Anything still under the floor gets a
+    // background copy onto the least-loaded live node of an uncovered zone —
+    // priced like a copy (w_m) so the locality-vs-availability trade shows
+    // up in the plan cost.
+    let min_zones = policy.min_zones();
+    if min_zones > 1 {
+        debug_assert_eq!(zone_of.len(), placement.n_nodes());
+        let n_zones = zone_of.iter().map(|z| z.idx() + 1).max().unwrap_or(1);
+        fn cover(node: NodeId, zone_of: &[ZoneId], covered: &mut [bool], n_covered: &mut usize) {
+            let z = zone_of[node.idx()].idx();
+            if !covered[z] {
+                covered[z] = true;
+                *n_covered += 1;
+            }
+        }
+        let mut covered = vec![false; n_zones];
+        for clump in &clumps {
+            let dest = clump.dest.expect("dispatching assigned every clump");
+            for &part in &clump.parts {
+                covered.iter_mut().for_each(|c| *c = false);
+                let mut n_covered = 0usize;
+                // A Migrate onto a node with no replica is a *move*: the old
+                // primary's copy is dropped, so its zone must not count
+                // toward post-plan coverage (Remaster and AddReplica keep
+                // every current holder).
+                let migrates_away = !replica_aware
+                    && !placement.is_primary(part, dest)
+                    && !placement.has_replica(part, dest);
+                let old_primary = placement.primary_of(part);
+                for holder in placement.replica_nodes(part) {
+                    if migrates_away && holder == old_primary {
+                        continue;
+                    }
+                    cover(holder, zone_of, &mut covered, &mut n_covered);
+                }
+                // the plan places a replica at the clump destination
+                cover(dest, zone_of, &mut covered, &mut n_covered);
+                while n_covered < min_zones {
+                    // Least-loaded live node of an uncovered zone, lowest id
+                    // on ties — deterministic like every other choice here.
+                    let repair = (0..placement.n_nodes() as u16)
+                        .map(NodeId)
+                        .filter(|&n| {
+                            live[n.idx()]
+                                && !covered[zone_of[n.idx()].idx()]
+                                && !placement.has_replica(part, n)
+                        })
+                        .min_by(|a, b| {
+                            balance.load[a.idx()]
+                                .partial_cmp(&balance.load[b.idx()])
+                                .expect("finite")
+                                .then_with(|| a.cmp(b))
+                        });
+                    let Some(repair) = repair else {
+                        break; // not enough live zones left to satisfy the floor
+                    };
+                    cover(repair, zone_of, &mut covered, &mut n_covered);
+                    plan.total_cost += cfg.weights.w_m;
+                    plan.entries.push(PlanEntry {
+                        part,
+                        dest: repair,
+                        action: PlanAction::AddSecondary,
+                    });
+                }
+            }
         }
     }
     plan
@@ -498,6 +610,148 @@ mod tests {
             }
         }
         assert_eq!(on_n1, 2, "half the load moves to the idle node");
+    }
+
+    fn z(i: u16) -> ZoneId {
+        ZoneId(i)
+    }
+
+    /// RackSafe repair: a clump whose partitions would end up rack-local
+    /// gains AddSecondary copies restoring cross-zone coverage, while the
+    /// locality decision (the clump destination) is untouched.
+    #[test]
+    fn rack_safe_plan_repairs_zone_coverage() {
+        // 4 nodes, racks Z0={N0,N1}, Z1={N2,N3}. Both partitions and all
+        // their replicas live inside Z0.
+        let zones = [z(0), z(0), z(1), z(1)];
+        let mut pl = Placement::round_robin(2, 4, 1);
+        pl.migrate_primary(p(0), n(0)).unwrap();
+        pl.migrate_primary(p(1), n(0)).unwrap();
+        pl.add_secondary(p(0), n(1)).unwrap();
+        pl.add_secondary(p(1), n(1)).unwrap();
+        let clumps = vec![Clump::new(vec![p(0), p(1)], 2.0)];
+        let live = [true; 4];
+        let plan = rearrange_with_topology(
+            clumps,
+            &pl,
+            &[0.0; 2],
+            &PlannerConfig::default(),
+            true,
+            &live,
+            &zones,
+            PlacementPolicy::RackSafe { min_zones: 2 },
+        );
+        // Destination stays in-zone (N0 is cheapest: both primaries local)…
+        assert_eq!(plan.dest_of(p(0)), Some(n(0)));
+        // …but each partition gets a Z1 copy.
+        for part in [p(0), p(1)] {
+            assert!(
+                plan.entries.iter().any(|e| e.part == part
+                    && e.action == PlanAction::AddSecondary
+                    && zones[e.dest.idx()] == z(1)),
+                "no cross-zone repair for {part}: {:?}",
+                plan.entries
+            );
+        }
+        // Applying the plan satisfies the floor.
+        let mut after = pl.clone();
+        plan.apply_to(&mut after);
+        after.validate().unwrap();
+        assert!(after.zone_coverage(p(0), &zones) >= 2);
+        assert!(after.zone_coverage(p(1), &zones) >= 2);
+    }
+
+    /// A Migrate is a move: the old primary's zone must not count toward
+    /// post-plan coverage, so migrating a partition's only replica across
+    /// racks still triggers a repair copy back into the vacated rack.
+    #[test]
+    fn rack_safe_repair_accounts_for_migration_moves() {
+        let zones = [z(0), z(0), z(1), z(1)];
+        // P0's only replica is its primary on N2 (Z1). With N2 dead, the
+        // replica-oblivious plan must Migrate it to a live node — N0 (Z0),
+        // the cheapest survivor. The move vacates Z1, so counting the old
+        // primary as still covering Z1 would (wrongly) skip the repair.
+        let mut pl = Placement::round_robin(1, 4, 1);
+        pl.migrate_primary(p(0), n(2)).unwrap();
+        let live = [true, true, false, true];
+        let plan = rearrange_with_topology(
+            vec![Clump::new(vec![p(0)], 1.0)],
+            &pl,
+            &[0.0; 1],
+            &PlannerConfig::default(),
+            false, // replica-oblivious: Migrate, not AddReplica
+            &live,
+            &zones,
+            PlacementPolicy::RackSafe { min_zones: 2 },
+        );
+        assert!(
+            plan.entries
+                .iter()
+                .any(|e| e.part == p(0) && e.action == PlanAction::Migrate),
+            "dead primary forces a migration: {:?}",
+            plan.entries
+        );
+        assert!(
+            plan.entries.iter().any(|e| e.part == p(0)
+                && e.action == PlanAction::AddSecondary
+                && zones[e.dest.idx()] == z(1)),
+            "vacating Z1 must trigger a repair copy back into it: {:?}",
+            plan.entries
+        );
+        let mut after = pl.clone();
+        plan.apply_to(&mut after);
+        after.validate().unwrap();
+        assert!(after.zone_coverage(p(0), &zones) >= 2);
+    }
+
+    /// Repair never targets dead nodes, and an unsatisfiable floor (all
+    /// other zones down) degrades gracefully instead of looping.
+    #[test]
+    fn rack_safe_repair_skips_dead_zones() {
+        let zones = [z(0), z(0), z(1), z(1)];
+        let mut pl = Placement::round_robin(1, 4, 1);
+        pl.add_secondary(p(0), n(1)).unwrap();
+        let clumps = vec![Clump::new(vec![p(0)], 1.0)];
+        let live = [true, true, false, false]; // Z1 entirely down
+        let plan = rearrange_with_topology(
+            clumps,
+            &pl,
+            &[0.0; 1],
+            &PlannerConfig::default(),
+            true,
+            &live,
+            &zones,
+            PlacementPolicy::RackSafe { min_zones: 2 },
+        );
+        assert!(
+            plan.entries
+                .iter()
+                .all(|e| e.action != PlanAction::AddSecondary),
+            "no live node outside Z0 exists: {:?}",
+            plan.entries
+        );
+    }
+
+    /// LocalityFirst (and the plain wrappers) never emit repair entries and
+    /// stay byte-identical to the zone-free path.
+    #[test]
+    fn locality_first_matches_zone_free_plan() {
+        let zones = [z(0), z(0), z(1)];
+        let pl = fig4_placement();
+        let live = [true; 3];
+        let a = rearrange(fig4_clumps(), &pl, &[0.0; 5], &cfg(), true);
+        let b = rearrange_with_topology(
+            fig4_clumps(),
+            &pl,
+            &[0.0; 5],
+            &cfg(),
+            true,
+            &live,
+            &zones,
+            PlacementPolicy::LocalityFirst,
+        );
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.total_cost, b.total_cost);
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub mod prelude {
     pub use lion_baselines::{clay, leap, two_pc, Aria, Calvin, Hermes, Lotus, Star};
     pub use lion_cluster::Cluster;
     pub use lion_common::{
-        ClientId, Key, NodeId, Op, OpKind, PartitionId, Phase, Placement, SimConfig, Time, TxnId,
-        TxnRequest, Workload, MILLIS, SECOND,
+        ClientId, Key, NodeId, Op, OpKind, PartitionId, Phase, Placement, PlacementPolicy,
+        SimConfig, Time, TxnId, TxnRequest, Workload, ZoneId, MILLIS, SECOND,
     };
     pub use lion_core::{Lion, LionConfig, Partitioning};
     pub use lion_engine::{Engine, EngineConfig, Protocol, RunReport, TickKind};

@@ -12,7 +12,7 @@
 //! with `LION_PRINT_DIGESTS=1 cargo test --test determinism_digest -- --nocapture`.
 
 use lion::baselines::two_pc;
-use lion::common::{NodeId, SimConfig, SECOND};
+use lion::common::{NodeId, PlacementPolicy, SimConfig, ZoneId, SECOND};
 use lion::core::Lion;
 use lion::engine::{Engine, EngineConfig, Protocol, RunReport};
 use lion::faults::FaultPlan;
@@ -119,6 +119,70 @@ fn same_seed_runs_are_bit_identical_and_match_goldens() {
         drift.is_empty(),
         "the run's behavior changed:\n{}",
         drift.join("\n")
+    );
+}
+
+/// The zone-crash scenario gets its own pinned digest (captured at this
+/// PR, which introduced failure domains): a 4-node / 2-rack cluster under
+/// rack-safe placement loses rack Z1 wholesale mid-run and heals later.
+/// Cross-zone latency is non-zero so zone identity shows on the wire.
+const ZONE_GOLDEN: u64 = 0x9537fd89d4544c40;
+
+fn zone_sim() -> SimConfig {
+    let mut s = SimConfig {
+        nodes: 4,
+        partitions_per_node: 3,
+        keys_per_partition: 1_000,
+        value_size: 32,
+        clients_per_node: 8,
+        batch_size: 64,
+        zones: 2,
+        placement: PlacementPolicy::RackSafe { min_zones: 2 },
+        ..Default::default()
+    };
+    s.net.cross_zone_extra_us = 60;
+    s
+}
+
+fn run_zone_scenario() -> RunReport {
+    let cfg = EngineConfig {
+        sim: zone_sim(),
+        plan_interval_us: 300_000,
+        faults: FaultPlan::zone_failure(SECOND / 4, ZoneId(1), SECOND / 2),
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(
+        cfg,
+        Box::new(YcsbWorkload::new(
+            YcsbConfig::for_cluster(4, 3, 1_000)
+                .with_mix(0.6, 0.5)
+                .with_seed(42),
+        )),
+    );
+    let mut proto = Lion::standard();
+    eng.run(&mut proto, SECOND)
+}
+
+#[test]
+fn zone_crash_scenario_is_reproducible_and_pinned() {
+    let a = run_zone_scenario();
+    let b = run_zone_scenario();
+    assert!(a.commits > 0, "zone scenario committed nothing");
+    assert_eq!(a.zone_crashes, 1);
+    assert_eq!(a.stalled_partitions, 0, "rack-safe leaves no stalls");
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "zone scenario diverged under one seed"
+    );
+    if std::env::var_os("LION_PRINT_DIGESTS").is_some() {
+        eprintln!("lion-zone-crash: 0x{:016x}", a.digest());
+    }
+    assert_eq!(
+        a.digest(),
+        ZONE_GOLDEN,
+        "zone-crash digest 0x{:016x} departed from the pinned golden",
+        a.digest()
     );
 }
 
