@@ -9,7 +9,7 @@
 //! abort unless reordering can flip them (no accompanying WAR). Aborted
 //! transactions carry over to the next batch.
 
-use crate::calvin::charge_replication;
+use crate::calvin::{batch_barrier_rtt, charge_replication, zone_surcharge};
 use crate::tags::{fresh, tag, untag};
 use lion_common::{FastMap, NodeId, OpKind, Phase, Time, TxnId};
 use lion_engine::{Engine, Protocol, TxnClass};
@@ -71,8 +71,12 @@ impl Protocol for Aria {
             if n_nodes > 1 {
                 // Distributed: remote reads + the costly distributed commit
                 // round (latency and participant CPU) that erodes Aria at
-                // high cross ratios (§VI-D.1).
-                let rtt = eng.cluster.net_delay(64) + eng.cluster.net_delay(16);
+                // high cross ratios (§VI-D.1). Participant sets spanning a
+                // rack pay the cross-zone surcharge per round, like the
+                // other figf2 protocols.
+                let rtt = eng.cluster.net_delay(64)
+                    + eng.cluster.net_delay(16)
+                    + zone_surcharge(eng, &nodes);
                 done += 2 * rtt;
                 let commit_cpu = eng.config().sim.cpu.validate_us
                     + eng.config().sim.cpu.install_us
@@ -101,7 +105,9 @@ impl Protocol for Aria {
 
         // ---- Barrier + commit phase in deterministic order --------------
         let exec_end = completion.iter().copied().max().unwrap_or(now);
-        let barrier_rtt = eng.cluster.net_delay(16) * 2;
+        // The reservation-check barrier reaches every live node; the
+        // farthest (possibly cross-rack) round trip gates it.
+        let barrier_rtt = batch_barrier_rtt(eng, 16);
         // The reordering pass costs "an additional 20% latency".
         let reorder = (exec_end - now) / 5;
         let barrier = exec_end + barrier_rtt + reorder;
@@ -197,6 +203,31 @@ mod tests {
             r.abort_rate < 0.1,
             "uniform workload: few conflicts, got {}",
             r.abort_rate
+        );
+    }
+
+    #[test]
+    fn cross_zone_surcharge_prices_barrier_and_commit_rounds() {
+        // Same seed, same workload: the only difference is the rack
+        // surcharge. p50 latency must rise by at least one barrier hop —
+        // the flat pricing the ROADMAP flagged would keep them identical.
+        let p50 = |extra: u64| {
+            let mut c = cfg();
+            c.zones = 2;
+            c.net.cross_zone_extra_us = extra;
+            let wl = Box::new(YcsbWorkload::new(
+                YcsbConfig::for_cluster(4, 4, 4096)
+                    .with_mix(1.0, 0.0)
+                    .with_seed(33),
+            ));
+            let mut eng = Engine::new(c, wl);
+            eng.run(&mut Aria::new(), SECOND).latency_p[1]
+        };
+        let flat = p50(0);
+        let zoned = p50(500);
+        assert!(
+            zoned >= flat + 500,
+            "cross-zone batches must pay the surcharge: flat {flat} vs zoned {zoned}"
         );
     }
 

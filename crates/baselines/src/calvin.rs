@@ -89,14 +89,7 @@ pub(crate) fn execute_deterministic(eng: &mut Engine, txn: TxnId, start: Time) -
         // ("the necessity of remote reads ... consuming over 90% of the
         // execution time", §VI-G). The slowest pairwise exchange gates the
         // barrier — cross-zone participant pairs pay the rack surcharge.
-        let crosses_zones = participants
-            .iter()
-            .any(|&n| eng.cluster.zone(n) != eng.cluster.zone(participants[0]));
-        let surcharge = if crosses_zones {
-            2 * eng.cluster.cfg.net.cross_zone_extra_us
-        } else {
-            0
-        };
+        let surcharge = zone_surcharge(eng, &participants);
         let rtt = eng.cluster.net_delay(read_bytes) + eng.cluster.net_delay(16) + surcharge;
         eng.metrics.add_bytes(start, read_bytes as u64 + 32);
         done += rtt;
@@ -104,6 +97,42 @@ pub(crate) fn execute_deterministic(eng: &mut Engine, txn: TxnId, start: Time) -
     }
     eng.charge_phase(txn, Phase::Execution, done - start);
     (done, n_nodes)
+}
+
+/// Round-trip surcharge for one coordination round whose participants span
+/// a rack boundary: the exchange traverses the aggregation layer both ways.
+/// Zero on single-zone clusters and zone-local participant sets, so the
+/// flat pricing of the paper's figures is untouched.
+pub(crate) fn zone_surcharge(eng: &Engine, participants: &[NodeId]) -> Time {
+    let crosses_zones = participants.split_first().is_some_and(|(first, rest)| {
+        rest.iter()
+            .any(|&n| eng.cluster.zone(n) != eng.cluster.zone(*first))
+    });
+    if crosses_zones {
+        2 * eng.cluster.cfg.net.cross_zone_extra_us
+    } else {
+        0
+    }
+}
+
+/// Round-trip of a batch-wide switching/commit barrier: the batch
+/// coordinator (the lowest-id live node) must exchange a message with every
+/// live node, and the farthest — possibly cross-zone — round trip gates the
+/// batch. Equals `2 × net_delay(bytes)` on single-zone clusters, which is
+/// exactly the flat barrier the batch protocols priced before failure
+/// domains existed.
+pub(crate) fn batch_barrier_rtt(eng: &Engine, bytes: u32) -> Time {
+    let Some(coord) = eng.cluster.live_nodes().next() else {
+        return 2 * eng.cluster.net_delay(bytes);
+    };
+    eng.cluster
+        .live_nodes()
+        .map(|n| {
+            eng.cluster.net_delay_between(coord, n, bytes)
+                + eng.cluster.net_delay_between(n, coord, bytes)
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 /// Charges the asynchronous replication of a transaction's writes to its

@@ -90,23 +90,36 @@ impl Protocol for Hermes {
 
             // Demand migration: pull every non-local partition to the
             // executor before locking; waiting on an in-flight migration to
-            // the same place reuses it.
+            // the same place reuses it. A migration whose source primary
+            // sits across a rack boundary traverses the aggregation layer
+            // on its way in — figf2-comparable pricing, zero on single-zone
+            // clusters.
             let mut migration_ready = now;
             for pi in 0..eng.txn(t).parts.len() {
                 let part = eng.txn(t).parts[pi];
-                if eng.cluster.placement.primary_of(part) == executor {
+                let source = eng.cluster.placement.primary_of(part);
+                if source == executor {
                     continue;
                 }
+                let cross = if eng.cluster.zone(source) != eng.cluster.zone(executor) {
+                    eng.cluster.cfg.net.cross_zone_extra_us
+                } else {
+                    0
+                };
                 match eng.migrate_async(part, executor) {
                     Ok(d) => {
                         self.migrations_requested += 1;
-                        migration_ready = migration_ready.max(now + d + 1);
+                        migration_ready = migration_ready.max(now + d + cross + 1);
                     }
                     Err(_) => {
-                        // A transfer is already in flight: wait for it. If
-                        // it lands elsewhere the remote-read path of the
-                        // deterministic executor still completes the txn.
-                        migration_ready = migration_ready.max(eng.cluster.available_at(part) + 1);
+                        // A transfer is already in flight: wait for it (plus
+                        // the same cross-rack hop the initiator paid — a
+                        // waiter's pull is no cheaper than the pull it
+                        // reuses). If it lands elsewhere the remote-read
+                        // path of the deterministic executor still
+                        // completes the txn.
+                        migration_ready =
+                            migration_ready.max(eng.cluster.available_at(part) + cross + 1);
                     }
                 }
             }

@@ -8,7 +8,7 @@
 //! transaction aborts and re-executions" under contention, and "a costly
 //! commit protocol for distributed transactions" at high cross ratios.
 
-use crate::calvin::charge_replication;
+use crate::calvin::{charge_replication, zone_surcharge};
 use crate::tags::{fresh, tag, untag};
 use lion_common::{FastMap, FastSet, NodeId, OpKind, Phase, Time, TxnId};
 use lion_engine::{Engine, Protocol, TxnClass};
@@ -98,8 +98,11 @@ impl Protocol for Lotus {
             if n_nodes > 1 {
                 // Distributed transactions pay the full commit protocol:
                 // two coordination rounds of latency plus prepare/commit
-                // handling CPU at every participant.
-                let rtt = eng.cluster.net_delay(48) + eng.cluster.net_delay(16);
+                // handling CPU at every participant. Each round pays the
+                // cross-zone surcharge when the participants span racks.
+                let rtt = eng.cluster.net_delay(48)
+                    + eng.cluster.net_delay(16)
+                    + zone_surcharge(eng, &nodes);
                 done += 2 * rtt;
                 let commit_cpu = eng.config().sim.cpu.validate_us
                     + eng.config().sim.cpu.install_us
@@ -183,6 +186,32 @@ mod tests {
         assert!(
             low > high * 1.3,
             "Lotus must degrade with cross ratio: low {low:.0} vs high {high:.0}"
+        );
+    }
+
+    #[test]
+    fn cross_zone_surcharge_prices_distributed_commit() {
+        let p50 = |extra: u64| {
+            let mut c = cfg();
+            c.zones = 2;
+            // Interleaved racks: the YCSB partner pairing (p ↔ p^1) lands on
+            // adjacent nodes, so contiguous blocks would make every cross
+            // pair rack-local and never exercise the surcharge.
+            c.zone_map = vec![0, 1, 0, 1];
+            c.net.cross_zone_extra_us = extra;
+            let wl = Box::new(YcsbWorkload::new(
+                YcsbConfig::for_cluster(4, 4, 4096)
+                    .with_mix(1.0, 0.0)
+                    .with_seed(43),
+            ));
+            let mut eng = Engine::new(c, wl);
+            eng.run(&mut Lotus::new(), SECOND).latency_p[1]
+        };
+        let flat = p50(0);
+        let zoned = p50(400);
+        assert!(
+            zoned > flat,
+            "cross-rack commit rounds must pay the surcharge: flat {flat} vs zoned {zoned}"
         );
     }
 

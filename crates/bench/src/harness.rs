@@ -5,7 +5,7 @@
 use lion_baselines::{clay, leap, two_pc, Aria, Calvin, Hermes, Lotus, Star};
 use lion_common::{SimConfig, Time};
 use lion_core::{Lion, LionConfig};
-use lion_engine::{Engine, EngineConfig, FaultPlan, Protocol, RunReport};
+use lion_engine::{DurabilityConfig, Engine, EngineConfig, FaultPlan, Protocol, RunReport};
 use lion_workloads::{Schedule, TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload};
 use std::sync::mpsc;
 use std::thread;
@@ -157,6 +157,8 @@ pub struct Job {
     pub horizon: Time,
     /// Deterministic fault script (empty = no failures).
     pub faults: FaultPlan,
+    /// Epoch group-commit length (0 = ack at commit, the figure default).
+    pub epoch_commit_us: Time,
 }
 
 impl Job {
@@ -175,12 +177,19 @@ impl Job {
             workload,
             horizon,
             faults: FaultPlan::none(),
+            epoch_commit_us: 0,
         }
     }
 
     /// Attaches a fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables epoch group commit with the given epoch length (fige).
+    pub fn with_epoch_commit(mut self, epoch_commit_us: Time) -> Self {
+        self.epoch_commit_us = epoch_commit_us;
         self
     }
 }
@@ -258,6 +267,7 @@ pub fn run_job(job: &Job) -> RunReport {
         sim: job.sim.clone(),
         plan_interval_us: 500_000,
         faults: job.faults.clone(),
+        durability: DurabilityConfig::epoch(job.epoch_commit_us),
         ..EngineConfig::default()
     };
     let mut eng = Engine::new(cfg, job.workload.build());

@@ -1,7 +1,7 @@
 //! `lion-bench`: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|figf1|figf2|all] [--full]
+//! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|figf1|figf2|fige|all] [--full]
 //! lion-bench perf [--quick] [--check]
 //! ```
 //!
@@ -12,6 +12,11 @@
 //! replica placement under the loss of a whole rack, measuring the
 //! throughput cost of anti-affinity against the stalled partitions it
 //! prevents.
+//!
+//! `fige` is the durability experiment: client-visible ack latency vs
+//! epoch-commit length for Lion/2PC/Star/Calvin, steady state and under the
+//! figf1 crash script — ack-at-commit leaks `acked_then_lost` commits at a
+//! crash, epoch group commit holds it at zero.
 //!
 //! `--full` lengthens the runs (5 s steady-state, 15 s hotspot periods);
 //! the default quick scale finishes the whole suite in a few minutes.
@@ -65,10 +70,13 @@ fn main() {
         "fig14" => figures::fig14(scale),
         "figf1" => figures::fig_f1(scale),
         "figf2" => figures::fig_f2(scale),
+        "fige" => figures::fig_e(scale),
         "all" => figures::all(scale),
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: lion-bench [table1|table2|fig6..fig14|figf1|figf2|all] [--full]");
+            eprintln!(
+                "usage: lion-bench [table1|table2|fig6..fig14|figf1|figf2|fige|all] [--full]"
+            );
             std::process::exit(2);
         }
     };

@@ -21,5 +21,6 @@ pub mod topology;
 
 pub use freq::FreqTracker;
 pub use topology::{
-    AdaptorError, Cluster, CrashReport, PartitionRuntime, RecoveryReport, LAG_SYNC_US_PER_ENTRY,
+    AdaptorError, Cluster, CrashReport, EpochFlush, PartitionRuntime, RecoveryReport,
+    LAG_SYNC_US_PER_ENTRY,
 };

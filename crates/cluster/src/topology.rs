@@ -98,6 +98,19 @@ pub struct CrashReport {
     pub aborted_failovers: Vec<PartitionId>,
 }
 
+/// What an epoch-commit seal flush shipped (returned by
+/// [`Cluster::epoch_flush_for_seal`]).
+#[derive(Debug, Default)]
+pub struct EpochFlush {
+    /// Total wire bytes shipped to secondaries.
+    pub bytes: u64,
+    /// Slowest secondary round-trip among the flushed partitions: the
+    /// replication transit that gates the epoch's durability (zone-aware).
+    pub max_transit_us: Time,
+    /// Per-partition log head certified durable once the transit lands.
+    pub frontiers: Vec<(PartitionId, u64)>,
+}
+
 /// What a node restart requires (returned by [`Cluster::recover_node`]).
 #[derive(Debug)]
 pub struct RecoveryReport {
@@ -828,8 +841,23 @@ impl Cluster {
 
     /// Ships every partition's pending log entries to its secondaries.
     /// Returns the total wire bytes (for the Fig. 12b network accounting).
+    /// One shipping loop serves both flush flavors — this delegates to
+    /// [`Cluster::epoch_flush_for_seal`] and drops the seal-only
+    /// bookkeeping, so the 10 ms flush and the epoch-commit seal can never
+    /// drift apart.
     pub fn epoch_flush_all(&mut self) -> u64 {
-        let mut total = 0u64;
+        self.epoch_flush_for_seal().bytes
+    }
+
+    /// Ships every partition's pending entries like
+    /// [`Cluster::epoch_flush_all`], but for an **epoch-commit seal**: on
+    /// top of the wire bytes it reports the per-partition log frontiers the
+    /// flush certifies and the slowest secondary round-trip — the replication
+    /// transit the sealed epoch must wait out before its acks may escape.
+    /// Cross-zone secondaries (rack-safe placement) stretch the transit by
+    /// the aggregation-layer surcharge both ways.
+    pub fn epoch_flush_for_seal(&mut self) -> EpochFlush {
+        let mut out = EpochFlush::default();
         for p in 0..self.n_partitions() {
             let part = PartitionId(p as u32);
             let primary = self.placement.primary_of(part);
@@ -845,16 +873,24 @@ impl Cluster {
                 }
                 store.log.take_pending()
             };
+            let head = pending.last().expect("non-empty pending").lsn;
+            out.frontiers.push((part, head));
             let bytes: u64 = pending.iter().map(|e| e.wire_bytes()).sum();
             let secondaries: Vec<NodeId> = self.placement.secondaries_of(part).to_vec();
             for sec in secondaries {
                 if let Some(store) = self.store_mut(sec, part) {
                     store.apply_entries(&pending);
-                    total += bytes;
+                    out.bytes += bytes;
+                }
+                if self.node_up[sec.idx()] {
+                    let rtt =
+                        self.net_delay_between(primary, sec, bytes.min(u32::MAX as u64) as u32)
+                            + self.net_delay_between(sec, primary, 0);
+                    out.max_transit_us = out.max_transit_us.max(rtt);
                 }
             }
         }
-        total
+        out
     }
 
     /// Checks cross-structure consistency (tests / debug).

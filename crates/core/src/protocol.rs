@@ -130,12 +130,13 @@ impl Lion {
                             .normalized(lion_common::PartitionId(p as u32))
                     })
                     .collect();
-                let (class, _) = lion_planner::execution_cost(
+                let (class, _) = lion_planner::execution_cost_zoned(
                     &eng.cluster.placement,
                     &freq,
                     &eng.txn(txn).parts,
                     node,
                     self.cfg.planner.weights,
+                    &eng.cluster.zone_of,
                 );
                 (node, class)
             }

@@ -10,6 +10,7 @@ use lion_common::{
     ClientId, FastMap, NodeId, Op, OpKind, PartitionId, Phase, SimConfig, Time, TxnId, TxnRecord,
     TxnRequest, Workload,
 };
+use lion_durability::{DurabilityConfig, EpochManager, PendingAck};
 use lion_faults::{plan_failover, FaultKind, FaultNotice, FaultPlan};
 use lion_sim::EventQueue;
 use lion_storage::{LogEntry, OpOutcome, Table};
@@ -30,6 +31,9 @@ pub struct EngineConfig {
     /// Deterministic fault script executed on the virtual clock (empty by
     /// default: no failures).
     pub faults: FaultPlan,
+    /// Epoch group-commit configuration: `epoch_commit_us = 0` (the
+    /// default) acks at protocol commit, exactly the legacy behavior.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +44,7 @@ impl Default for EngineConfig {
             monitor_interval_us: 1_000_000,
             history_cap: 60_000,
             faults: FaultPlan::none(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -100,6 +105,12 @@ enum Ev {
     BatchArm,
     /// A scripted fault event (index into the engine's `FaultPlan`).
     Fault(usize),
+    /// Epoch group commit: seal the open commit epoch and flush its logs
+    /// (only scheduled when `durability.epoch_commit_us > 0`).
+    EpochSeal,
+    /// A sealed epoch's replication round-trip landed: release its acks.
+    /// Stale after a crash fenced the epoch id.
+    EpochDurable(u64),
     /// A failover promotion completes (stale when `gen` mismatches).
     FailoverDone {
         part: PartitionId,
@@ -141,6 +152,11 @@ pub struct Engine {
     events: u64,
     pending_failovers: FastMap<u32, PendingFailover>,
     isolated: Vec<NodeId>,
+    /// Epoch group-commit ack manager (inert when `epoch_commit_us = 0`).
+    epochs: EpochManager,
+    /// True in ack-at-commit mode: installs advance the log's ack frontier
+    /// immediately (the crash audit then counts unshipped acked writes).
+    ack_at_commit: bool,
     /// Reusable batch-assembly buffer (no per-tick allocation).
     batch_buf: Vec<TxnId>,
     /// Reusable fault-abort victim buffer (no per-crash allocation).
@@ -153,6 +169,8 @@ impl Engine {
         let cfg: EngineConfig = cfg.into();
         let cluster = Cluster::new(cfg.sim.clone());
         let nodes = cfg.sim.nodes;
+        let epochs = EpochManager::new(cfg.durability);
+        let ack_at_commit = !epochs.enabled();
         Engine {
             rng: SmallRng::seed_from_u64(cfg.sim.seed),
             cluster,
@@ -172,9 +190,16 @@ impl Engine {
             events: 0,
             pending_failovers: FastMap::default(),
             isolated: Vec::new(),
+            epochs,
+            ack_at_commit,
             batch_buf: Vec::new(),
             victim_buf: Vec::new(),
         }
+    }
+
+    /// The epoch group-commit manager (ack log, fence, parked count).
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.epochs
     }
 
     /// Current virtual time.
@@ -252,6 +277,10 @@ impl Engine {
         self.horizon = horizon;
         self.batch_mode = proto.batch_mode();
         self.queue.schedule(self.cfg.sim.epoch_us, Ev::Epoch);
+        if self.epochs.enabled() {
+            self.queue
+                .schedule(self.epochs.epoch_commit_us(), Ev::EpochSeal);
+        }
         self.queue.schedule(self.cfg.plan_interval_us, Ev::Plan);
         self.queue
             .schedule(self.cfg.monitor_interval_us, Ev::Monitor);
@@ -333,6 +362,8 @@ impl Engine {
                     let kind = self.cfg.faults.events()[i].kind.clone();
                     self.apply_fault(proto, kind);
                 }
+                Ev::EpochSeal => self.seal_epoch(),
+                Ev::EpochDurable(id) => self.epoch_durable(id),
                 Ev::FailoverDone { part, gen } => {
                     let rt = &self.cluster.parts[part.idx()];
                     if rt.gen == gen && rt.failing_over.is_some() {
@@ -420,8 +451,12 @@ impl Engine {
         if std::env::var_os("LION_TRACE").is_some() {
             eprintln!("[{now}] crash {node}");
         }
+        // The audit must read the dead node's log buffers *before*
+        // `crash_node` drains them into the failover replay.
+        self.audit_acked_unshipped(node);
         let report = self.cluster.crash_node(node, now);
         self.metrics.crashes += 1;
+        self.abort_open_epochs();
         self.fault_abort_touching(node);
         let mut replays: FastMap<u32, Vec<LogEntry>> =
             report.orphaned.into_iter().map(|(p, r)| (p.0, r)).collect();
@@ -976,7 +1011,12 @@ impl Engine {
         let value_size = self.cfg.sim.value_size;
         // Split borrow: the context is read in place (no write-set clone)
         // while the stores are mutated.
-        let Engine { txns, cluster, .. } = self;
+        let Engine {
+            txns,
+            cluster,
+            ack_at_commit,
+            ..
+        } = self;
         let ctx = txns.get(txn).expect("live transaction");
         let attempt = ctx.attempts as u64;
         for w in &ctx.write_set {
@@ -994,7 +1034,12 @@ impl Engine {
             let value = Table::synth_value(w.key, stamp, value_size);
             let store = cluster.store_mut(node, w.part).expect("primary store");
             let version = store.table.occ_install(w.key, txn, value.clone());
-            store.log.append(w.part, w.key, version, value);
+            let lsn = store.log.append(w.part, w.key, version, value);
+            if *ack_at_commit {
+                // Commit == ack: the entry is client-visible the moment it
+                // installs, replicated or not (the hole the audit counts).
+                store.log.mark_acked(lsn);
+            }
             Self::assert_zero_copy_install(store, w.key);
         }
     }
@@ -1023,7 +1068,12 @@ impl Engine {
     /// protocols whose lock schedule already serialized the writers).
     pub fn install_unchecked(&mut self, txn: TxnId) {
         let value_size = self.cfg.sim.value_size;
-        let Engine { txns, cluster, .. } = self;
+        let Engine {
+            txns,
+            cluster,
+            ack_at_commit,
+            ..
+        } = self;
         let ctx = txns.get(txn).expect("live transaction");
         let attempt = ctx.attempts as u64;
         for w in &ctx.write_set {
@@ -1032,7 +1082,10 @@ impl Engine {
             let primary = cluster.placement.primary_of(w.part);
             let store = cluster.store_mut(primary, w.part).expect("primary store");
             let version = store.table.occ_install(w.key, txn, value.clone());
-            store.log.append(w.part, w.key, version, value);
+            let lsn = store.log.append(w.part, w.key, version, value);
+            if *ack_at_commit {
+                store.log.mark_acked(lsn);
+            }
             Self::assert_zero_copy_install(store, w.key);
         }
     }
@@ -1122,11 +1175,102 @@ impl Engine {
     }
 
     // ----------------------------------------------------------------
+    // Epoch group commit (client-visible acks at epoch boundaries)
+    // ----------------------------------------------------------------
+
+    /// Seals the open commit epoch on the DES clock: flushes every pending
+    /// replication log, then lets the epoch ride out the slowest secondary
+    /// round-trip before its acks are released. Re-arms itself.
+    fn seal_epoch(&mut self) {
+        let now = self.now();
+        let flush = self.cluster.epoch_flush_for_seal();
+        if flush.bytes > 0 {
+            self.metrics.replication_bytes += flush.bytes;
+            self.metrics.bytes_series.add(now, flush.bytes as f64);
+        }
+        if let Some(id) = self.epochs.seal(flush.frontiers) {
+            self.metrics.epochs_sealed += 1;
+            self.queue
+                .schedule(flush.max_transit_us, Ev::EpochDurable(id));
+        }
+        self.queue
+            .schedule(self.epochs.epoch_commit_us(), Ev::EpochSeal);
+    }
+
+    /// A sealed epoch's replication landed: certify its log frontiers as
+    /// acked and release every parked ack — record ack latency and re-arm
+    /// the issuing clients (standard mode; batch clients are paced by the
+    /// batch loop and only get the latency accounting).
+    fn epoch_durable(&mut self, id: u64) {
+        let now = self.now();
+        let Some(epoch) = self.epochs.take_durable(id, now) else {
+            return; // fenced/aborted by a crash: stale durability event
+        };
+        for (part, lsn) in epoch.frontiers {
+            let primary = self.cluster.placement.primary_of(part);
+            if let Some(store) = self.cluster.store_mut(primary, part) {
+                store.log.mark_acked(lsn);
+            }
+        }
+        for ack in epoch.acks {
+            self.metrics.acked += 1;
+            self.metrics
+                .ack_latency
+                .record(now.saturating_sub(ack.start));
+            if !self.batch_mode {
+                self.queue.schedule(1, Ev::ClientNext(ack.client));
+            }
+        }
+    }
+
+    /// A crash voids every non-durable epoch: their parked transactions
+    /// were never acked, so instead of losing acked work the clients simply
+    /// retry (and re-observe the committed result). The epoch fence advances
+    /// so a promoted primary cannot release an ack from the dead primary's
+    /// timeline.
+    fn abort_open_epochs(&mut self) {
+        if !self.epochs.enabled() {
+            return;
+        }
+        let abort = self.epochs.on_crash();
+        self.metrics.epochs_aborted += abort.epochs_aborted;
+        let backoff = self.cfg.sim.retry_backoff_us;
+        for ack in abort.retried {
+            self.metrics.epoch_retried_acks += 1;
+            if !self.batch_mode {
+                self.queue.schedule(backoff, Ev::ClientNext(ack.client));
+            }
+        }
+    }
+
+    /// Crash audit for the no-acked-commit-lost invariant: counts log
+    /// entries the dead node acked to clients but never shipped to a
+    /// secondary — writes a real deployment would lose *after* reporting
+    /// success. Ack-at-commit mode leaks them freely (commit == ack, flush
+    /// every `epoch_us`); epoch group commit keeps this at zero because an
+    /// ack only ever escapes behind its epoch's replication.
+    fn audit_acked_unshipped(&mut self, node: NodeId) {
+        for p in 0..self.cluster.n_partitions() {
+            let part = PartitionId(p as u32);
+            if self.cluster.placement.primary_of(part) != node {
+                continue;
+            }
+            if let Some(store) = self.cluster.store(node, part) {
+                self.metrics.acked_then_lost += store.log.acked_unshipped();
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
     // Completion
     // ----------------------------------------------------------------
 
-    /// Commits `txn`: records metrics, frees the context, and (standard
-    /// mode) immediately re-arms the issuing client.
+    /// Commits `txn`: records commit metrics and frees the context. The
+    /// *client-visible ack* depends on the durability mode: ack-at-commit
+    /// releases it here (and re-arms the issuing client in standard mode);
+    /// epoch group commit parks it in the open epoch until the epoch's
+    /// replication is durable. Batch protocols always advance their batch
+    /// barrier here — their pacing is the batch loop, not the ack.
     pub fn commit(&mut self, txn: TxnId) {
         let now = self.now();
         let ctx = self.txns.remove(txn).expect("live transaction");
@@ -1144,8 +1288,23 @@ impl Engine {
         }
         if self.batch_mode {
             self.batch_done_one();
+        }
+        if self.ack_at_commit {
+            self.metrics.acked += 1;
+            self.metrics
+                .ack_latency
+                .record(now.saturating_sub(ctx.start));
+            if !self.batch_mode {
+                self.queue.schedule(1, Ev::ClientNext(ctx.client));
+            }
         } else {
-            self.queue.schedule(1, Ev::ClientNext(ctx.client));
+            self.epochs.park(PendingAck {
+                txn,
+                client: ctx.client,
+                seq: ctx.seq,
+                start: ctx.start,
+                committed_at: now,
+            });
         }
     }
 
@@ -1694,6 +1853,135 @@ mod tests {
         }
         assert!(report.commits > 100);
         eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ack_at_commit_mirrors_commit_latency() {
+        let mut eng = Engine::new(tiny_cfg(), uniform_workload(4));
+        let report = eng.run(&mut TrivialProto, SECOND / 2);
+        assert_eq!(report.acked, report.commits, "every commit acks instantly");
+        assert_eq!(report.mean_ack_latency_us, report.mean_latency_us);
+        assert_eq!(report.epochs_sealed, 0, "no epochs without the subsystem");
+        assert_eq!(report.acked_then_lost, 0, "no crash, no hole");
+    }
+
+    #[test]
+    fn epoch_commit_defers_acks_to_epoch_boundaries() {
+        let mut cfg = EngineConfig::from(tiny_cfg());
+        cfg.durability = lion_durability::DurabilityConfig::epoch(5_000);
+        let mut eng = Engine::new(cfg, uniform_workload(4));
+        let report = eng.run(&mut TrivialProto, SECOND / 2);
+        assert!(report.commits > 100, "commits {}", report.commits);
+        assert!(report.epochs_sealed > 10, "sealed {}", report.epochs_sealed);
+        assert!(report.acked > 0);
+        assert!(
+            report.acked <= report.commits,
+            "acks can only trail commits (the last epochs are still open)"
+        );
+        // A client-visible ack pays the epoch residency + replication
+        // transit on top of the commit latency.
+        assert!(
+            report.mean_ack_latency_us > report.mean_latency_us,
+            "ack {:.0}us must exceed commit {:.0}us",
+            report.mean_ack_latency_us,
+            report.mean_latency_us
+        );
+        // Closed-loop clients stall on the ack, so the whole run's mean ack
+        // latency sits near the epoch length.
+        assert!(report.mean_ack_latency_us > 2_000.0);
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn epoch_zero_behaves_exactly_like_ack_at_commit() {
+        let run = |durability| {
+            let mut cfg = EngineConfig::from(tiny_cfg());
+            cfg.durability = durability;
+            let mut eng = Engine::new(cfg, uniform_workload(4));
+            eng.run(&mut TrivialProto, SECOND / 4).digest()
+        };
+        assert_eq!(
+            run(lion_durability::DurabilityConfig::default()),
+            run(lion_durability::DurabilityConfig::epoch(0)),
+            "epoch_commit_us = 0 must be byte-identical to the legacy mode"
+        );
+    }
+
+    #[test]
+    fn ack_at_commit_crash_loses_acked_commits() {
+        // Crash between two 10 ms flushes: the commits acked since the last
+        // flush live only in the dead primary's epoch buffer — the audit
+        // must count them (a real deployment loses them after acking).
+        let mut cfg = EngineConfig::from(tiny_cfg());
+        cfg.faults = lion_faults::FaultPlan::new().crash_at(125_000, NodeId(1));
+        let mut eng = Engine::new(cfg, uniform_workload(4));
+        let report = eng.run(&mut TrivialProto, SECOND / 2);
+        assert_eq!(report.crashes, 1);
+        assert!(
+            report.acked_then_lost > 0,
+            "ack-at-commit must leak acked-but-unreplicated writes"
+        );
+        assert_eq!(report.epochs_aborted, 0);
+    }
+
+    #[test]
+    fn epoch_commit_crash_retries_parked_acks_and_loses_nothing() {
+        let mut cfg = EngineConfig::from(tiny_cfg());
+        cfg.durability = lion_durability::DurabilityConfig::epoch(5_000);
+        cfg.faults = lion_faults::FaultPlan::new().crash_at(126_000, NodeId(1));
+        let mut eng = Engine::new(cfg, uniform_workload(4));
+        let report = eng.run(&mut TrivialProto, SECOND / 2);
+        assert_eq!(report.crashes, 1);
+        assert_eq!(
+            report.acked_then_lost, 0,
+            "an ack never escapes ahead of its epoch's replication"
+        );
+        assert!(
+            report.epochs_aborted > 0,
+            "the open epoch dies with the node"
+        );
+        assert!(
+            report.epoch_retried_acks > 0,
+            "parked transactions retry instead of acking"
+        );
+        assert!(report.acked > 0, "acks resume after the failover");
+        // The fence advanced past every pre-crash epoch.
+        assert!(eng.epoch_manager().fence() > 0);
+        eng.cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn epoch_commit_acks_survive_in_batch_mode() {
+        struct BatchCommit;
+        impl Protocol for BatchCommit {
+            fn name(&self) -> &'static str {
+                "batch-commit"
+            }
+            fn batch_mode(&self) -> bool {
+                true
+            }
+            fn on_submit(&mut self, _: &mut Engine, _: TxnId) {}
+            fn on_wake(&mut self, eng: &mut Engine, txn: TxnId, _tag: u32) {
+                eng.commit(txn);
+            }
+            fn on_batch(&mut self, eng: &mut Engine, batch: &[TxnId]) {
+                for &t in batch {
+                    let home = eng.cluster.placement.primary_of(eng.txn(t).parts[0]);
+                    eng.txn_mut(t).home = home;
+                    let _ = eng.exec_local_ops(home, t);
+                    eng.cpu(home, Phase::Execution, 20, t, 0);
+                }
+            }
+        }
+        let mut sim = tiny_cfg();
+        sim.batch_size = 32;
+        let mut cfg = EngineConfig::from(sim);
+        cfg.durability = lion_durability::DurabilityConfig::epoch(5_000);
+        let mut eng = Engine::new(cfg, uniform_workload(4));
+        let report = eng.run(&mut BatchCommit, SECOND / 5);
+        assert!(report.commits >= 64, "batches keep flowing while acks park");
+        assert!(report.acked > 0, "parked batch acks release at durability");
+        assert!(report.mean_ack_latency_us >= report.mean_latency_us);
     }
 
     #[test]

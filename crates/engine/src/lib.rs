@@ -24,6 +24,7 @@ pub mod slab;
 pub mod txn;
 
 pub use engine::{Engine, EngineConfig, OpFail};
+pub use lion_durability::{AckRecord, DurabilityConfig, DurableEpoch, EpochManager, PendingAck};
 pub use lion_faults::{FaultEvent, FaultKind, FaultNotice, FaultPlan};
 pub use metrics::{FailoverRecord, Metrics, UnavailWindow};
 pub use protocol::{Protocol, TickKind};

@@ -115,6 +115,27 @@ pub struct Metrics {
     pub failover_log: Vec<FailoverRecord>,
     /// Commits per 100 ms bucket (goodput dip/ramp around failures).
     pub goodput_series: TimeSeries,
+    /// Client-visible acks released. Equals `commits` in ack-at-commit
+    /// mode; under epoch group commit it trails by the parked epochs (and
+    /// by crash-retried acks).
+    pub acked: u64,
+    /// Client-visible ack latency (µs): submission → ack release. In
+    /// ack-at-commit mode this mirrors [`Metrics::latency`]; under epoch
+    /// group commit it adds the epoch residency + replication transit —
+    /// the latency a client actually observes.
+    pub ack_latency: Histogram,
+    /// Commit epochs sealed (non-empty seal ticks).
+    pub epochs_sealed: u64,
+    /// Commit epochs voided by node crashes before turning durable.
+    pub epochs_aborted: u64,
+    /// Parked transactions whose epoch aborted: never acked, retried by
+    /// their clients (the committed result is re-observed — not lost work).
+    pub epoch_retried_acks: u64,
+    /// No-acked-commit-lost audit: log entries a crashed primary had acked
+    /// to clients but never shipped to any secondary. Non-zero quantifies
+    /// the ack-at-commit durability hole; epoch group commit must keep it
+    /// at zero.
+    pub acked_then_lost: u64,
     /// Open unavailability windows keyed by partition index.
     unavail_open: FastMap<u32, Time>,
 }
@@ -159,6 +180,12 @@ impl Metrics {
             unavailability: Vec::new(),
             failover_log: Vec::new(),
             goodput_series: TimeSeries::new(GOODPUT_BUCKET_US),
+            acked: 0,
+            ack_latency: Histogram::new(),
+            epochs_sealed: 0,
+            epochs_aborted: 0,
+            epoch_retried_acks: 0,
+            acked_then_lost: 0,
             unavail_open: FastMap::default(),
         }
     }

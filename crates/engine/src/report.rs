@@ -70,6 +70,27 @@ pub struct RunReport {
     /// Deterministic, but excluded from [`RunReport::digest`] because the
     /// golden values predate this field.
     pub events: u64,
+    /// Client-visible acks released. Like the other durability fields
+    /// below, deterministic but excluded from [`RunReport::digest`]: the
+    /// goldens predate the subsystem, and in ack-at-commit mode these
+    /// merely mirror the commit-side numbers.
+    pub acked: u64,
+    /// Mean client-visible ack latency (µs): submission → ack. Equals
+    /// `mean_latency_us` in ack-at-commit mode; under epoch group commit
+    /// it adds epoch residency + replication transit.
+    pub mean_ack_latency_us: f64,
+    /// p50/p95/p99 ack latency (µs).
+    pub ack_latency_p: [Time; 3],
+    /// Commit epochs sealed.
+    pub epochs_sealed: u64,
+    /// Commit epochs voided by crashes before turning durable.
+    pub epochs_aborted: u64,
+    /// Parked acks retried because their epoch aborted (never lost: they
+    /// were never released).
+    pub epoch_retried_acks: u64,
+    /// Acked-but-never-replicated log entries on crashed primaries — the
+    /// durability hole. Must be zero under epoch group commit.
+    pub acked_then_lost: u64,
 }
 
 impl RunReport {
@@ -119,6 +140,17 @@ impl RunReport {
             unavailability_windows: m.unavailability.len(),
             goodput_series: m.goodput_series.rates_per_sec(),
             events: eng.events(),
+            acked: m.acked,
+            mean_ack_latency_us: m.ack_latency.mean(),
+            ack_latency_p: [
+                m.ack_latency.quantile(0.50),
+                m.ack_latency.quantile(0.95),
+                m.ack_latency.quantile(0.99),
+            ],
+            epochs_sealed: m.epochs_sealed,
+            epochs_aborted: m.epochs_aborted,
+            epoch_retried_acks: m.epoch_retried_acks,
+            acked_then_lost: m.acked_then_lost,
         }
     }
 
@@ -189,10 +221,13 @@ impl RunReport {
         h.0
     }
 
-    /// One-line summary for harness tables.
+    /// One-line summary for harness tables. The latency columns are
+    /// *commit-time* percentiles; client-visible ack latency (which differs
+    /// under epoch group commit) is reported by [`RunReport::ack_row`] and
+    /// [`RunReport::failover_row`].
     pub fn summary_row(&self) -> String {
         format!(
-            "{:<10} {:>10.0} tps  p50={:>6}us p95={:>7}us  single={:>5.1}% remaster={:>5.1}% dist={:>5.1}%  abort={:>5.2}%  bytes/txn={:>6.0}",
+            "{:<10} {:>10.0} tps  commit_p50={:>6}us commit_p95={:>7}us  single={:>5.1}% remaster={:>5.1}% dist={:>5.1}%  abort={:>5.2}%  bytes/txn={:>6.0}",
             self.protocol,
             self.throughput_tps,
             self.latency_p[1],
@@ -205,21 +240,44 @@ impl RunReport {
         )
     }
 
-    /// One-line availability/recovery summary (Fig. F1 rows). Empty stats
-    /// read as zeros for runs without a fault plan.
+    /// One-line availability/recovery summary (Fig. F1 rows), surfacing
+    /// both latency histograms: commit-time p50 and client-visible ack p50.
+    /// Empty stats read as zeros for runs without a fault plan.
     pub fn failover_row(&self) -> String {
         format!(
-            "{:<10} crashes={} failovers={} stalled={} fault_aborts={:>4} replayed={:>4}  recovery: mean={:>7.0}us max={:>7}us  unavail={:>8}us over {} windows",
+            "{:<10} crashes={} failovers={} stalled={} fault_aborts={:>4} replayed={:>4}  commit_p50={:>6}us ack_p50={:>6}us acked_then_lost={}  recovery: mean={:>7.0}us max={:>7}us  unavail={:>8}us over {} windows",
             self.protocol,
             self.crashes,
             self.failovers,
             self.stalled_partitions,
             self.fault_aborts,
             self.replayed_entries,
+            self.latency_p[1],
+            self.ack_latency_p[0],
+            self.acked_then_lost,
             self.mean_recovery_latency_us,
             self.max_recovery_latency_us,
             self.unavailability_us,
             self.unavailability_windows,
+        )
+    }
+
+    /// One-line durability/ack summary (Fig. E rows): both histograms side
+    /// by side plus the epoch-commit accounting.
+    pub fn ack_row(&self) -> String {
+        format!(
+            "{:<10} acked={:>7}  commit: mean={:>7.0}us p50={:>6}us  ack: mean={:>7.0}us p50={:>6}us p95={:>7}us  epochs sealed={} aborted={} retried_acks={} acked_then_lost={}",
+            self.protocol,
+            self.acked,
+            self.mean_latency_us,
+            self.latency_p[1],
+            self.mean_ack_latency_us,
+            self.ack_latency_p[0],
+            self.ack_latency_p[1],
+            self.epochs_sealed,
+            self.epochs_aborted,
+            self.epoch_retried_acks,
+            self.acked_then_lost,
         )
     }
 

@@ -2,16 +2,23 @@
 //! transaction routers ("each of which is equipped with a cost model
 //! identical to the planner's", §III).
 
-use lion_common::{NodeId, PartitionId, Placement};
+use lion_common::{NodeId, PartitionId, Placement, ZoneId};
 
 /// Operation cost weights: `w_r` per remaster, `w_m` per migration
-/// (migration ≫ remaster; the paper's Example 2 uses the same ordering).
+/// (migration ≫ remaster; the paper's Example 2 uses the same ordering),
+/// plus an optional cross-zone coordination term `w_z`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostWeights {
     /// Cost of remastering one partition onto the target.
     pub w_r: f64,
     /// Cost of copying one partition onto the target.
     pub w_m: f64,
+    /// Cross-zone surcharge per remote partition whose primary sits in a
+    /// different failure domain than the candidate coordinator: the 2PC
+    /// rounds to it traverse the aggregation layer, so deliberate routing
+    /// should prefer rack-local coordinators under rack-safe placement.
+    /// `0` (the default) reproduces the zone-oblivious Eq. 3 exactly.
+    pub w_z: f64,
 }
 
 impl Default for CostWeights {
@@ -21,7 +28,16 @@ impl Default for CostWeights {
         CostWeights {
             w_r: 1.0,
             w_m: 10.0,
+            w_z: 0.0,
         }
+    }
+}
+
+impl CostWeights {
+    /// Enables the cross-zone coordination term (builder style).
+    pub fn with_zone_weight(mut self, w_z: f64) -> Self {
+        self.w_z = w_z;
+        self
     }
 }
 
@@ -90,6 +106,24 @@ pub fn execution_cost(
     n: NodeId,
     w: CostWeights,
 ) -> (TxnPlacementClass, f64) {
+    execution_cost_zoned(placement, freq, parts, n, w, &[])
+}
+
+/// Zone-aware Eq. 3: like [`execution_cost`], but each remote partition
+/// whose primary lives in a *different failure domain* than the candidate
+/// coordinator additionally pays `w_z` — its 2PC rounds cross the rack
+/// boundary. With `w_z = 0` or an empty `zone_of` map this is exactly the
+/// zone-oblivious score, so single-zone clusters and existing callers are
+/// untouched.
+pub fn execution_cost_zoned(
+    placement: &Placement,
+    freq: &[f64],
+    parts: &[PartitionId],
+    n: NodeId,
+    w: CostWeights,
+    zone_of: &[ZoneId],
+) -> (TxnPlacementClass, f64) {
+    let zoned = w.w_z != 0.0 && !zone_of.is_empty();
     let mut remasters = 0usize;
     let mut remote = 0usize;
     let mut cost = 0.0;
@@ -102,6 +136,9 @@ pub fn execution_cost(
         } else {
             remote += 1;
             cost += w.w_m; // remote participation priced like a copy-class op
+            if zoned && zone_of[placement.primary_of(v).idx()] != zone_of[n.idx()] {
+                cost += w.w_z; // coordination rounds cross the rack boundary
+            }
         }
     }
     let class = if remote > 0 {
@@ -173,6 +210,7 @@ mod tests {
         let w = CostWeights {
             w_r: 1.0,
             w_m: 10.0,
+            w_z: 0.0,
         };
         let clump = [p(0), p(1)];
         let c_n1 = placement_cost(&pl, &freq, &clump, n(0), w);
@@ -225,6 +263,33 @@ mod tests {
         assert_eq!(node, n(0));
         assert_eq!(class, TxnPlacementClass::AllPrimary);
         assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn zone_term_prefers_rack_local_coordinators() {
+        use lion_common::ZoneId;
+        // 4 nodes over 2 racks: Z0 = {N0, N1}, Z1 = {N2, N3}.
+        // p0 primary N0, p1 primary N1, p2 primary N2, p3 primary N3 (rf 1).
+        let pl = Placement::round_robin(4, 4, 1);
+        let zones = vec![ZoneId(0), ZoneId(0), ZoneId(1), ZoneId(1)];
+        let freq = vec![0.0; 4];
+        let w = CostWeights::default().with_zone_weight(2.0);
+        // A txn over {p0, p1}: N0 and N1 both see one remote partition, but
+        // its primary is rack-local — no surcharge. N2/N3 pay 2 × (w_m+w_z).
+        let parts = [p(0), p(1)];
+        let (_, c_n0) = execution_cost_zoned(&pl, &freq, &parts, n(0), w, &zones);
+        let (_, c_n2) = execution_cost_zoned(&pl, &freq, &parts, n(2), w, &zones);
+        assert_eq!(c_n0, w.w_m, "rack-local remote pays no zone term");
+        assert_eq!(c_n2, 2.0 * (w.w_m + w.w_z), "cross-rack coordination");
+        // With the term disabled (or no zone map) the scores are the
+        // zone-oblivious Eq. 3 — N0 and N2 differ only by the remote count.
+        let flat = CostWeights::default();
+        let (_, f_n0) = execution_cost_zoned(&pl, &freq, &parts, n(0), flat, &zones);
+        let (c0, e0) = execution_cost(&pl, &freq, &parts, n(0), flat);
+        assert_eq!(
+            (c0, e0),
+            (TxnPlacementClass::Distributed { remote_parts: 1 }, f_n0)
+        );
     }
 
     #[test]

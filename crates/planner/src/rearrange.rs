@@ -504,6 +504,7 @@ mod tests {
             weights: CostWeights {
                 w_r: 1.0,
                 w_m: 10.0,
+                w_z: 0.0,
             },
             ..Default::default()
         }

@@ -37,6 +37,12 @@ pub struct ReplicationLog {
     next_lsn: u64,
     /// Entries appended since the last epoch flush.
     buffer: Vec<LogEntry>,
+    /// Highest LSN whose transaction has been *acked* to a client. In
+    /// ack-at-commit mode this tracks the head; under epoch group commit it
+    /// only advances when an epoch turns durable — so it can never pass
+    /// [`ReplicationLog::shipped_lsn`], which is exactly the
+    /// no-acked-commit-lost invariant the crash audit checks.
+    acked_lsn: u64,
 }
 
 impl ReplicationLog {
@@ -45,12 +51,37 @@ impl ReplicationLog {
         ReplicationLog {
             next_lsn: 0,
             buffer: Vec::new(),
+            acked_lsn: 0,
         }
     }
 
     /// Highest LSN appended so far.
     pub fn head_lsn(&self) -> u64 {
         self.next_lsn
+    }
+
+    /// Durable frontier: the highest LSN already drained for shipment to
+    /// the secondaries (entries below it left this node). Everything in
+    /// `(shipped_lsn, head_lsn]` still lives only in the epoch buffer.
+    pub fn shipped_lsn(&self) -> u64 {
+        self.next_lsn - self.buffer.len() as u64
+    }
+
+    /// Ack frontier (see the field docs).
+    pub fn acked_lsn(&self) -> u64 {
+        self.acked_lsn
+    }
+
+    /// Advances the ack frontier (monotonic; clamped to the head).
+    pub fn mark_acked(&mut self, lsn: u64) {
+        self.acked_lsn = self.acked_lsn.max(lsn.min(self.next_lsn));
+    }
+
+    /// Entries acked to clients but not yet shipped off this node: the
+    /// writes a crash of this node would *lose after acking* in a real
+    /// deployment. Zero by construction under epoch group commit.
+    pub fn acked_unshipped(&self) -> u64 {
+        self.acked_lsn.saturating_sub(self.shipped_lsn())
     }
 
     /// Appends a write, returning its LSN.
@@ -86,6 +117,7 @@ impl ReplicationLog {
     pub fn adopt_head(&mut self, lsn: u64) {
         debug_assert!(self.buffer.is_empty(), "adopting with unshipped entries");
         self.next_lsn = lsn;
+        self.acked_lsn = self.acked_lsn.min(lsn);
     }
 }
 
@@ -125,6 +157,25 @@ mod tests {
         let mut log = ReplicationLog::new();
         log.adopt_head(41);
         assert_eq!(log.append(PartitionId(0), 9, 5, Bytes::from(vec![])), 42);
+    }
+
+    #[test]
+    fn frontiers_track_ship_and_ack() {
+        let mut log = ReplicationLog::new();
+        log.append(PartitionId(0), 1, 1, Bytes::from(vec![0u8; 4]));
+        log.append(PartitionId(0), 2, 1, Bytes::from(vec![0u8; 4]));
+        assert_eq!(log.shipped_lsn(), 0, "both entries still buffered");
+        // ack-at-commit: everything committed is acked immediately
+        log.mark_acked(2);
+        assert_eq!(log.acked_unshipped(), 2, "acked writes only on this node");
+        let _ = log.take_pending();
+        assert_eq!(log.shipped_lsn(), 2);
+        assert_eq!(log.acked_unshipped(), 0);
+        // the ack frontier is monotonic and clamped to the head
+        log.mark_acked(1);
+        assert_eq!(log.acked_lsn(), 2);
+        log.mark_acked(99);
+        assert_eq!(log.acked_lsn(), 2);
     }
 
     #[test]

@@ -63,6 +63,9 @@ fn main() {
             let mut twopc = lion::baselines::two_pc();
             eng.run(&mut twopc, secs * SECOND)
         };
+        // summary_row's percentiles are commit-time latency; the ack row is
+        // what a client observes (they only differ under epoch group commit).
         println!("  {}", report.summary_row());
+        println!("  {}", report.ack_row());
     }
 }

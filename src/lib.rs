@@ -51,7 +51,7 @@ pub mod prelude {
         SimConfig, Time, TxnId, TxnRequest, Workload, ZoneId, MILLIS, SECOND,
     };
     pub use lion_core::{Lion, LionConfig, Partitioning};
-    pub use lion_engine::{Engine, EngineConfig, Protocol, RunReport, TickKind};
+    pub use lion_engine::{DurabilityConfig, Engine, EngineConfig, Protocol, RunReport, TickKind};
     pub use lion_faults::{FaultKind, FaultNotice, FaultPlan};
     pub use lion_planner::{CostWeights, PlannerConfig};
     pub use lion_predictor::{Lstm, PredictorConfig, WorkloadPredictor};

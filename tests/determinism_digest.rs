@@ -186,6 +186,51 @@ fn zone_crash_scenario_is_reproducible_and_pinned() {
     );
 }
 
+/// The epoch-group-commit crash scenario gets its own pinned digest
+/// (captured at this PR, which introduced the durability subsystem): Lion
+/// under a 4 ms commit epoch with a crash + recovery mid-run. Client pacing
+/// changes under epoch acks (closed-loop clients wait for durability), so
+/// this digest is distinct from — and pins behavior alongside — the
+/// ack-at-commit goldens above, which the subsystem must leave untouched.
+const EPOCH_GOLDEN: u64 = 0x1644712f1fb2376a;
+
+fn run_epoch_scenario() -> RunReport {
+    let cfg = EngineConfig {
+        sim: sim(),
+        plan_interval_us: 300_000,
+        faults: FaultPlan::single_failure(SECOND / 4, NodeId(1), SECOND / 2),
+        durability: lion::engine::DurabilityConfig::epoch(4_000),
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(cfg, workload(42));
+    let mut proto = Lion::standard();
+    eng.run(&mut proto, SECOND)
+}
+
+#[test]
+fn epoch_commit_crash_scenario_is_reproducible_and_pinned() {
+    let a = run_epoch_scenario();
+    let b = run_epoch_scenario();
+    assert!(a.commits > 0, "epoch scenario committed nothing");
+    assert_eq!(a.crashes, 1);
+    assert_eq!(a.acked_then_lost, 0, "no acked commit may be lost");
+    assert!(a.epochs_sealed > 0);
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "epoch scenario diverged under one seed"
+    );
+    if std::env::var_os("LION_PRINT_DIGESTS").is_some() {
+        eprintln!("lion-epoch-crash: 0x{:016x}", a.digest());
+    }
+    assert_eq!(
+        a.digest(),
+        EPOCH_GOLDEN,
+        "epoch-commit crash digest 0x{:016x} departed from the pinned golden",
+        a.digest()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
