@@ -36,7 +36,8 @@ use std::time::Instant;
 
 /// What this build's hot path looks like; becomes the section label in
 /// `BENCH_perf.json` so before/after numbers stay self-describing.
-const ENGINE_VARIANT: &str = "FxHash maps, generation-tagged txn slab, zero-copy write sets";
+const ENGINE_VARIANT: &str =
+    "FxHash maps, txn slab, zero-copy write sets, calendar-queue FEL, dense row path, thin LTO";
 
 /// Default regression tolerance for `--check`: runner noise on shared CI
 /// hardware is real, so only a >25% drop in YCSB events/sec fails the job.
@@ -205,6 +206,96 @@ fn run_matrix(quick: bool, repeat: u32) -> Vec<Cell> {
     cells
 }
 
+/// The self-timed micro-bench results riding along with the matrix.
+struct Micro {
+    /// ns per `plan_failover` call on the 12-node topology.
+    promotion_ns: f64,
+    nodes: usize,
+    parts_per_plan: usize,
+    /// ns per schedule+pop pair, binary-heap FEL (the reference model).
+    fel_heap_ns: f64,
+    /// ns per schedule+pop pair, calendar-queue FEL (the production one).
+    fel_calendar_ns: f64,
+}
+
+impl Micro {
+    fn fel_speedup(&self) -> f64 {
+        self.fel_heap_ns / self.fel_calendar_ns.max(1e-9)
+    }
+}
+
+/// Self-timed FEL micro-bench: replay one deterministic event trace —
+/// the delay mix a 12-node promotion-workload run schedules (1 µs client
+/// re-arms, retry back-offs, LAN hops, epoch timers, far fault triggers) —
+/// through both FEL implementations at 12-node steady-state population
+/// (384 closed-loop clients ⇒ ~384 pending events), timing ns per
+/// schedule+pop pair. Pop order is asserted identical along the way, so
+/// the bench doubles as an equivalence check at scale.
+fn micro_fel(quick: bool) -> (f64, f64) {
+    use lion_sim::{CalendarQueue, HeapQueue};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const PREFILL: usize = 384; // 12 nodes × 32 clients
+    let iters: usize = if quick { 300_000 } else { 3_000_000 };
+    let mut rng = SmallRng::seed_from_u64(0xF31_BEEF);
+    let delays: Vec<Time> = (0..iters + PREFILL)
+        .map(|_| match rng.gen_range(0u32..100) {
+            0..=9 => 1,                                   // client re-arm
+            10..=19 => 50,                                // retry back-off
+            20..=84 => 40 + rng.gen_range(0u64..110),     // LAN hop ± payload
+            85..=98 => rng.gen_range(500u64..10_000),     // epoch/flush timers
+            _ => rng.gen_range(1_000_000u64..60_000_000), // fault triggers
+        })
+        .collect();
+
+    let mut heap = HeapQueue::new();
+    let mut cal = CalendarQueue::with_profile(&[40, 50, 10_000]);
+    for (i, &d) in delays[..PREFILL].iter().enumerate() {
+        heap.schedule(d, i as u64);
+        cal.schedule(d, i as u64);
+    }
+
+    // Both queues replay the identical trace: an untimed warm-up prefix
+    // (pages the shared delay vector in, warms the allocator and each
+    // queue's own structures — whichever queue is timed first must not eat
+    // the cold-cache cost alone), then the timed remainder.
+    let warm = iters / 10;
+    let mut heap_check = 0u64;
+    for (i, &d) in delays[PREFILL..PREFILL + warm].iter().enumerate() {
+        heap.schedule(d, i as u64);
+        let (at, tag) = heap.pop().expect("steady-state population");
+        heap_check = heap_check.wrapping_mul(31).wrapping_add(at ^ tag);
+    }
+    let t0 = Instant::now();
+    for (i, &d) in delays[PREFILL + warm..].iter().enumerate() {
+        heap.schedule(d, i as u64);
+        let (at, tag) = heap.pop().expect("steady-state population");
+        heap_check = heap_check.wrapping_mul(31).wrapping_add(at ^ tag);
+    }
+    let heap_ns = t0.elapsed().as_nanos() as f64 / (iters - warm) as f64;
+
+    let mut cal_check = 0u64;
+    for (i, &d) in delays[PREFILL..PREFILL + warm].iter().enumerate() {
+        cal.schedule(d, i as u64);
+        let (at, tag) = cal.pop().expect("steady-state population");
+        cal_check = cal_check.wrapping_mul(31).wrapping_add(at ^ tag);
+    }
+    let t0 = Instant::now();
+    for (i, &d) in delays[PREFILL + warm..].iter().enumerate() {
+        cal.schedule(d, i as u64);
+        let (at, tag) = cal.pop().expect("steady-state population");
+        cal_check = cal_check.wrapping_mul(31).wrapping_add(at ^ tag);
+    }
+    let cal_ns = t0.elapsed().as_nanos() as f64 / (iters - warm) as f64;
+
+    assert_eq!(
+        heap_check, cal_check,
+        "calendar queue must drain the trace in the heap's exact order"
+    );
+    (heap_ns, cal_ns)
+}
+
 /// Self-timed promotion-selection micro-bench on a 12-node topology:
 /// crash one node, then re-plan its failovers repeatedly. Returns
 /// `(ns per plan_failover call, nodes, partitions planned per call)`.
@@ -263,7 +354,7 @@ fn ycsb_events_per_sec(cells: &[Cell]) -> f64 {
 // labels never contain braces or quotes.
 // ----------------------------------------------------------------------
 
-fn render_section(label: &str, scale: &str, cells: &[Cell], micro: (f64, usize, usize)) -> String {
+fn render_section(label: &str, scale: &str, cells: &[Cell], micro: &Micro) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "    \"label\": \"{label}\",");
@@ -294,8 +385,15 @@ fn render_section(label: &str, scale: &str, cells: &[Cell], micro: (f64, usize, 
     let _ = writeln!(
         s,
         "    \"micro\": {{ \"promotion_selection_ns_per_plan\": {:.0}, \
-         \"nodes\": {}, \"partitions_per_plan\": {} }}",
-        micro.0, micro.1, micro.2
+         \"nodes\": {}, \"partitions_per_plan\": {}, \
+         \"fel_heap_ns_per_op\": {:.1}, \"fel_calendar_ns_per_op\": {:.1}, \
+         \"fel_speedup\": {:.2} }}",
+        micro.promotion_ns,
+        micro.nodes,
+        micro.parts_per_plan,
+        micro.fel_heap_ns,
+        micro.fel_calendar_ns,
+        micro.fel_speedup(),
     );
     let _ = write!(s, "  }}");
     s
@@ -345,7 +443,15 @@ pub fn perf(quick: bool, check: bool, repeat: u32) -> i32 {
         repeat.max(1)
     );
     let cells = run_matrix(quick, repeat);
-    let micro = micro_promotion(quick);
+    let (promotion_ns, nodes, parts_per_plan) = micro_promotion(quick);
+    let (fel_heap_ns, fel_calendar_ns) = micro_fel(quick);
+    let micro = Micro {
+        promotion_ns,
+        nodes,
+        parts_per_plan,
+        fel_heap_ns,
+        fel_calendar_ns,
+    };
     for c in &cells {
         println!(
             "  {:<14} {:>9.0} events/s  {:>8.0} commits/s  ({} events, {} commits, {:.0} ms wall)",
@@ -361,7 +467,14 @@ pub fn perf(quick: bool, check: bool, repeat: u32) -> i32 {
     println!("  ycsb aggregate: {headline:.0} events/s");
     println!(
         "  micro: promotion selection {:.0} ns/plan ({} nodes, {} partitions/plan)",
-        micro.0, micro.1, micro.2
+        micro.promotion_ns, micro.nodes, micro.parts_per_plan
+    );
+    println!(
+        "  micro: FEL schedule+pop {:.1} ns heap vs {:.1} ns calendar ({:.2}x, \
+         384-event steady state)",
+        micro.fel_heap_ns,
+        micro.fel_calendar_ns,
+        micro.fel_speedup(),
     );
 
     let path = bench_json_path();
@@ -404,7 +517,7 @@ pub fn perf(quick: bool, check: bool, repeat: u32) -> i32 {
     }
 
     // Write mode: refresh `current`, freeze the first-ever run as `baseline`.
-    let section = render_section(ENGINE_VARIANT, scale, &cells, micro);
+    let section = render_section(ENGINE_VARIANT, scale, &cells, &micro);
     let baseline = existing
         .as_deref()
         .and_then(|src| extract_object(src, "baseline"))
@@ -449,7 +562,14 @@ mod tests {
             events: 1_000_000,
             commits: 5_000,
         }];
-        let section = render_section("test variant", "quick", &cells, (123.0, 12, 6));
+        let micro = Micro {
+            promotion_ns: 123.0,
+            nodes: 12,
+            parts_per_plan: 6,
+            fel_heap_ns: 80.0,
+            fel_calendar_ns: 20.0,
+        };
+        let section = render_section("test variant", "quick", &cells, &micro);
         let doc = format!(
             "{{\n  \"schema\": 1,\n  \"baseline\": {section},\n  \"current\": {section}\n}}\n"
         );
@@ -458,6 +578,7 @@ mod tests {
         assert!(
             (extract_number(&cur, "promotion_selection_ns_per_plan").unwrap() - 123.0).abs() < 1e-9
         );
+        assert!((extract_number(&cur, "fel_speedup").unwrap() - 4.0).abs() < 1e-9);
         let base = extract_object(&doc, "baseline").expect("baseline block");
         assert_eq!(base, cur, "sections serialize identically");
     }

@@ -26,11 +26,32 @@ pub struct ZoneId(pub u16);
 /// Identifies one transaction instance. A retried transaction keeps its id;
 /// retries are tracked separately by the engine.
 ///
+/// # Invariant: `slot | generation` packing
+///
 /// The engine allocates ids from a slab arena: the low 32 bits are the
 /// arena slot, the high 32 bits a per-slot generation bumped on every
 /// reuse. A stale id (a wake-up or fault-path completion outliving its
 /// transaction) therefore never matches the slot's current occupant, while
 /// lookups stay a plain vector index — no hashing on the protocol hot path.
+/// Two consequences worth knowing:
+///
+/// * ids of *different* transactions occupying the same slot over time
+///   share their low 32 bits — never compare or bucket transactions by
+///   `id.0 & 0xFFFF_FFFF` alone;
+/// * a plain small-integer `TxnId(n)` (as tests construct) is simply slot
+///   `n` at generation 0, so the packing is invisible until a slot is
+///   reused.
+///
+/// ```
+/// use lion_common::TxnId;
+///
+/// let first = TxnId::compose(7, 0);
+/// let reused = TxnId::compose(7, 1); // same slot, next occupant
+/// assert_eq!(first.slot(), reused.slot());
+/// assert_ne!(first, reused, "a retired generation never matches");
+/// assert_eq!(TxnId(7), first, "generation 0 is the plain integer id");
+/// assert_eq!(reused.generation(), 1);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 

@@ -12,7 +12,7 @@ use lion_common::{
 };
 use lion_durability::{DurabilityConfig, EpochManager, PendingAck};
 use lion_faults::{plan_failover, FaultKind, FaultNotice, FaultPlan};
-use lion_sim::EventQueue;
+use lion_sim::CalendarQueue;
 use lion_storage::{LogEntry, OpOutcome, Table};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -138,7 +138,7 @@ pub struct Engine {
     /// Deterministic RNG for protocol-side choices.
     pub rng: SmallRng,
     cfg: EngineConfig,
-    queue: EventQueue<Ev>,
+    queue: CalendarQueue<Ev>,
     txns: TxnSlab,
     workload: Box<dyn Workload>,
     next_seq: u64,
@@ -171,12 +171,27 @@ impl Engine {
         let nodes = cfg.sim.nodes;
         let epochs = EpochManager::new(cfg.durability);
         let ack_at_commit = !epochs.enabled();
+        // Seed the calendar queue's bucket geometry from this run's
+        // event-horizon profile: the delays below are what the hot path
+        // actually schedules (network hops, retry back-off, epoch seals,
+        // replication flushes, planner/monitor timers). The shortest of
+        // them sizes the buckets; the long timers ride the overflow rung.
+        let profile = [
+            cfg.sim.net.one_way_us,
+            cfg.sim.net.delay(cfg.sim.value_size),
+            cfg.sim.retry_backoff_us,
+            cfg.sim.stall_poll_us,
+            cfg.sim.epoch_us,
+            cfg.durability.epoch_commit_us,
+            cfg.plan_interval_us,
+            cfg.monitor_interval_us,
+        ];
         Engine {
             rng: SmallRng::seed_from_u64(cfg.sim.seed),
             cluster,
             metrics: Metrics::new(),
             cfg,
-            queue: EventQueue::new(),
+            queue: CalendarQueue::with_profile(&profile),
             txns: TxnSlab::new(),
             workload,
             next_seq: 0,

@@ -31,6 +31,30 @@ pub struct PromotionCandidate {
 /// Picks the promotion target among `candidates`: the freshest gap-free
 /// replica (highest `applied_lsn`), ties broken toward the lowest node id so
 /// the choice is a pure function of the candidate set.
+///
+/// # Invariant: the dense-prefix `applied_lsn`
+///
+/// A candidate's `applied_lsn` is trustworthy *only because* the storage
+/// layer advances it over a **dense prefix**: a replicated entry arriving
+/// out of order parks in a reorder buffer and the frontier stays put until
+/// the missing LSN lands (`ReplicaStore::apply_entries` in `lion-storage`).
+/// `applied_lsn = n` therefore means "every entry 1..=n applied", never
+/// "some entry n seen" — which is exactly what makes "freshest wins" a safe
+/// leader-election rule. A replica whose prefix has a hole reports
+/// [`PromotionCandidate::has_gap`] and is excluded outright, whatever its
+/// frontier says.
+///
+/// ```
+/// use lion_faults::{select_promotion_target, PromotionCandidate};
+/// use lion_common::NodeId;
+///
+/// let candidates = [
+///     PromotionCandidate { node: NodeId(2), applied_lsn: 90, has_gap: false },
+///     // Highest frontier, but its applied prefix has a hole: ineligible.
+///     PromotionCandidate { node: NodeId(3), applied_lsn: 95, has_gap: true },
+/// ];
+/// assert_eq!(select_promotion_target(&candidates), Some(NodeId(2)));
+/// ```
 pub fn select_promotion_target(candidates: &[PromotionCandidate]) -> Option<NodeId> {
     select_promotion_target_zoned(candidates, &[], None)
 }

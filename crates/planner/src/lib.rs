@@ -8,7 +8,7 @@
 //!   partitions from the hottest seeds (§IV-A, Fig. 3b);
 //! * [`cost`] — the cost model of Eq. 3–4 pricing a clump placement by
 //!   remastering vs migration work, and the router-side execution cost;
-//! * [`rearrange`] — Algorithm 1: greedy clump dispatching followed by load
+//! * [`rearrange()`] — Algorithm 1: greedy clump dispatching followed by load
 //!   fine-tuning (§IV-B, Fig. 4);
 //! * [`schism`] — a Schism-style replica-oblivious graph partitioner used by
 //!   the `Lion(S)`/`Lion(SW)` ablation variants (Table II).

@@ -2,8 +2,11 @@
 //!
 //! The discrete-event simulation (DES) kernel under the reproduced cluster:
 //!
-//! * [`EventQueue`]: a deterministic future-event list keyed by
-//!   `(time, sequence)` so same-time events fire in insertion order;
+//! * [`CalendarQueue`]: the production future-event list — a bucketed time
+//!   wheel with an overflow rung, O(1) schedule/pop, popping in
+//!   `(time, sequence)` order so same-time events fire in insertion order;
+//! * [`HeapQueue`]: the original binary-heap FEL, kept as the reference
+//!   model for property tests and as the micro-bench baseline;
 //! * [`MultiServer`]: a k-server queueing resource modelling a node's worker
 //!   pool (and single-threaded resources such as Calvin's lock manager);
 //! * [`Histogram`]: log-bucketed latency histogram with percentile queries
@@ -11,15 +14,41 @@
 //! * [`TimeSeries`]: fixed-interval bucketed counters for the throughput and
 //!   network-cost timelines (Figs. 8, 10, 12, 13a).
 //!
-//! Everything here is pure data-structure code with no I/O, so entire cluster
-//! runs are reproducible from a seed.
+//! Everything here is pure data-structure code with no I/O, so entire
+//! cluster runs are reproducible from a seed. The one invariant every FEL
+//! implementation must uphold is the **deterministic total pop order**
+//! `(timestamp, sequence-number)` — it is the engine's tie-break for
+//! same-instant events and the foundation of the repo's digest-golden
+//! policy (see `ARCHITECTURE.md`).
+//!
+//! ```
+//! use lion_sim::{CalendarQueue, HeapQueue};
+//!
+//! // Identical schedules drain in identical order from both FELs.
+//! let (mut cal, mut heap) = (CalendarQueue::new(), HeapQueue::new());
+//! for (delay, tag) in [(20, "b"), (5, "a"), (5, "tie"), (9_000_000, "far")] {
+//!     cal.schedule(delay, tag);
+//!     heap.schedule(delay, tag);
+//! }
+//! while let Some(ev) = cal.pop() {
+//!     assert_eq!(heap.pop(), Some(ev));
+//! }
+//! assert!(heap.is_empty());
+//! ```
 
+pub mod fel;
 pub mod hist;
 pub mod queue;
 pub mod resource;
 pub mod series;
 
+pub use fel::{CalendarQueue, EventHandle};
 pub use hist::Histogram;
-pub use queue::EventQueue;
+pub use queue::HeapQueue;
 pub use resource::MultiServer;
 pub use series::TimeSeries;
+
+/// The engine's event-list type: the calendar queue. The alias documents
+/// that [`CalendarQueue`] and [`HeapQueue`] are drop-in interchangeable —
+/// same API, same deterministic pop order, different complexity.
+pub type EventQueue<E> = CalendarQueue<E>;

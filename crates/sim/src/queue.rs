@@ -1,5 +1,31 @@
-//! Deterministic future-event list.
+//! Binary-heap future-event list: the reference model.
+//!
+//! [`HeapQueue`] is the original `BinaryHeap`-backed implementation of the
+//! future-event list, kept in-tree for two jobs:
+//!
+//! * **reference model** — `tests/fel_properties.rs` drives it and the
+//!   calendar queue ([`CalendarQueue`](crate::CalendarQueue), the engine's
+//!   production FEL) with identical schedule/pop/cancel sequences and
+//!   asserts byte-identical drain order;
+//! * **micro-bench baseline** — `lion-bench perf` times both on the same
+//!   event trace so the O(log n) → O(1) win stays measured, not assumed.
+//!
+//! The pop order is strict `(timestamp, sequence-number)`: the sequence
+//! number makes same-instant ordering deterministic, which keeps whole
+//! simulations reproducible bit-for-bit.
+//!
+//! ```
+//! use lion_sim::HeapQueue;
+//!
+//! let mut q = HeapQueue::new();
+//! q.schedule(20, "b");
+//! let a = q.schedule(10, "a");
+//! assert_eq!(q.peek_time(), Some(10));
+//! assert_eq!(q.cancel(a), Some("a"));
+//! assert_eq!(q.pop(), Some((20, "b")));
+//! ```
 
+use crate::fel::EventHandle;
 use lion_common::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -31,54 +57,54 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A future-event list: events are popped in `(time, insertion)` order.
+/// A future-event list popping in `(time, insertion)` order, backed by a
+/// binary heap: O(log n) schedule/pop.
 ///
-/// The queue tracks `now`, the timestamp of the last popped event; scheduling
-/// is relative via [`EventQueue::schedule`] or absolute via
-/// [`EventQueue::schedule_at`].
-pub struct EventQueue<E> {
+/// The queue tracks `now`, the timestamp of the last popped event;
+/// scheduling is relative via [`HeapQueue::schedule`] or absolute via
+/// [`HeapQueue::schedule_at`].
+pub struct HeapQueue<E> {
     now: Time,
     seq: u64,
     heap: BinaryHeap<Scheduled<E>>,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             now: 0,
             seq: 0,
             heap: BinaryHeap::new(),
         }
     }
 
-    /// Current virtual time: the timestamp of the most recently popped event.
+    /// Current virtual time: the timestamp of the most recently popped
+    /// event.
     #[inline]
     pub fn now(&self) -> Time {
         self.now
     }
 
     /// Schedules `event` to fire `delay` µs from now.
-    pub fn schedule(&mut self, delay: Time, event: E) {
-        self.schedule_at(self.now + delay, event);
+    pub fn schedule(&mut self, delay: Time, event: E) -> EventHandle {
+        self.schedule_at(self.now + delay, event)
     }
 
     /// Schedules `event` at absolute time `at`. Events scheduled in the past
     /// fire "now" (clamped), preserving monotonic time.
-    pub fn schedule_at(&mut self, at: Time, event: E) {
+    pub fn schedule_at(&mut self, at: Time, event: E) -> EventHandle {
         let at = at.max(self.now);
-        self.heap.push(Scheduled {
-            at,
-            seq: self.seq,
-            event,
-        });
+        let seq = self.seq;
+        self.heap.push(Scheduled { at, seq, event });
         self.seq += 1;
+        EventHandle(seq)
     }
 
     /// Pops the earliest event, advancing `now` to its timestamp.
@@ -92,6 +118,28 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|s| s.at)
+    }
+
+    /// Cancels a scheduled event, returning it if it was still pending.
+    /// O(n) — the heap is rebuilt without the cancelled entry.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
+        let seq = handle.0;
+        if !self.heap.iter().any(|s| s.seq == seq) {
+            return None;
+        }
+        let mut found = None;
+        self.heap = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter_map(|s| {
+                if s.seq == seq {
+                    found = Some(s.event);
+                    None
+                } else {
+                    Some(s)
+                }
+            })
+            .collect();
+        found
     }
 
     /// Number of pending events.
@@ -111,7 +159,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.schedule(30, "c");
         q.schedule(10, "a");
         q.schedule(20, "b");
@@ -123,7 +171,7 @@ mod tests {
 
     #[test]
     fn same_time_pops_in_insertion_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         for i in 0..100 {
             q.schedule(5, i);
         }
@@ -134,7 +182,7 @@ mod tests {
 
     #[test]
     fn now_advances_with_pops() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.schedule(10, ());
         q.pop();
         assert_eq!(q.now(), 10);
@@ -144,7 +192,7 @@ mod tests {
 
     #[test]
     fn past_events_are_clamped_to_now() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.schedule(10, "later");
         q.pop();
         q.schedule_at(3, "past");
@@ -154,7 +202,7 @@ mod tests {
 
     #[test]
     fn len_and_is_empty() {
-        let mut q: EventQueue<()> = EventQueue::new();
+        let mut q: HeapQueue<()> = HeapQueue::new();
         assert!(q.is_empty());
         q.schedule(1, ());
         assert_eq!(q.len(), 1);
@@ -164,7 +212,7 @@ mod tests {
 
     #[test]
     fn interleaved_schedule_and_pop_is_deterministic() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.schedule(2, 1u32);
         q.schedule(4, 2);
         let (t, e) = q.pop().unwrap();
@@ -172,5 +220,16 @@ mod tests {
         q.schedule(1, 3); // fires at 3, before event 2
         assert_eq!(q.pop(), Some((3, 3)));
         assert_eq!(q.pop(), Some((4, 2)));
+    }
+
+    #[test]
+    fn cancel_removes_only_the_named_event() {
+        let mut q = HeapQueue::new();
+        let a = q.schedule(10, "a");
+        let b = q.schedule(10, "b"); // same instant, later insertion
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(a), None, "double-cancel is a no-op");
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.cancel(b), None, "already fired");
     }
 }
