@@ -10,7 +10,7 @@
 
 use crate::tags::{fresh, tag, untag};
 use lion_common::{FastMap, NodeId, OpKind, Phase, Time, TxnId};
-use lion_engine::{Engine, Protocol, TxnClass};
+use lion_engine::{ByteClass, Engine, MetricEvent, Protocol, TxnClass};
 use lion_sim::MultiServer;
 
 const K_DONE: u8 = 1;
@@ -91,7 +91,13 @@ pub(crate) fn execute_deterministic(eng: &mut Engine, txn: TxnId, start: Time) -
         // barrier — cross-zone participant pairs pay the rack surcharge.
         let surcharge = zone_surcharge(eng, &participants);
         let rtt = eng.cluster.net_delay(read_bytes) + eng.cluster.net_delay(16) + surcharge;
-        eng.metrics.add_bytes(start, read_bytes as u64 + 32);
+        eng.emit(MetricEvent::Bytes {
+            at: start,
+            class: ByteClass::Message,
+            bytes: read_bytes as u64 + 32,
+            node: None,
+            zone: None,
+        });
         done += rtt;
         eng.txn_mut(txn).class = TxnClass::Distributed;
     }
@@ -145,8 +151,13 @@ pub(crate) fn charge_replication(eng: &mut Engine, txn: TxnId, at: Time) {
         bytes += n_secs * (eng.config().sim.value_size as u64 + 32);
     }
     if bytes > 0 {
-        eng.metrics.replication_bytes += bytes;
-        eng.metrics.bytes_series.add(at, bytes as f64);
+        eng.emit(MetricEvent::Bytes {
+            at,
+            class: ByteClass::Replication,
+            bytes,
+            node: None,
+            zone: None,
+        });
         let apply = eng.config().sim.cpu.install_us * n_writes;
         eng.charge_phase(txn, Phase::Replication, apply);
     }

@@ -13,7 +13,7 @@
 
 use crate::tags::{fresh, tag, untag};
 use lion_common::{NodeId, PartitionId, Phase, Time, TxnId};
-use lion_engine::{Engine, OpFail, Protocol, TxnClass};
+use lion_engine::{ByteClass, Engine, MetricEvent, OpFail, Protocol, TxnClass};
 
 const K_SINGLE: u8 = 1;
 const K_CROSS: u8 = 2;
@@ -128,8 +128,13 @@ impl Protocol for Star {
             // Writes replicate from the super node back to the owners; the
             // farthest owner (zone-aware) gates the replication time.
             let bytes = writes as u64 * (eng.config().sim.value_size as u64 + 32);
-            eng.metrics.replication_bytes += bytes;
-            eng.metrics.bytes_series.add(end, bytes as f64);
+            eng.emit(MetricEvent::Bytes {
+                at: end,
+                class: ByteClass::Replication,
+                bytes,
+                node: None,
+                zone: None,
+            });
             let repl = eng
                 .txn(t)
                 .write_set

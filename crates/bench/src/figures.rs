@@ -531,14 +531,17 @@ pub fn fig14(scale: Scale) -> String {
     let _ = writeln!(out, "== Fig. 14a: latency percentiles (us)");
     let _ = writeln!(
         out,
-        "{:<10} {:>8} {:>8} {:>8}",
-        "protocol", "p10", "p50", "p95"
+        "{:<10} {:>8} {:>8} {:>8} {:>10}",
+        "protocol", "p10", "p50", "p95", "p50/floor"
     );
     for r in &reports {
+        // p50 as a multiple of the network latency floor (the cheapest
+        // possible cross-node commit round trip) — a topology-independent
+        // view of protocol overhead.
         let _ = writeln!(
             out,
-            "{:<10} {:>8} {:>8} {:>8}",
-            r.protocol, r.latency_p[0], r.latency_p[1], r.latency_p[2]
+            "{:<10} {:>8} {:>8} {:>8} {:>9.1}x",
+            r.protocol, r.latency_p[0], r.latency_p[1], r.latency_p[2], r.p50_floor_x
         );
     }
     let _ = writeln!(out, "\n== Fig. 14b: normalized runtime breakdown");

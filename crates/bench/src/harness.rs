@@ -261,13 +261,24 @@ pub fn tpcc_spec(nodes: u32, remote: f64, skew: f64) -> WorkloadSpec {
 }
 
 /// Runs one job to completion. The planner tick is shortened to 500 ms so
-/// even the quick-scale runs see several planning rounds.
+/// even the quick-scale runs see several planning rounds. The finished
+/// report is handed to the `--export` collector (see [`crate::export`]).
 pub fn run_job(job: &Job) -> RunReport {
+    let report = run_job_with_obs(job, lion_engine::ObsMode::Full);
+    crate::export::record(&report);
+    report
+}
+
+/// [`run_job`] with an explicit observability mode and no export
+/// side-effect — the overhead gate (`lion-bench obsgate`) runs the same job
+/// under [`ObsMode::Null`](lion_engine::ObsMode) and `Full` and compares.
+pub fn run_job_with_obs(job: &Job, obs_mode: lion_engine::ObsMode) -> RunReport {
     let cfg = EngineConfig {
         sim: job.sim.clone(),
         plan_interval_us: 500_000,
         faults: job.faults.clone(),
         durability: DurabilityConfig::epoch(job.epoch_commit_us),
+        obs_mode,
         ..EngineConfig::default()
     };
     let mut eng = Engine::new(cfg, job.workload.build());

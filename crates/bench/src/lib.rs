@@ -11,8 +11,12 @@
 //! roughly what factor, where crossovers fall — are the reproduction target.
 //! EXPERIMENTS.md records paper-vs-measured for each experiment.
 
+pub mod export;
 pub mod figures;
 pub mod harness;
+pub mod obsgate;
 pub mod perf;
 
-pub use harness::{base_sim, run_all, run_job, Job, ProtoKind, Scale, WorkloadSpec};
+pub use harness::{
+    base_sim, run_all, run_job, run_job_with_obs, Job, ProtoKind, Scale, WorkloadSpec,
+};

@@ -1,8 +1,9 @@
 //! `lion-bench`: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|figf1|figf2|fige|all] [--full]
+//! lion-bench [table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13a|fig13b|fig14|figf1|figf2|fige|all] [--full] [--export=runs.jsonl]
 //! lion-bench perf [--quick] [--check]
+//! lion-bench obsgate
 //! ```
 //!
 //! `figf1` is the fault-injection experiment: throughput under a node crash
@@ -26,6 +27,15 @@
 //! events/sec and commits/sec of *host* time, and maintains
 //! `BENCH_perf.json` at the repo root (`--check` compares against the
 //! committed numbers instead of writing, for CI).
+//!
+//! `obsgate` is the observability-overhead gate: the same job under
+//! `ObsMode::Null` and `ObsMode::Full`, failing CI if the full metrics
+//! pipeline costs more than 3% in events/sec (`OBS_GATE_TOLERANCE`
+//! overrides).
+//!
+//! `--export=PATH` writes every run the selected experiments performed as
+//! JSON Lines — one `RunReport::to_json` object per line — so plots and
+//! regression tooling can consume the numbers without scraping the tables.
 
 use lion_bench::figures;
 use lion_bench::Scale;
@@ -42,6 +52,20 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".into());
+    let export_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--export="))
+        .map(String::from);
+
+    if which == "obsgate" {
+        match lion_bench::obsgate::run() {
+            Ok(()) => std::process::exit(0),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if which == "perf" {
         let quick = args.iter().any(|a| a == "--quick");
@@ -75,10 +99,20 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: lion-bench [table1|table2|fig6..fig14|figf1|figf2|fige|all] [--full]"
+                "usage: lion-bench [table1|table2|fig6..fig14|figf1|figf2|fige|all|perf|obsgate] [--full] [--export=runs.jsonl]"
             );
             std::process::exit(2);
         }
     };
     println!("{out}");
+
+    if let Some(path) = export_path {
+        let doc = lion_bench::export::drain_jsonl();
+        let runs = doc.lines().count();
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write export to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("exported {runs} runs to {path}");
+    }
 }

@@ -30,6 +30,7 @@
 use crate::harness::{base_sim, tpcc_spec, ycsb_spec, ProtoKind, WorkloadSpec};
 use lion_common::{NodeId, SimConfig, Time, SECOND};
 use lion_engine::{Engine, EngineConfig, FaultPlan};
+use lion_obs::json::{extract_number, extract_object};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -399,37 +400,9 @@ fn render_section(label: &str, scale: &str, cells: &[Cell], micro: &Micro) -> St
     s
 }
 
-/// Extracts the balanced `{...}` block following `"key":`.
-fn extract_object(src: &str, key: &str) -> Option<String> {
-    let kpos = src.find(&format!("\"{key}\":"))?;
-    let start = kpos + src[kpos..].find('{')?;
-    let mut depth = 0usize;
-    for (i, c) in src[start..].char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(src[start..=start + i].to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Extracts the number following `"key":` inside `src`.
-fn extract_number(src: &str, key: &str) -> Option<f64> {
-    let kpos = src.find(&format!("\"{key}\":"))?;
-    let rest = src[kpos..].split_once(':')?.1;
-    let num: String = rest
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
-    num.parse().ok()
-}
+// `BENCH_perf.json` is read with the shared extractors in
+// `lion_obs::json` — the same helpers every machine-readable artifact in
+// the repo goes through.
 
 fn bench_json_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json")

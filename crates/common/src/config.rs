@@ -276,6 +276,29 @@ impl SimConfig {
             .max()
             .unwrap_or(1)
     }
+
+    /// The theoretical minimum commit round-trip this topology allows: the
+    /// cheapest empty-payload request/response between two *distinct* nodes
+    /// (framing overhead included, zone surcharge where the pair crosses
+    /// one). No protocol that coordinates at all can commit a distributed
+    /// transaction faster, so reports quote p50 latency as a multiple of
+    /// this floor — a scheduling-quality number that survives hardware and
+    /// topology changes. Zero for single-node clusters (nothing to cross).
+    pub fn commit_floor_us(&self) -> Time {
+        if self.nodes < 2 {
+            return 0;
+        }
+        let zones = self.node_zones();
+        let mut floor = Time::MAX;
+        for a in 0..self.nodes {
+            for b in (a + 1)..self.nodes {
+                let rtt = self.net.delay_between(zones[a], zones[b], 0)
+                    + self.net.delay_between(zones[b], zones[a], 0);
+                floor = floor.min(rtt);
+            }
+        }
+        floor
+    }
 }
 
 #[cfg(test)]
@@ -322,6 +345,27 @@ mod tests {
         assert_eq!(c.remaster_delay_us, 500);
         assert_eq!(c.seed, 7);
         assert_eq!(c.n_partitions(), 10 * c.partitions_per_node);
+    }
+
+    #[test]
+    fn commit_floor_is_cheapest_cross_node_round_trip() {
+        let c = SimConfig::default();
+        // Single zone: the floor is one empty-payload RTT.
+        assert_eq!(c.commit_floor_us(), 2 * c.net.delay(0));
+        // Two zones with a surcharge: some pair is still intra-zone, so the
+        // floor does not pay the surcharge.
+        let mut zoned = SimConfig::default().with_nodes(4).with_zones(2);
+        zoned.net.cross_zone_extra_us = 60;
+        assert_eq!(zoned.commit_floor_us(), 2 * zoned.net.delay(0));
+        // Every node in its own zone: now the surcharge is unavoidable.
+        let mut all_zoned = SimConfig::default().with_nodes(2).with_zones(2);
+        all_zoned.net.cross_zone_extra_us = 60;
+        assert_eq!(
+            all_zoned.commit_floor_us(),
+            2 * (all_zoned.net.delay(0) + 60)
+        );
+        // One node: no coordination, no floor.
+        assert_eq!(SimConfig::default().with_nodes(1).commit_floor_us(), 0);
     }
 
     #[test]

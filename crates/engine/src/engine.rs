@@ -12,6 +12,7 @@ use lion_common::{
 };
 use lion_durability::{DurabilityConfig, EpochManager, PendingAck};
 use lion_faults::{plan_failover, FaultKind, FaultNotice, FaultPlan};
+use lion_obs::{ByteClass, CommitClass, MetricEvent, ObsHub, ObsMode};
 use lion_sim::CalendarQueue;
 use lion_storage::{LogEntry, OpOutcome, Table};
 use rand::rngs::SmallRng;
@@ -34,6 +35,10 @@ pub struct EngineConfig {
     /// Epoch group-commit configuration: `epoch_commit_us = 0` (the
     /// default) acks at protocol commit, exactly the legacy behavior.
     pub durability: DurabilityConfig,
+    /// How much of the observability pipeline runs ([`ObsMode::Full`] by
+    /// default; [`ObsMode::Null`] is the overhead yardstick of
+    /// `lion-bench obsgate`).
+    pub obs_mode: ObsMode,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +50,7 @@ impl Default for EngineConfig {
             history_cap: 60_000,
             faults: FaultPlan::none(),
             durability: DurabilityConfig::default(),
+            obs_mode: ObsMode::default(),
         }
     }
 }
@@ -133,8 +139,13 @@ struct PendingFailover {
 pub struct Engine {
     /// The simulated cluster (placement, stores, workers, adaptor state).
     pub cluster: Cluster,
-    /// Metrics collected so far.
+    /// The run sink: the aggregate metrics every report is built from.
+    /// Kept as a public field so tests and examples read counters directly;
+    /// the engine itself only writes it through [`Engine::emit`].
     pub metrics: Metrics,
+    /// The observability hub: dimensioned rollups + caller-attached sinks,
+    /// fed the same events as [`Engine::metrics`].
+    pub obs: ObsHub,
     /// Deterministic RNG for protocol-side choices.
     pub rng: SmallRng,
     cfg: EngineConfig,
@@ -190,6 +201,7 @@ impl Engine {
             rng: SmallRng::seed_from_u64(cfg.sim.seed),
             cluster,
             metrics: Metrics::new(),
+            obs: ObsHub::new(cfg.obs_mode),
             cfg,
             queue: CalendarQueue::with_profile(&profile),
             txns: TxnSlab::new(),
@@ -215,6 +227,15 @@ impl Engine {
     /// The epoch group-commit manager (ack log, fence, parked count).
     pub fn epoch_manager(&self) -> &EpochManager {
         &self.epochs
+    }
+
+    /// Emits one observability event: run sink first (its fold order is
+    /// the digest contract), then the dimensioned sink and any extras,
+    /// all gated by the configured [`ObsMode`]. Every metric the engine
+    /// records flows through here — protocols and baselines included.
+    #[inline]
+    pub fn emit(&mut self, ev: MetricEvent) {
+        self.obs.emit(&mut self.metrics, ev);
     }
 
     /// Current virtual time.
@@ -347,8 +368,15 @@ impl Engine {
                 Ev::Epoch => {
                     let now = self.now();
                     let bytes = self.cluster.epoch_flush_all();
-                    self.metrics.replication_bytes += bytes;
-                    self.metrics.bytes_series.add(now, bytes as f64);
+                    // Emitted even for 0 bytes: the series bucket this
+                    // touches is part of the digest contract.
+                    self.emit(MetricEvent::Bytes {
+                        at: now,
+                        class: ByteClass::Replication,
+                        bytes,
+                        node: None,
+                        zone: None,
+                    });
                     self.queue.schedule(self.cfg.sim.epoch_us, Ev::Epoch);
                 }
                 Ev::Plan => {
@@ -428,7 +456,8 @@ impl Engine {
                 // the promotion target of an earlier member's failover dies
                 // mid-promotion and is re-planned over the survivors — the
                 // cascade the single-node DSL could not script.
-                self.metrics.zone_crashes += 1;
+                let at = self.now();
+                self.emit(MetricEvent::ZoneCrash { at, zone });
                 for n in self.cluster.zone_members(zone) {
                     if self.cluster.is_up(n) && self.cluster.live_count() > 1 {
                         self.node_down(proto, n);
@@ -469,14 +498,22 @@ impl Engine {
         // The audit must read the dead node's log buffers *before*
         // `crash_node` drains them into the failover replay.
         self.audit_acked_unshipped(node);
+        let zone = self.cluster.zone(node);
         let report = self.cluster.crash_node(node, now);
-        self.metrics.crashes += 1;
+        self.emit(MetricEvent::Crash {
+            at: now,
+            node,
+            zone,
+        });
         self.abort_open_epochs();
         self.fault_abort_touching(node);
         let mut replays: FastMap<u32, Vec<LogEntry>> =
             report.orphaned.into_iter().map(|(p, r)| (p.0, r)).collect();
         for d in plan_failover(&self.cluster, node) {
-            self.metrics.unavail_begin(d.part, now);
+            self.emit(MetricEvent::UnavailBegin {
+                at: now,
+                part: d.part,
+            });
             match d.target {
                 Some(target) => {
                     let dead_head = self
@@ -503,7 +540,10 @@ impl Engine {
                     // No live gap-free replica: the partition stalls until
                     // the node comes back ("protocols without a live replica
                     // stall until Recover").
-                    self.metrics.stalled_partitions += 1;
+                    self.emit(MetricEvent::PartitionStalled {
+                        at: now,
+                        part: d.part,
+                    });
                     let poll = self.cfg.sim.stall_poll_us;
                     self.cluster.stall_partition(d.part, now + poll);
                     self.queue.schedule(poll, Ev::StallCheck(d.part));
@@ -551,7 +591,7 @@ impl Engine {
             None => {
                 // Every replica is gone: stall until the original primary
                 // restarts (its table still holds all committed writes).
-                self.metrics.stalled_partitions += 1;
+                self.emit(MetricEvent::PartitionStalled { at: now, part });
                 self.pending_failovers.remove(&part.0);
                 let poll = self.cfg.sim.stall_poll_us;
                 self.cluster.stall_partition(part, now + poll);
@@ -569,10 +609,13 @@ impl Engine {
             .remove(&part.0)
             .expect("pending failover state");
         let (bytes, head) = self.cluster.finish_failover(part, &pf.replay, now);
-        self.metrics.replication_bytes += bytes;
-        self.metrics.bytes_series.add(now, bytes as f64);
-        self.metrics.failovers += 1;
-        self.metrics.replayed_entries += pf.replay.len() as u64;
+        self.emit(MetricEvent::Bytes {
+            at: now,
+            class: ByteClass::Replication,
+            bytes,
+            node: None,
+            zone: None,
+        });
         let to = self.cluster.placement.primary_of(part);
         if std::env::var_os("LION_TRACE").is_some() {
             eprintln!(
@@ -580,17 +623,20 @@ impl Engine {
                 pf.from, pf.lag
             );
         }
-        self.metrics.failover_log.push(FailoverRecord {
-            part,
-            from: pf.from,
-            to,
-            dead_head: pf.dead_head,
-            promoted_head: head,
-            lag: pf.lag,
-            crashed_at: pf.crashed_at,
-            completed_at: now,
+        self.emit(MetricEvent::Failover {
+            record: FailoverRecord {
+                part,
+                from: pf.from,
+                to,
+                dead_head: pf.dead_head,
+                promoted_head: head,
+                lag: pf.lag,
+                crashed_at: pf.crashed_at,
+                completed_at: now,
+            },
+            replayed: pf.replay.len() as u64,
         });
-        self.metrics.unavail_end(part, now);
+        self.emit(MetricEvent::UnavailEnd { at: now, part });
         proto.on_fault(
             self,
             &FaultNotice::FailoverComplete {
@@ -609,12 +655,20 @@ impl Engine {
         if std::env::var_os("LION_TRACE").is_some() {
             eprintln!("[{now}] recover {node}");
         }
+        let zone = self.cluster.zone(node);
         let report = self.cluster.recover_node(node, now);
-        self.metrics.node_recoveries += 1;
+        self.emit(MetricEvent::Recover {
+            at: now,
+            node,
+            zone,
+        });
         let restart = self.cfg.sim.remaster_delay_us;
         for part in report.restored_primaries {
             self.cluster.restore_partition(part, now + restart);
-            self.metrics.unavail_end(part, now + restart);
+            self.emit(MetricEvent::UnavailEnd {
+                at: now + restart,
+                part,
+            });
         }
         for part in report.rejoin_secondaries {
             let _ = self.add_replica_async(part, node, false);
@@ -649,8 +703,13 @@ impl Engine {
         victims.sort_unstable();
         let backoff = self.cfg.sim.retry_backoff_us;
         for &(_, txn) in &victims {
-            self.metrics.aborts += 1;
-            self.metrics.fault_aborts += 1;
+            let home = self.txn(txn).home;
+            self.emit(MetricEvent::Abort {
+                at: now,
+                fault: true,
+                node: home,
+                zone: self.cluster.zone(home),
+            });
             self.release_all(txn);
             self.txn_mut(txn).reset_for_retry(now + backoff);
             self.txn_mut(txn).parked = true;
@@ -718,10 +777,14 @@ impl Engine {
                     eprintln!("[{now}] remaster {part} -> {to:?}");
                 }
                 let bytes = self.cluster.finish_remaster(part, now);
-                self.metrics.remasters += 1;
-                self.metrics.remaster_series.incr(now);
-                self.metrics.replication_bytes += bytes;
-                self.metrics.bytes_series.add(now, bytes as f64);
+                self.emit(MetricEvent::Remaster { at: now, part });
+                self.emit(MetricEvent::Bytes {
+                    at: now,
+                    class: ByteClass::Replication,
+                    bytes,
+                    node: None,
+                    zone: None,
+                });
             }
             AdaptorFinish::AddReplica {
                 part,
@@ -737,10 +800,11 @@ impl Engine {
                     return; // source or destination died mid-copy
                 }
                 let evicted = self.cluster.finish_add_replica(part, node, now);
-                self.metrics.replica_adds += 1;
-                if evicted.is_some() {
-                    self.metrics.replica_evictions += 1;
-                }
+                self.emit(MetricEvent::ReplicaAdd {
+                    at: now,
+                    part,
+                    evicted: evicted.is_some(),
+                });
                 if then_remaster {
                     match self.cluster.begin_remaster(part, node, now) {
                         Ok(d) => {
@@ -749,7 +813,7 @@ impl Engine {
                                 .schedule(d, Ev::Adaptor(AdaptorFinish::Remaster(part, gen)));
                         }
                         Err(AdaptorError::AlreadyPrimary { .. }) => {}
-                        Err(_) => self.metrics.remaster_conflicts += 1,
+                        Err(_) => self.emit(MetricEvent::RemasterConflict { at: now }),
                     }
                 }
             }
@@ -759,8 +823,7 @@ impl Engine {
                     return; // transfer canceled by a crash
                 }
                 self.cluster.finish_migration(part, now);
-                self.metrics.migrations += 1;
-                self.metrics.migration_series.incr(now);
+                self.emit(MetricEvent::Migration { at: now, part });
             }
         }
     }
@@ -785,8 +848,13 @@ impl Engine {
     pub fn net(&mut self, bytes: u32, phase: Phase, txn: TxnId, tag: u32) {
         let now = self.now();
         let d = self.cluster.net_delay(bytes);
-        self.metrics
-            .add_bytes(now, (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64);
+        self.emit(MetricEvent::Bytes {
+            at: now,
+            class: ByteClass::Message,
+            bytes: (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64,
+            node: None,
+            zone: None,
+        });
         self.txn_mut(txn).phase_us[phase.idx()] += d;
         self.queue.schedule(d, Ev::Wake { txn, tag });
     }
@@ -795,8 +863,13 @@ impl Engine {
     /// whose acks the coordinator does not wait for.
     pub fn net_fire_and_forget(&mut self, bytes: u32) {
         let now = self.now();
-        self.metrics
-            .add_bytes(now, (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64);
+        self.emit(MetricEvent::Bytes {
+            at: now,
+            class: ByteClass::Message,
+            bytes: (bytes + self.cfg.sim.net.msg_overhead_bytes) as u64,
+            node: None,
+            zone: None,
+        });
     }
 
     /// Request/response round from `from` to a remote node including remote
@@ -829,10 +902,13 @@ impl Engine {
         let d1 = self.cluster.net_delay_between(from, to, bytes_req);
         let grant = self.cluster.workers[to.idx()].acquire(now + d1, remote_cpu);
         let d2 = self.cluster.net_delay_between(to, from, bytes_resp);
-        self.metrics.add_bytes(
-            now,
-            (bytes_req + overhead) as u64 + (bytes_resp + overhead) as u64,
-        );
+        self.emit(MetricEvent::Bytes {
+            at: now,
+            class: ByteClass::Message,
+            bytes: (bytes_req + overhead) as u64 + (bytes_resp + overhead) as u64,
+            node: Some(from),
+            zone: Some(self.cluster.zone(from)),
+        });
         let ctx = self.txn_mut(txn);
         ctx.phase_us[Phase::Scheduling.idx()] += grant.queue_wait(now + d1);
         ctx.phase_us[phase.idx()] += d1 + remote_cpu + d2;
@@ -1148,6 +1224,7 @@ impl Engine {
             txns,
             cluster,
             metrics,
+            obs,
             ..
         } = self;
         let ctx = txns.get(txn).expect("live transaction");
@@ -1175,9 +1252,15 @@ impl Engine {
                     + cluster.net_delay_between(sec, node, 0);
                 max_rtt = max_rtt.max(rtt);
             }
-            metrics.add_bytes(
-                now,
-                secondaries.len() as u64 * (bytes as u64 + 2 * overhead),
+            obs.emit(
+                metrics,
+                MetricEvent::Bytes {
+                    at: now,
+                    class: ByteClass::Message,
+                    bytes: secondaries.len() as u64 * (bytes as u64 + 2 * overhead),
+                    node: Some(node),
+                    zone: Some(cluster.zone(node)),
+                },
             );
         }
         if max_rtt == 0 {
@@ -1200,11 +1283,16 @@ impl Engine {
         let now = self.now();
         let flush = self.cluster.epoch_flush_for_seal();
         if flush.bytes > 0 {
-            self.metrics.replication_bytes += flush.bytes;
-            self.metrics.bytes_series.add(now, flush.bytes as f64);
+            self.emit(MetricEvent::Bytes {
+                at: now,
+                class: ByteClass::Replication,
+                bytes: flush.bytes,
+                node: None,
+                zone: None,
+            });
         }
         if let Some(id) = self.epochs.seal(flush.frontiers) {
-            self.metrics.epochs_sealed += 1;
+            self.emit(MetricEvent::EpochSealed { at: now });
             self.queue
                 .schedule(flush.max_transit_us, Ev::EpochDurable(id));
         }
@@ -1228,10 +1316,10 @@ impl Engine {
             }
         }
         for ack in epoch.acks {
-            self.metrics.acked += 1;
-            self.metrics
-                .ack_latency
-                .record(now.saturating_sub(ack.start));
+            self.emit(MetricEvent::Ack {
+                at: now,
+                latency_us: now.saturating_sub(ack.start),
+            });
             if !self.batch_mode {
                 self.queue.schedule(1, Ev::ClientNext(ack.client));
             }
@@ -1247,11 +1335,15 @@ impl Engine {
         if !self.epochs.enabled() {
             return;
         }
+        let now = self.now();
         let abort = self.epochs.on_crash();
-        self.metrics.epochs_aborted += abort.epochs_aborted;
+        self.emit(MetricEvent::EpochsAborted {
+            at: now,
+            n: abort.epochs_aborted,
+        });
         let backoff = self.cfg.sim.retry_backoff_us;
         for ack in abort.retried {
-            self.metrics.epoch_retried_acks += 1;
+            self.emit(MetricEvent::EpochRetriedAck { at: now });
             if !self.batch_mode {
                 self.queue.schedule(backoff, Ev::ClientNext(ack.client));
             }
@@ -1265,13 +1357,15 @@ impl Engine {
     /// every `epoch_us`); epoch group commit keeps this at zero because an
     /// ack only ever escapes behind its epoch's replication.
     fn audit_acked_unshipped(&mut self, node: NodeId) {
+        let now = self.now();
         for p in 0..self.cluster.n_partitions() {
             let part = PartitionId(p as u32);
             if self.cluster.placement.primary_of(part) != node {
                 continue;
             }
             if let Some(store) = self.cluster.store(node, part) {
-                self.metrics.acked_then_lost += store.log.acked_unshipped();
+                let n = store.log.acked_unshipped();
+                self.emit(MetricEvent::AckedThenLost { at: now, n });
             }
         }
     }
@@ -1289,26 +1383,26 @@ impl Engine {
     pub fn commit(&mut self, txn: TxnId) {
         let now = self.now();
         let ctx = self.txns.remove(txn).expect("live transaction");
-        self.metrics.commits += 1;
-        self.metrics.commits_series.incr(now);
-        self.metrics.goodput_series.incr(now);
-        self.metrics.latency.record(now.saturating_sub(ctx.start));
-        match ctx.class {
-            TxnClass::SingleNode => self.metrics.single_node += 1,
-            TxnClass::Remastered => self.metrics.remastered += 1,
-            TxnClass::Distributed => self.metrics.distributed += 1,
-        }
-        for (i, &us) in ctx.phase_us.iter().enumerate() {
-            self.metrics.phase_us[i] += us as u128;
-        }
+        self.emit(MetricEvent::Commit {
+            at: now,
+            latency_us: now.saturating_sub(ctx.start),
+            class: match ctx.class {
+                TxnClass::SingleNode => CommitClass::SingleNode,
+                TxnClass::Remastered => CommitClass::Remastered,
+                TxnClass::Distributed => CommitClass::Distributed,
+            },
+            node: ctx.home,
+            zone: self.cluster.zone(ctx.home),
+            phase_us: ctx.phase_us,
+        });
         if self.batch_mode {
             self.batch_done_one();
         }
         if self.ack_at_commit {
-            self.metrics.acked += 1;
-            self.metrics
-                .ack_latency
-                .record(now.saturating_sub(ctx.start));
+            self.emit(MetricEvent::Ack {
+                at: now,
+                latency_us: now.saturating_sub(ctx.start),
+            });
             if !self.batch_mode {
                 self.queue.schedule(1, Ev::ClientNext(ctx.client));
             }
@@ -1327,7 +1421,13 @@ impl Engine {
     /// back-off (standard mode).
     pub fn abort_retry(&mut self, txn: TxnId) {
         let now = self.now();
-        self.metrics.aborts += 1;
+        let home = self.txn(txn).home;
+        self.emit(MetricEvent::Abort {
+            at: now,
+            fault: false,
+            node: home,
+            zone: self.cluster.zone(home),
+        });
         self.release_all(txn);
         let backoff = self.cfg.sim.retry_backoff_us;
         self.txn_mut(txn).reset_for_retry(now + backoff);
@@ -1340,7 +1440,13 @@ impl Engine {
     pub fn abort_defer(&mut self, txn: TxnId) {
         debug_assert!(self.batch_mode, "defer is a batch-mode operation");
         let now = self.now();
-        self.metrics.aborts += 1;
+        let home = self.txn(txn).home;
+        self.emit(MetricEvent::Abort {
+            at: now,
+            fault: false,
+            node: home,
+            zone: self.cluster.zone(home),
+        });
         self.release_all(txn);
         self.txn_mut(txn).reset_for_retry(now);
         self.txn_mut(txn).parked = true;
@@ -1374,7 +1480,7 @@ impl Engine {
             }
             Err(e) => {
                 if matches!(e, AdaptorError::Busy(_)) {
-                    self.metrics.remaster_conflicts += 1;
+                    self.emit(MetricEvent::RemasterConflict { at: now });
                 }
                 Err(e)
             }
@@ -1391,8 +1497,13 @@ impl Engine {
     ) -> Result<Time, AdaptorError> {
         let now = self.now();
         let (d, bytes) = self.cluster.begin_add_replica(part, to, now)?;
-        self.metrics.migration_bytes += bytes;
-        self.metrics.bytes_series.add(now, bytes as f64);
+        self.emit(MetricEvent::Bytes {
+            at: now,
+            class: ByteClass::Migration,
+            bytes,
+            node: None,
+            zone: None,
+        });
         self.queue.schedule(
             d,
             Ev::Adaptor(AdaptorFinish::AddReplica {
@@ -1408,8 +1519,13 @@ impl Engine {
     pub fn migrate_async(&mut self, part: PartitionId, to: NodeId) -> Result<Time, AdaptorError> {
         let now = self.now();
         let (d, bytes) = self.cluster.begin_migration(part, to, now)?;
-        self.metrics.migration_bytes += bytes;
-        self.metrics.bytes_series.add(now, bytes as f64);
+        self.emit(MetricEvent::Bytes {
+            at: now,
+            class: ByteClass::Migration,
+            bytes,
+            node: None,
+            zone: None,
+        });
         let gen = self.cluster.parts[part.idx()].gen;
         self.queue
             .schedule(d, Ev::Adaptor(AdaptorFinish::Migrate(part, gen)));

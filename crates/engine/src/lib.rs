@@ -10,8 +10,10 @@
 //!   with real per-row state so contention and aborts emerge from the data;
 //! * epoch-based group replication (§V) and the adaptor operations
 //!   (remaster / add-replica / migrate) scheduled on the virtual clock;
-//! * metrics: throughput/network time series, latency histograms, and the
-//!   per-phase breakdown behind Fig. 14b.
+//! * observability: every metric flows as a typed [`MetricEvent`] through
+//!   [`Engine::emit`] into the `lion-obs` sink pipeline — the run sink
+//!   behind every report, per-node/per-zone rollups, and any caller-attached
+//!   sinks (see `ARCHITECTURE.md` § Observability).
 //!
 //! Protocols implement the [`Protocol`] trait as explicit state machines:
 //! the engine wakes them with `(txn, tag)` continuations.
@@ -26,6 +28,9 @@ pub mod txn;
 pub use engine::{Engine, EngineConfig, OpFail};
 pub use lion_durability::{AckRecord, DurabilityConfig, DurableEpoch, EpochManager, PendingAck};
 pub use lion_faults::{FaultEvent, FaultKind, FaultNotice, FaultPlan};
+pub use lion_obs::{
+    ByteClass, CommitClass, DimRollup, MetricEvent, MetricSink, NullSink, ObsHub, ObsMode,
+};
 pub use metrics::{FailoverRecord, Metrics, UnavailWindow};
 pub use protocol::{Protocol, TickKind};
 pub use report::RunReport;

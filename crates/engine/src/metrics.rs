@@ -1,335 +1,12 @@
-//! Run metrics: counters, latency histogram, per-phase totals, time series,
-//! and the availability bookkeeping behind the fault-injection figures.
+//! Run metrics, re-exported from `lion-obs`.
+//!
+//! The aggregate [`Metrics`] struct, its window/failover record types, and
+//! the series bucket widths moved to the observability crate when the
+//! engine's inline field pokes became typed [`lion_obs::MetricEvent`]s —
+//! the struct is now the *run sink* of that pipeline. This module keeps
+//! the `lion_engine::metrics::*` paths (and the engine's own
+//! `crate::metrics::*` uses) stable across the move.
 
-use lion_common::{FastMap, NodeId, PartitionId, Phase, Time};
-use lion_sim::{Histogram, TimeSeries};
-
-/// Time-series bucket width (1 simulated second), matching the granularity
-/// of the paper's timeline figures.
-pub const SERIES_BUCKET_US: Time = 1_000_000;
-
-/// Fine-grained goodput bucket width (100 ms): resolves the dip and ramp
-/// around a node failure, which 1 s buckets blur.
-pub const GOODPUT_BUCKET_US: Time = 100_000;
-
-/// One completed (or still open) window during which a partition could not
-/// serve operations because its primary was dead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct UnavailWindow {
-    /// The partition.
-    pub part: PartitionId,
-    /// When the primary died.
-    pub from: Time,
-    /// When the partition was serving again (`None` while still open).
-    pub until: Option<Time>,
-}
-
-/// One completed failover promotion, for the replication-log replay checks
-/// and the recovery analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FailoverRecord {
-    /// The partition that failed over.
-    pub part: PartitionId,
-    /// Dead node that held the primary.
-    pub from: NodeId,
-    /// Surviving node promoted to primary.
-    pub to: NodeId,
-    /// The dead primary's log head at the crash (durability frontier).
-    pub dead_head: u64,
-    /// The head the new primary adopted. Equal to `dead_head` when no
-    /// committed write was lost.
-    pub promoted_head: u64,
-    /// Replication lag (entries) the promotion had to sync.
-    pub lag: u64,
-    /// Crash time.
-    pub crashed_at: Time,
-    /// Promotion completion time.
-    pub completed_at: Time,
-}
-
-/// All metrics collected during a run.
-#[derive(Debug, Clone)]
-pub struct Metrics {
-    /// Committed transactions.
-    pub commits: u64,
-    /// Aborted attempts (each retry re-counts).
-    pub aborts: u64,
-    /// Transactions that committed on a single node without remastering.
-    pub single_node: u64,
-    /// Transactions converted to single-node via remastering.
-    pub remastered: u64,
-    /// Transactions executed as distributed 2PC.
-    pub distributed: u64,
-    /// Completed remaster operations.
-    pub remasters: u64,
-    /// Remaster requests rejected because another was in flight (§III
-    /// remastering conflicts).
-    pub remaster_conflicts: u64,
-    /// Completed background replica additions.
-    pub replica_adds: u64,
-    /// Secondary replicas evicted by the replica cap.
-    pub replica_evictions: u64,
-    /// Completed blocking migrations.
-    pub migrations: u64,
-    /// Total message bytes (requests, acks, prepare/commit rounds).
-    pub msg_bytes: u64,
-    /// Replication bytes (epoch flushes + remaster lag sync).
-    pub replication_bytes: u64,
-    /// Migration / replica-copy bytes.
-    pub migration_bytes: u64,
-    /// Commit-latency histogram (µs).
-    pub latency: Histogram,
-    /// Per-phase accumulated µs across committed and aborted work.
-    pub phase_us: [u128; 5],
-    /// Commits per second.
-    pub commits_series: TimeSeries,
-    /// Network bytes per second (all classes combined).
-    pub bytes_series: TimeSeries,
-    /// Remasters per second.
-    pub remaster_series: TimeSeries,
-    /// Migrations per second.
-    pub migration_series: TimeSeries,
-    /// Injected node crashes (including partition isolations).
-    pub crashes: u64,
-    /// Correlated zone-loss events (each also counts its members under
-    /// [`Metrics::crashes`]).
-    pub zone_crashes: u64,
-    /// Partitions that entered a stall — primary dead with *no* live
-    /// promotable replica — and could only resume when a node came back.
-    /// Zero under rack-safe placement during a single-zone loss; the
-    /// headline availability metric of figf2.
-    pub stalled_partitions: u64,
-    /// Node restarts (including partition heals).
-    pub node_recoveries: u64,
-    /// Completed failover promotions.
-    pub failovers: u64,
-    /// In-flight transactions aborted because a node they touched died.
-    pub fault_aborts: u64,
-    /// Prepare-log entries replayed to survivors during failover.
-    pub replayed_entries: u64,
-    /// Per-partition crash→available recovery latency (µs).
-    pub recovery_latency: Histogram,
-    /// Per-partition unavailability windows, in crash order.
-    pub unavailability: Vec<UnavailWindow>,
-    /// Completed failovers with their log-continuity evidence.
-    pub failover_log: Vec<FailoverRecord>,
-    /// Commits per 100 ms bucket (goodput dip/ramp around failures).
-    pub goodput_series: TimeSeries,
-    /// Client-visible acks released. Equals `commits` in ack-at-commit
-    /// mode; under epoch group commit it trails by the parked epochs (and
-    /// by crash-retried acks).
-    pub acked: u64,
-    /// Client-visible ack latency (µs): submission → ack release. In
-    /// ack-at-commit mode this mirrors [`Metrics::latency`]; under epoch
-    /// group commit it adds the epoch residency + replication transit —
-    /// the latency a client actually observes.
-    pub ack_latency: Histogram,
-    /// Commit epochs sealed (non-empty seal ticks).
-    pub epochs_sealed: u64,
-    /// Commit epochs voided by node crashes before turning durable.
-    pub epochs_aborted: u64,
-    /// Parked transactions whose epoch aborted: never acked, retried by
-    /// their clients (the committed result is re-observed — not lost work).
-    pub epoch_retried_acks: u64,
-    /// No-acked-commit-lost audit: log entries a crashed primary had acked
-    /// to clients but never shipped to any secondary. Non-zero quantifies
-    /// the ack-at-commit durability hole; epoch group commit must keep it
-    /// at zero.
-    pub acked_then_lost: u64,
-    /// Open unavailability windows keyed by partition index.
-    unavail_open: FastMap<u32, Time>,
-}
-
-impl Default for Metrics {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Metrics {
-    /// Creates empty metrics.
-    pub fn new() -> Self {
-        Metrics {
-            commits: 0,
-            aborts: 0,
-            single_node: 0,
-            remastered: 0,
-            distributed: 0,
-            remasters: 0,
-            remaster_conflicts: 0,
-            replica_adds: 0,
-            replica_evictions: 0,
-            migrations: 0,
-            msg_bytes: 0,
-            replication_bytes: 0,
-            migration_bytes: 0,
-            latency: Histogram::new(),
-            phase_us: [0; 5],
-            commits_series: TimeSeries::new(SERIES_BUCKET_US),
-            bytes_series: TimeSeries::new(SERIES_BUCKET_US),
-            remaster_series: TimeSeries::new(SERIES_BUCKET_US),
-            migration_series: TimeSeries::new(SERIES_BUCKET_US),
-            crashes: 0,
-            zone_crashes: 0,
-            stalled_partitions: 0,
-            node_recoveries: 0,
-            failovers: 0,
-            fault_aborts: 0,
-            replayed_entries: 0,
-            recovery_latency: Histogram::new(),
-            unavailability: Vec::new(),
-            failover_log: Vec::new(),
-            goodput_series: TimeSeries::new(GOODPUT_BUCKET_US),
-            acked: 0,
-            ack_latency: Histogram::new(),
-            epochs_sealed: 0,
-            epochs_aborted: 0,
-            epoch_retried_acks: 0,
-            acked_then_lost: 0,
-            unavail_open: FastMap::default(),
-        }
-    }
-
-    /// Opens an unavailability window for `part` (its primary died at `at`).
-    pub fn unavail_begin(&mut self, part: PartitionId, at: Time) {
-        if self.unavail_open.contains_key(&part.0) {
-            return; // already tracked (e.g. stalled partition re-reported)
-        }
-        self.unavail_open.insert(part.0, at);
-        self.unavailability.push(UnavailWindow {
-            part,
-            from: at,
-            until: None,
-        });
-    }
-
-    /// Closes the open unavailability window for `part`: the partition can
-    /// serve again at `at`. Records the recovery latency.
-    pub fn unavail_end(&mut self, part: PartitionId, at: Time) {
-        let Some(from) = self.unavail_open.remove(&part.0) else {
-            return;
-        };
-        if let Some(w) = self
-            .unavailability
-            .iter_mut()
-            .rev()
-            .find(|w| w.part == part && w.until.is_none())
-        {
-            w.until = Some(at);
-        }
-        self.recovery_latency.record(at.saturating_sub(from));
-    }
-
-    /// Total partition-unavailability µs, counting windows still open at
-    /// `horizon` as ending there.
-    pub fn unavailability_us(&self, horizon: Time) -> u128 {
-        self.unavailability
-            .iter()
-            .map(|w| (w.until.unwrap_or(horizon).saturating_sub(w.from)) as u128)
-            .sum()
-    }
-
-    /// Records bytes on the wire at time `at`.
-    pub fn add_bytes(&mut self, at: Time, bytes: u64) {
-        self.msg_bytes += bytes;
-        self.bytes_series.add(at, bytes as f64);
-    }
-
-    /// Adds to a phase accumulator.
-    pub fn add_phase(&mut self, phase: Phase, us: u64) {
-        self.phase_us[phase.idx()] += us as u128;
-    }
-
-    /// Total accumulated phase time.
-    pub fn phase_total(&self) -> u128 {
-        self.phase_us.iter().sum()
-    }
-
-    /// Normalized per-phase fractions (Fig. 14b bars).
-    pub fn phase_fractions(&self) -> [f64; 5] {
-        let total = self.phase_total().max(1) as f64;
-        let mut out = [0.0; 5];
-        for (i, &v) in self.phase_us.iter().enumerate() {
-            out[i] = v as f64 / total;
-        }
-        out
-    }
-
-    /// Abort rate over attempts.
-    pub fn abort_rate(&self) -> f64 {
-        let attempts = self.commits + self.aborts;
-        if attempts == 0 {
-            0.0
-        } else {
-            self.aborts as f64 / attempts as f64
-        }
-    }
-
-    /// Network bytes per committed transaction (Fig. 12b's metric).
-    pub fn bytes_per_txn(&self) -> f64 {
-        if self.commits == 0 {
-            0.0
-        } else {
-            (self.msg_bytes + self.replication_bytes + self.migration_bytes) as f64
-                / self.commits as f64
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn phase_fractions_sum_to_one() {
-        let mut m = Metrics::new();
-        m.add_phase(Phase::Execution, 30);
-        m.add_phase(Phase::Commit, 50);
-        m.add_phase(Phase::Replication, 20);
-        let f = m.phase_fractions();
-        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!((f[Phase::Commit.idx()] - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn abort_rate_and_bytes_per_txn() {
-        let mut m = Metrics::new();
-        assert_eq!(m.abort_rate(), 0.0);
-        assert_eq!(m.bytes_per_txn(), 0.0);
-        m.commits = 8;
-        m.aborts = 2;
-        m.msg_bytes = 700;
-        m.replication_bytes = 100;
-        assert!((m.abort_rate() - 0.2).abs() < 1e-9);
-        assert!((m.bytes_per_txn() - 100.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn unavailability_windows_open_close_and_clip() {
-        let mut m = Metrics::new();
-        let p = PartitionId(3);
-        m.unavail_begin(p, 1_000);
-        m.unavail_begin(p, 2_000); // duplicate begin is ignored
-        m.unavail_end(p, 51_000);
-        assert_eq!(m.unavailability.len(), 1);
-        assert_eq!(m.unavailability[0].until, Some(51_000));
-        assert_eq!(m.recovery_latency.count(), 1);
-        assert_eq!(m.recovery_latency.max(), 50_000);
-        // A window still open at the horizon is clipped there.
-        m.unavail_begin(PartitionId(4), 80_000);
-        assert_eq!(m.unavailability_us(100_000), 50_000 + 20_000);
-        // Ending a partition that never began is a no-op.
-        m.unavail_end(PartitionId(9), 5);
-        assert_eq!(m.unavailability.len(), 2);
-    }
-
-    #[test]
-    fn byte_series_accumulates() {
-        let mut m = Metrics::new();
-        m.add_bytes(0, 100);
-        m.add_bytes(500_000, 200);
-        m.add_bytes(1_200_000, 50);
-        assert_eq!(m.msg_bytes, 350);
-        assert_eq!(m.bytes_series.buckets(), &[300.0, 50.0]);
-    }
-}
+pub use lion_obs::run::{
+    FailoverRecord, Metrics, UnavailWindow, GOODPUT_BUCKET_US, SERIES_BUCKET_US,
+};

@@ -2,6 +2,8 @@
 
 use crate::engine::Engine;
 use lion_common::{Phase, Time};
+use lion_obs::json::{arr, esc, num};
+use lion_obs::DimRollup;
 
 /// Aggregated results of one simulated run.
 #[derive(Debug, Clone)]
@@ -91,6 +93,26 @@ pub struct RunReport {
     /// Acked-but-never-replicated log entries on crashed primaries — the
     /// durability hole. Must be zero under epoch group commit.
     pub acked_then_lost: u64,
+    /// Theoretical minimum commit RTT this topology allows (see
+    /// [`lion_common::SimConfig::commit_floor_us`]). Pure configuration —
+    /// excluded from [`RunReport::digest`] like every field below.
+    pub latency_floor_us: Time,
+    /// Commit p50 as a multiple of [`RunReport::latency_floor_us`]: the
+    /// scheduling-quality number that survives topology changes. Zero when
+    /// the floor is zero (single-node cluster) or nothing committed.
+    pub p50_floor_x: f64,
+    /// Per-node goodput/bytes/latency rollups (empty under
+    /// [`lion_obs::ObsMode::Run`]/`Null`, where the dimensioned sink is off).
+    pub node_rollups: Vec<DimRollup>,
+    /// Per-zone rollups (same gating).
+    pub zone_rollups: Vec<DimRollup>,
+    /// Bucket width of [`RunReport::throughput_series`] and
+    /// [`RunReport::bytes_per_txn_series`] — 1 s until ring decimation
+    /// widens it on very long runs.
+    pub series_bucket_us: Time,
+    /// Bucket width of [`RunReport::goodput_series`] — 100 ms until ring
+    /// decimation widens it.
+    pub goodput_bucket_us: Time,
 }
 
 impl RunReport {
@@ -102,6 +124,13 @@ impl RunReport {
         let class_total = (m.single_node + m.remastered + m.distributed).max(1) as f64;
         let throughput_series = m.commits_series.rates_per_sec();
         let bytes_per_txn_series = m.bytes_series.ratio(&m.commits_series);
+        let latency_floor_us = eng.config().sim.commit_floor_us();
+        let p50 = m.latency.quantile(0.50);
+        let p50_floor_x = if latency_floor_us > 0 && commits > 0 {
+            p50 as f64 / latency_floor_us as f64
+        } else {
+            0.0
+        };
         RunReport {
             protocol: protocol.to_string(),
             duration_us,
@@ -151,6 +180,12 @@ impl RunReport {
             epochs_aborted: m.epochs_aborted,
             epoch_retried_acks: m.epoch_retried_acks,
             acked_then_lost: m.acked_then_lost,
+            latency_floor_us,
+            p50_floor_x,
+            node_rollups: eng.obs.dims.node_rollups(duration_us),
+            zone_rollups: eng.obs.dims.zone_rollups(duration_us),
+            series_bucket_us: m.commits_series.bucket_us(),
+            goodput_bucket_us: m.goodput_series.bucket_us(),
         }
     }
 
@@ -224,10 +259,12 @@ impl RunReport {
     /// One-line summary for harness tables. The latency columns are
     /// *commit-time* percentiles; client-visible ack latency (which differs
     /// under epoch group commit) is reported by [`RunReport::ack_row`] and
-    /// [`RunReport::failover_row`].
+    /// [`RunReport::failover_row`]. The trailing column quotes p50 as a
+    /// multiple of the topology's theoretical commit floor — how close the
+    /// protocol runs to the physics of its network.
     pub fn summary_row(&self) -> String {
         format!(
-            "{:<10} {:>10.0} tps  commit_p50={:>6}us commit_p95={:>7}us  single={:>5.1}% remaster={:>5.1}% dist={:>5.1}%  abort={:>5.2}%  bytes/txn={:>6.0}",
+            "{:<10} {:>10.0} tps  commit_p50={:>6}us commit_p95={:>7}us  single={:>5.1}% remaster={:>5.1}% dist={:>5.1}%  abort={:>5.2}%  bytes/txn={:>6.0}  p50/floor={:>5.1}x",
             self.protocol,
             self.throughput_tps,
             self.latency_p[1],
@@ -237,6 +274,7 @@ impl RunReport {
             self.class_fractions[2] * 100.0,
             self.abort_rate * 100.0,
             self.bytes_per_txn,
+            self.p50_floor_x,
         )
     }
 
@@ -285,7 +323,9 @@ impl RunReport {
     /// pre-fault baseline (mean goodput over `[0, baseline_until)`), in µs.
     /// `None` when the run never recovers to that level.
     pub fn recovery_ramp_us(&self, baseline_until: Time, after: Time, frac: f64) -> Option<Time> {
-        let bucket = crate::metrics::GOODPUT_BUCKET_US;
+        // The report's own bucket width, not the configured constant: ring
+        // decimation may have widened the buckets on a very long run.
+        let bucket = self.goodput_bucket_us;
         let base_buckets = (baseline_until / bucket).max(1) as usize;
         let baseline: f64 =
             self.goodput_series.iter().take(base_buckets).sum::<f64>() / base_buckets as f64;
@@ -300,6 +340,129 @@ impl RunReport {
             .skip(start)
             .find(|(_, &v)| v >= target)
             .map(|(i, _)| (i as Time * bucket).saturating_sub(after))
+    }
+
+    /// The whole report as one line of JSON — the machine-readable artifact
+    /// behind `lion-bench --export`. Every scalar, series, and rollup is
+    /// included, plus the digest (as hex, so a consumer can cross-check a
+    /// run against the pinned goldens without recomputing anything).
+    /// Non-finite floats export as `null`; see [`lion_obs::json`].
+    pub fn to_json(&self) -> String {
+        fn rollups(rows: &[DimRollup]) -> String {
+            arr(rows.iter().map(|r| {
+                format!(
+                    "{{\"label\":\"{}\",\"commits\":{},\"aborts\":{},\"bytes\":{},\"goodput_tps\":{},\"mean_latency_us\":{},\"p50_us\":{},\"p95_us\":{}}}",
+                    esc(&r.label),
+                    r.commits,
+                    r.aborts,
+                    r.bytes,
+                    num(r.goodput_tps),
+                    num(r.mean_latency_us),
+                    r.p50_us,
+                    r.p95_us,
+                )
+            }))
+        }
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        s.push_str(&format!("\"protocol\":\"{}\"", esc(&self.protocol)));
+        s.push_str(&format!(",\"digest\":\"{:#018x}\"", self.digest()));
+        s.push_str(&format!(",\"duration_us\":{}", self.duration_us));
+        s.push_str(&format!(",\"commits\":{}", self.commits));
+        s.push_str(&format!(",\"aborts\":{}", self.aborts));
+        s.push_str(&format!(",\"throughput_tps\":{}", num(self.throughput_tps)));
+        s.push_str(&format!(
+            ",\"mean_latency_us\":{}",
+            num(self.mean_latency_us)
+        ));
+        s.push_str(&format!(
+            ",\"latency_p\":{}",
+            arr(self.latency_p.iter().map(|p| p.to_string()))
+        ));
+        s.push_str(&format!(",\"latency_floor_us\":{}", self.latency_floor_us));
+        s.push_str(&format!(",\"p50_floor_x\":{}", num(self.p50_floor_x)));
+        s.push_str(&format!(
+            ",\"class_fractions\":{}",
+            arr(self.class_fractions.iter().map(|&f| num(f)))
+        ));
+        s.push_str(&format!(
+            ",\"phase_fractions\":{}",
+            arr(self.phase_fractions.iter().map(|&f| num(f)))
+        ));
+        s.push_str(&format!(",\"bytes_per_txn\":{}", num(self.bytes_per_txn)));
+        s.push_str(&format!(",\"remasters\":{}", self.remasters));
+        s.push_str(&format!(",\"migrations\":{}", self.migrations));
+        s.push_str(&format!(",\"replica_adds\":{}", self.replica_adds));
+        s.push_str(&format!(",\"abort_rate\":{}", num(self.abort_rate)));
+        s.push_str(&format!(",\"crashes\":{}", self.crashes));
+        s.push_str(&format!(",\"zone_crashes\":{}", self.zone_crashes));
+        s.push_str(&format!(
+            ",\"stalled_partitions\":{}",
+            self.stalled_partitions
+        ));
+        s.push_str(&format!(",\"failovers\":{}", self.failovers));
+        s.push_str(&format!(",\"fault_aborts\":{}", self.fault_aborts));
+        s.push_str(&format!(",\"replayed_entries\":{}", self.replayed_entries));
+        s.push_str(&format!(
+            ",\"mean_recovery_latency_us\":{}",
+            num(self.mean_recovery_latency_us)
+        ));
+        s.push_str(&format!(
+            ",\"max_recovery_latency_us\":{}",
+            self.max_recovery_latency_us
+        ));
+        s.push_str(&format!(
+            ",\"unavailability_us\":{}",
+            self.unavailability_us
+        ));
+        s.push_str(&format!(
+            ",\"unavailability_windows\":{}",
+            self.unavailability_windows
+        ));
+        s.push_str(&format!(",\"events\":{}", self.events));
+        s.push_str(&format!(",\"acked\":{}", self.acked));
+        s.push_str(&format!(
+            ",\"mean_ack_latency_us\":{}",
+            num(self.mean_ack_latency_us)
+        ));
+        s.push_str(&format!(
+            ",\"ack_latency_p\":{}",
+            arr(self.ack_latency_p.iter().map(|p| p.to_string()))
+        ));
+        s.push_str(&format!(",\"epochs_sealed\":{}", self.epochs_sealed));
+        s.push_str(&format!(",\"epochs_aborted\":{}", self.epochs_aborted));
+        s.push_str(&format!(
+            ",\"epoch_retried_acks\":{}",
+            self.epoch_retried_acks
+        ));
+        s.push_str(&format!(",\"acked_then_lost\":{}", self.acked_then_lost));
+        s.push_str(&format!(",\"series_bucket_us\":{}", self.series_bucket_us));
+        s.push_str(&format!(
+            ",\"goodput_bucket_us\":{}",
+            self.goodput_bucket_us
+        ));
+        s.push_str(&format!(
+            ",\"throughput_series\":{}",
+            arr(self.throughput_series.iter().map(|&v| num(v)))
+        ));
+        s.push_str(&format!(
+            ",\"bytes_per_txn_series\":{}",
+            arr(self.bytes_per_txn_series.iter().map(|&v| num(v)))
+        ));
+        s.push_str(&format!(
+            ",\"goodput_series\":{}",
+            arr(self.goodput_series.iter().map(|&v| num(v)))
+        ));
+        s.push_str(&format!(
+            ",\"node_rollups\":{}",
+            rollups(&self.node_rollups)
+        ));
+        s.push_str(&format!(
+            ",\"zone_rollups\":{}",
+            rollups(&self.zone_rollups)
+        ));
+        s.push('}');
+        s
     }
 
     /// Phase breakdown as labeled percentages (Fig. 14b row).
@@ -340,5 +503,50 @@ mod tests {
         assert_eq!(r.bytes_per_txn, 0.0);
         assert!(!r.summary_row().is_empty());
         assert!(r.phase_row().contains("execution"));
+        // The floor is pure topology: present even on an idle run.
+        assert!(r.latency_floor_us > 0);
+        assert_eq!(r.p50_floor_x, 0.0);
+    }
+
+    #[test]
+    fn report_json_parses_and_round_trips_key_fields() {
+        let cfg = SimConfig {
+            nodes: 2,
+            partitions_per_node: 1,
+            keys_per_partition: 8,
+            ..Default::default()
+        };
+        let eng = Engine::new(cfg, workload());
+        let mut r = RunReport::build("lion \"std\"", &eng, 1_000_000);
+        r.commits = 42;
+        r.throughput_tps = 123.5;
+        r.node_rollups.push(DimRollup {
+            label: "N0".into(),
+            commits: 42,
+            aborts: 1,
+            bytes: 640,
+            goodput_tps: 42.0,
+            mean_latency_us: f64::NAN, // must export as null, not break parsing
+            p50_us: 100,
+            p95_us: 300,
+        });
+        let doc = lion_obs::json::parse(&r.to_json()).expect("export must be valid JSON");
+        assert_eq!(doc.get("protocol").unwrap().as_str(), Some("lion \"std\""));
+        assert_eq!(doc.get("commits").unwrap().as_num(), Some(42.0));
+        assert_eq!(doc.get("throughput_tps").unwrap().as_num(), Some(123.5));
+        assert_eq!(
+            doc.get("latency_floor_us").unwrap().as_num(),
+            Some(r.latency_floor_us as f64)
+        );
+        let rollup = &doc.get("node_rollups").unwrap().as_arr().unwrap()[0];
+        assert_eq!(rollup.get("label").unwrap().as_str(), Some("N0"));
+        assert_eq!(rollup.get("bytes").unwrap().as_num(), Some(640.0));
+        assert_eq!(
+            rollup.get("mean_latency_us"),
+            Some(&lion_obs::json::JsonValue::Null)
+        );
+        // The digest rides along as hex for cross-checking against goldens.
+        let digest = doc.get("digest").unwrap().as_str().unwrap().to_string();
+        assert_eq!(digest, format!("{:#018x}", r.digest()));
     }
 }

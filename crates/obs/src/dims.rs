@@ -1,0 +1,221 @@
+//! Dimensioned rollups: the same facts the run sink aggregates globally,
+//! broken out per node and per zone.
+//!
+//! Cells are lazily grown `Vec`s keyed by `NodeId`/`ZoneId` index, and the
+//! latency store is the mergeable log-bucketed [`Histogram`], so a zone
+//! rollup could equally be produced by merging its member nodes' cells —
+//! the property the `obs_properties` merge tests pin.
+
+use crate::event::MetricEvent;
+use crate::sink::MetricSink;
+use lion_sim::Histogram;
+
+/// One dimension cell: the per-node or per-zone accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct DimCell {
+    /// Commits homed in this dimension.
+    pub commits: u64,
+    /// Aborts homed in this dimension.
+    pub aborts: u64,
+    /// Bytes sent by this dimension (only events that carry a sender).
+    pub bytes: u64,
+    /// Commit-latency histogram for this dimension.
+    pub latency: Histogram,
+}
+
+impl DimCell {
+    /// Folds another cell into this one (zone = merge of its nodes).
+    pub fn merge(&mut self, other: &DimCell) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.bytes += other.bytes;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// A finished rollup row for one node or zone.
+#[derive(Debug, Clone)]
+pub struct DimRollup {
+    /// `"N3"` or `"Z1"`.
+    pub label: String,
+    /// Commits homed here.
+    pub commits: u64,
+    /// Aborts homed here.
+    pub aborts: u64,
+    /// Bytes sent from here.
+    pub bytes: u64,
+    /// Commits per second over the run horizon.
+    pub goodput_tps: f64,
+    /// Mean commit latency (µs).
+    pub mean_latency_us: f64,
+    /// Median commit latency (µs).
+    pub p50_us: u64,
+    /// Tail commit latency (µs).
+    pub p95_us: u64,
+}
+
+/// Per-node and per-zone accumulation, fed by [`MetricSink::on_event`].
+#[derive(Debug, Clone, Default)]
+pub struct DimensionedSink {
+    nodes: Vec<DimCell>,
+    zones: Vec<DimCell>,
+}
+
+impl DimensionedSink {
+    fn node(&mut self, idx: usize) -> &mut DimCell {
+        if idx >= self.nodes.len() {
+            self.nodes.resize_with(idx + 1, DimCell::default);
+        }
+        &mut self.nodes[idx]
+    }
+
+    fn zone(&mut self, idx: usize) -> &mut DimCell {
+        if idx >= self.zones.len() {
+            self.zones.resize_with(idx + 1, DimCell::default);
+        }
+        &mut self.zones[idx]
+    }
+
+    /// Raw per-node cells (index = node index; never-seen nodes absent
+    /// past the highest observed index).
+    pub fn node_cells(&self) -> &[DimCell] {
+        &self.nodes
+    }
+
+    /// Raw per-zone cells.
+    pub fn zone_cells(&self) -> &[DimCell] {
+        &self.zones
+    }
+
+    /// Per-node rollup rows over a run of `duration_us` virtual µs.
+    pub fn node_rollups(&self, duration_us: u64) -> Vec<DimRollup> {
+        rollup_rows(&self.nodes, "N", duration_us)
+    }
+
+    /// Per-zone rollup rows over a run of `duration_us` virtual µs.
+    pub fn zone_rollups(&self, duration_us: u64) -> Vec<DimRollup> {
+        rollup_rows(&self.zones, "Z", duration_us)
+    }
+}
+
+fn rollup_rows(cells: &[DimCell], prefix: &str, duration_us: u64) -> Vec<DimRollup> {
+    let secs = (duration_us.max(1)) as f64 / 1e6;
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| DimRollup {
+            label: format!("{prefix}{i}"),
+            commits: c.commits,
+            aborts: c.aborts,
+            bytes: c.bytes,
+            goodput_tps: c.commits as f64 / secs,
+            mean_latency_us: c.latency.mean(),
+            p50_us: c.latency.quantile(0.50),
+            p95_us: c.latency.quantile(0.95),
+        })
+        .collect()
+}
+
+impl MetricSink for DimensionedSink {
+    fn on_event(&mut self, ev: &MetricEvent) {
+        match *ev {
+            MetricEvent::Commit {
+                latency_us,
+                node,
+                zone,
+                ..
+            } => {
+                let c = self.node(node.idx());
+                c.commits += 1;
+                c.latency.record(latency_us);
+                let z = self.zone(zone.idx());
+                z.commits += 1;
+                z.latency.record(latency_us);
+            }
+            MetricEvent::Abort { node, zone, .. } => {
+                self.node(node.idx()).aborts += 1;
+                self.zone(zone.idx()).aborts += 1;
+            }
+            MetricEvent::Bytes {
+                bytes, node, zone, ..
+            } => {
+                if let Some(n) = node {
+                    self.node(n.idx()).bytes += bytes;
+                }
+                if let Some(z) = zone {
+                    self.zone(z.idx()).bytes += bytes;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ByteClass, CommitClass};
+    use lion_common::{NodeId, ZoneId};
+
+    #[test]
+    fn rollups_split_by_node_and_zone() {
+        let mut d = DimensionedSink::default();
+        for (node, zone, lat) in [(0u16, 0u16, 100u64), (1, 0, 300), (2, 1, 500)] {
+            d.on_event(&MetricEvent::Commit {
+                at: 10,
+                latency_us: lat,
+                class: CommitClass::SingleNode,
+                node: NodeId(node),
+                zone: ZoneId(zone),
+                phase_us: [0; 5],
+            });
+        }
+        d.on_event(&MetricEvent::Abort {
+            at: 20,
+            fault: false,
+            node: NodeId(2),
+            zone: ZoneId(1),
+        });
+        d.on_event(&MetricEvent::Bytes {
+            at: 30,
+            class: ByteClass::Message,
+            bytes: 640,
+            node: Some(NodeId(1)),
+            zone: Some(ZoneId(0)),
+        });
+        let nodes = d.node_rollups(1_000_000);
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0].commits, 1);
+        assert_eq!(nodes[1].bytes, 640);
+        assert_eq!(nodes[2].aborts, 1);
+        assert!((nodes[0].goodput_tps - 1.0).abs() < 1e-9);
+        let zones = d.zone_rollups(1_000_000);
+        assert_eq!(zones.len(), 2);
+        assert_eq!(zones[0].commits, 2);
+        assert_eq!(zones[0].bytes, 640);
+        assert_eq!(zones[1].aborts, 1);
+    }
+
+    #[test]
+    fn zone_cell_equals_merge_of_member_nodes() {
+        let mut d = DimensionedSink::default();
+        for (node, lat) in [(0u16, 80u64), (1, 200), (0, 1_000)] {
+            d.on_event(&MetricEvent::Commit {
+                at: 10,
+                latency_us: lat,
+                class: CommitClass::SingleNode,
+                node: NodeId(node),
+                zone: ZoneId(0),
+                phase_us: [0; 5],
+            });
+        }
+        let mut merged = DimCell::default();
+        for c in d.node_cells() {
+            merged.merge(c);
+        }
+        let z = &d.zone_cells()[0];
+        assert_eq!(merged.commits, z.commits);
+        assert_eq!(merged.latency.count(), z.latency.count());
+        assert_eq!(merged.latency.quantile(0.95), z.latency.quantile(0.95));
+    }
+}

@@ -11,8 +11,11 @@
 //!   pool (and single-threaded resources such as Calvin's lock manager);
 //! * [`Histogram`]: log-bucketed latency histogram with percentile queries
 //!   (Fig. 14a);
-//! * [`TimeSeries`]: fixed-interval bucketed counters for the throughput and
-//!   network-cost timelines (Figs. 8, 10, 12, 13a).
+//! * [`RingSeries`]: the production time-series store — fixed bucket
+//!   budget with deterministic 2× bucket-width decimation, so a series'
+//!   memory is constant in run length (Figs. 8, 10, 12, 13a timelines);
+//! * [`TimeSeries`]: the unbounded reference series, kept as the oracle
+//!   for the `RingSeries` property tests.
 //!
 //! Everything here is pure data-structure code with no I/O, so entire
 //! cluster runs are reproducible from a seed. The one invariant every FEL
@@ -46,7 +49,7 @@ pub use fel::{CalendarQueue, EventHandle};
 pub use hist::Histogram;
 pub use queue::HeapQueue;
 pub use resource::MultiServer;
-pub use series::TimeSeries;
+pub use series::{RingSeries, TimeSeries, RING_DEFAULT_BUCKETS};
 
 /// The engine's event-list type: the calendar queue. The alias documents
 /// that [`CalendarQueue`] and [`HeapQueue`] are drop-in interchangeable —

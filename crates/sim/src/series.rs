@@ -3,6 +3,16 @@
 //! Backs the throughput-over-time plots (Figs. 8, 10, 12a, 13a) and the
 //! network-bytes-per-transaction timeline (Fig. 12b): counters are added at
 //! virtual timestamps and later read back as per-bucket rates.
+//!
+//! Two implementations share the same API:
+//!
+//! * [`TimeSeries`] — the unbounded reference model: one `Vec` slot per
+//!   bucket, growing with the horizon. Kept as the oracle the `RingSeries`
+//!   property tests compare against (the same role [`crate::HeapQueue`]
+//!   plays for the calendar queue).
+//! * [`RingSeries`] — the production store behind every `Metrics` series:
+//!   a fixed bucket budget with deterministic 2× bucket-width decimation
+//!   when the horizon overflows it, so memory is constant in run length.
 
 use lion_common::Time;
 
@@ -100,6 +110,168 @@ impl TimeSeries {
     }
 }
 
+/// Default bucket budget for [`RingSeries`]: large enough that every figure
+/// horizon in the suite (≤ ~100 s at the 100 ms goodput resolution) fits
+/// without decimating — which is also what keeps the pinned digest goldens
+/// byte-identical — yet a fixed 8 KiB regardless of run length.
+pub const RING_DEFAULT_BUCKETS: usize = 1024;
+
+/// A constant-memory time series: at most `capacity` buckets, with the
+/// bucket width doubling (and adjacent pairs folding together) whenever an
+/// add lands past the end. Decimation is a pure function of the add
+/// sequence, so same-seed runs stay bit-identical; total mass is conserved
+/// exactly for integral accumulators (counts, bytes < 2^53).
+#[derive(Debug, Clone)]
+pub struct RingSeries {
+    bucket_us: Time,
+    capacity: usize,
+    buckets: Vec<f64>,
+}
+
+impl RingSeries {
+    /// Creates a series with `bucket_us`-wide buckets and the default
+    /// bucket budget.
+    pub fn new(bucket_us: Time) -> Self {
+        Self::with_capacity(bucket_us, RING_DEFAULT_BUCKETS)
+    }
+
+    /// Creates a series with an explicit bucket budget (≥ 2).
+    pub fn with_capacity(bucket_us: Time, capacity: usize) -> Self {
+        assert!(bucket_us > 0, "bucket width must be positive");
+        assert!(capacity >= 2, "need at least two buckets to decimate");
+        RingSeries {
+            bucket_us,
+            capacity,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Current bucket width in µs (initial width × 2^decimations).
+    pub fn bucket_us(&self) -> Time {
+        self.bucket_us
+    }
+
+    /// The fixed bucket budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds `value` to the bucket containing time `at`, decimating first if
+    /// `at` falls past the bucket budget.
+    pub fn add(&mut self, at: Time, value: f64) {
+        let mut idx = (at / self.bucket_us) as usize;
+        while idx >= self.capacity {
+            self.decimate();
+            idx = (at / self.bucket_us) as usize;
+        }
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += value;
+    }
+
+    /// Increments the bucket containing `at` by one.
+    pub fn incr(&mut self, at: Time) {
+        self.add(at, 1.0);
+    }
+
+    /// Doubles the bucket width by folding adjacent bucket pairs
+    /// (`new[i] = old[2i] + old[2i+1]`). Deterministic: the fold order is
+    /// fixed, so the resulting `f64`s are a pure function of the inputs.
+    fn decimate(&mut self) {
+        let n = self.buckets.len();
+        let half = n.div_ceil(2);
+        for i in 0..half {
+            let a = self.buckets[2 * i];
+            let b = if 2 * i + 1 < n {
+                self.buckets[2 * i + 1]
+            } else {
+                0.0
+            };
+            self.buckets[i] = a + b;
+        }
+        self.buckets.truncate(half);
+        self.bucket_us = self.bucket_us.saturating_mul(2);
+    }
+
+    /// Raw bucket accumulators (at the current width).
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Accumulated value in the bucket containing `at` (0 if out of range).
+    pub fn value_at(&self, at: Time) -> f64 {
+        let idx = (at / self.bucket_us) as usize;
+        self.buckets.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Per-second rates: bucket value scaled by `1s / bucket_us`. The scale
+    /// tracks the decimated width, so rates stay correct after folding.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let scale = 1_000_000.0 / self.bucket_us as f64;
+        self.buckets.iter().map(|v| v * scale).collect()
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum over buckets fully contained in `[from, to)`.
+    pub fn total_between(&self, from: Time, to: Time) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let lo = (from / self.bucket_us) as usize;
+        let hi = ((to.saturating_sub(1)) / self.bucket_us) as usize;
+        self.buckets
+            .iter()
+            .skip(lo)
+            .take(hi.saturating_sub(lo) + 1)
+            .sum()
+    }
+
+    /// This series' buckets folded down to `width`-µs buckets. `width` must
+    /// be the current width times a power of two — which any two series
+    /// that started at the same width satisfy, since decimation only ever
+    /// doubles.
+    fn coarsened(&self, width: Time) -> Vec<f64> {
+        assert!(
+            width >= self.bucket_us
+                && width.is_multiple_of(self.bucket_us)
+                && (width / self.bucket_us).is_power_of_two(),
+            "widths diverged beyond a power-of-two factor"
+        );
+        let fold = (width / self.bucket_us) as usize;
+        if fold == 1 {
+            return self.buckets.clone();
+        }
+        self.buckets.chunks(fold).map(|c| c.iter().sum()).collect()
+    }
+
+    /// Element-wise ratio against another series (0 where the divisor is
+    /// 0); used for bytes-per-transaction curves. When the two series have
+    /// decimated to different widths, the finer one is folded down to the
+    /// coarser width first.
+    pub fn ratio(&self, divisor: &RingSeries) -> Vec<f64> {
+        let width = self.bucket_us.max(divisor.bucket_us);
+        let num = self.coarsened(width);
+        let den = divisor.coarsened(width);
+        let n = num.len().max(den.len());
+        (0..n)
+            .map(|i| {
+                let num = num.get(i).copied().unwrap_or(0.0);
+                let den = den.get(i).copied().unwrap_or(0.0);
+                if den > 0.0 {
+                    num / den
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +322,72 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_width_rejected() {
         let _ = TimeSeries::new(0);
+    }
+
+    #[test]
+    fn ring_matches_timeseries_until_capacity() {
+        let mut ring = RingSeries::with_capacity(1_000_000, 16);
+        let mut reference = TimeSeries::new(1_000_000);
+        for sec in 0..16u64 {
+            ring.add(sec * 1_000_000, sec as f64);
+            reference.add(sec * 1_000_000, sec as f64);
+        }
+        // Bit-identical while no decimation has happened: this is what
+        // keeps the pinned digest goldens stable.
+        assert_eq!(ring.bucket_us(), 1_000_000);
+        assert_eq!(ring.buckets(), reference.buckets());
+        assert_eq!(ring.rates_per_sec(), reference.rates_per_sec());
+    }
+
+    #[test]
+    fn ring_decimates_past_capacity_and_conserves_mass() {
+        let mut ring = RingSeries::with_capacity(1_000, 4);
+        for t in 0..64u64 {
+            ring.add(t * 1_000, 1.0);
+        }
+        // 64 unit-wide buckets folded into a 4-bucket budget: width 16x.
+        assert_eq!(ring.bucket_us(), 16_000);
+        assert_eq!(ring.buckets(), &[16.0, 16.0, 16.0, 16.0]);
+        assert_eq!(ring.total(), 64.0);
+        assert!(ring.buckets().len() <= ring.capacity());
+    }
+
+    #[test]
+    fn ring_rates_track_decimated_width() {
+        let mut ring = RingSeries::with_capacity(500_000, 2);
+        ring.add(0, 50.0);
+        assert_eq!(ring.rates_per_sec()[0], 100.0);
+        ring.add(1_500_000, 50.0); // forces one decimation to 1 s buckets
+        assert_eq!(ring.bucket_us(), 1_000_000);
+        assert_eq!(ring.rates_per_sec(), vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn ring_ratio_aligns_diverged_widths() {
+        let mut bytes = RingSeries::with_capacity(1_000_000, 2);
+        let mut txns = RingSeries::with_capacity(1_000_000, 2);
+        // bytes decimates to 2 s buckets; txns stays at 1 s.
+        bytes.add(0, 400.0);
+        bytes.add(3_000_000, 400.0);
+        txns.add(0, 2.0);
+        txns.add(1_000_000, 2.0);
+        assert_eq!(bytes.bucket_us(), 2_000_000);
+        assert_eq!(txns.bucket_us(), 1_000_000);
+        let r = bytes.ratio(&txns);
+        assert_eq!(r, vec![100.0, 0.0]);
+    }
+
+    #[test]
+    fn ring_far_future_add_converges() {
+        let mut ring = RingSeries::with_capacity(1, 2);
+        ring.add(Time::MAX / 2, 1.0);
+        assert!(ring.buckets().len() <= 2);
+        assert_eq!(ring.total(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn ring_rejects_degenerate_capacity() {
+        let _ = RingSeries::with_capacity(1_000, 1);
     }
 }

@@ -52,6 +52,18 @@ fn main() {
         } else {
             eng.run(&mut lion::baselines::two_pc(), horizon)
         };
+        if lion_run {
+            // Per-node rollups from the dimensioned sink: rebalancing should
+            // keep the commit share roughly even across nodes even as the
+            // hotspot moves.
+            println!("per-node rollups:");
+            for n in &report.node_rollups {
+                println!(
+                    "  {}: {:>8} commits ({:>7.0} tps)  p50={} us",
+                    n.label, n.commits, n.goodput_tps, n.p50_us
+                );
+            }
+        }
         rows.push((report.protocol.clone(), report.throughput_series.clone()));
         println!("{}\n", report.summary_row());
     }

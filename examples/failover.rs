@@ -30,6 +30,7 @@ fn main() {
         keys_per_partition: 4_000,
         value_size: 64,
         clients_per_node: 24,
+        zones: 2,
         ..Default::default()
     };
     let victim = NodeId(1);
@@ -82,6 +83,16 @@ fn main() {
             f.promoted_head,
         );
         assert_eq!(f.dead_head, f.promoted_head, "no committed write lost");
+    }
+    println!();
+    // Per-zone rollups from the dimensioned sink: the crash shows up as
+    // Z0's (victim N1's zone) commit share dipping vs Z1's.
+    println!("per-zone rollups:");
+    for z in &report.zone_rollups {
+        println!(
+            "  {}: {:>8} commits ({:>7.0} tps)  {:>6} aborts  p50={} us  p95={} us",
+            z.label, z.commits, z.goodput_tps, z.aborts, z.p50_us, z.p95_us
+        );
     }
     match report.recovery_ramp_us(crash_sec * SECOND, crash_sec * SECOND, 0.8) {
         Some(us) => println!(

@@ -13,6 +13,9 @@
 //!   distributed-database substrate everything runs on;
 //! * [`planner`] / [`predictor`] — the pure planning and forecasting
 //!   algorithms;
+//! * [`obs`] — the typed metric-event pipeline: `MetricEvent`s emitted from
+//!   the engine hot path into composable `MetricSink`s (run metrics,
+//!   per-node/per-zone rollups, JSON export);
 //! * [`workloads`] — YCSB and TPC-C generators with the paper's knobs.
 //!
 //! ## Quick start
@@ -36,6 +39,7 @@ pub use lion_common as common;
 pub use lion_core as core;
 pub use lion_engine as engine;
 pub use lion_faults as faults;
+pub use lion_obs as obs;
 pub use lion_planner as planner;
 pub use lion_predictor as predictor;
 pub use lion_sim as sim;
@@ -53,6 +57,7 @@ pub mod prelude {
     pub use lion_core::{Lion, LionConfig, Partitioning};
     pub use lion_engine::{DurabilityConfig, Engine, EngineConfig, Protocol, RunReport, TickKind};
     pub use lion_faults::{FaultKind, FaultNotice, FaultPlan};
+    pub use lion_obs::{MetricEvent, MetricSink, ObsMode};
     pub use lion_planner::{CostWeights, PlannerConfig};
     pub use lion_predictor::{Lstm, PredictorConfig, WorkloadPredictor};
     pub use lion_workloads::{Schedule, TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload, Zipf};
