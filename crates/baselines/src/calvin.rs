@@ -201,6 +201,13 @@ impl Protocol for Calvin {
         // Previous batch fully completed: all release times are in the past.
         self.locks = RowLocks::default();
         for &t in batch {
+            // Honest split-brain: the sequencing layer cannot replicate a
+            // batch entry across the cut — transactions needing far-side
+            // partitions park until heal.
+            if !eng.txn_reachable(t) {
+                eng.park_until_heal(t);
+                continue;
+            }
             eng.load_declared_sets(t);
             // Single-threaded lock manager grants locks in fixed order.
             let service = eng.config().sim.cpu.lock_mgr_us * eng.txn(t).req.ops.len() as u64;

@@ -72,6 +72,12 @@ impl<P: StandardPolicy> Standard<P> {
     /// Advances to the current partition group (ctx.step) or the commit
     /// phase when all groups are done.
     fn process_group(&mut self, eng: &mut Engine, txn: TxnId) {
+        // Honest split-brain: a transaction whose home side is cut off from
+        // some partition it needs parks until reachability returns instead
+        // of spinning retries against the cut.
+        if !eng.txn_reachable(txn) {
+            return eng.park_until_heal(txn);
+        }
         let gi = eng.txn(txn).step as usize;
         if gi >= eng.txn(txn).n_groups() {
             return self.begin_commit(eng, txn);

@@ -104,10 +104,13 @@ impl Protocol for Star {
         // ---- Phase switch: mastership moves to the super node -----------
         // The switch barrier reaches every *live* node; the farthest
         // (possibly cross-zone) round trip gates it — dead nodes cannot
-        // ack and must not stretch the barrier.
+        // ack and must not stretch the barrier. During an honest split the
+        // barrier only spans the super node's side of the cut: far-side
+        // nodes can no more ack the switch than dead ones.
         let switch_rtt = eng
             .cluster
             .live_nodes()
+            .filter(|&n| eng.cluster.same_side(SUPER_NODE, n))
             .map(|n| 2 * eng.cluster.net_delay_between(SUPER_NODE, n, 64))
             .max()
             .unwrap_or(0);
@@ -115,8 +118,14 @@ impl Protocol for Star {
 
         // ---- Single-master phase: all cross txns through node 0 ---------
         for t in crosses {
-            self.super_node_txns += 1;
             eng.txn_mut(t).home = SUPER_NODE;
+            // Honest split-brain: the mastership switch cannot reach owners
+            // across the cut — those cross transactions park until heal.
+            if !eng.txn_reachable(t) {
+                eng.park_until_heal(t);
+                continue;
+            }
+            self.super_node_txns += 1;
             eng.txn_mut(t).class = TxnClass::Remastered; // single-node via mastership switch
             eng.load_declared_sets(t);
             let reads = eng.txn(t).req.read_count();

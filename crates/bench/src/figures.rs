@@ -841,6 +841,154 @@ pub fn fig_e(scale: Scale) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Fig. SB: honest split-brain — availability vs divergent-work cost
+// ---------------------------------------------------------------------
+
+/// Fig. SB: what quorum fencing costs and buys under an honest network
+/// partition, Lion vs 2PC/Star/Calvin.
+///
+/// A 4-node cluster with `rf = 3` (round-robin: partition `p_i`'s replica
+/// set is `{N_i, N_{i+1}, N_{i+2}}`) loses `{N2, N3}` to a network cut one
+/// third into the run and heals at two thirds. Three arms per protocol:
+///
+/// * **crash-approx** — the legacy path: the majority side treats the
+///   isolated nodes as crashed; every transaction they were serving is
+///   aborted, their goodput is zero for the window.
+/// * **quorum-fence** — honest split-brain with epoch group commit and
+///   round-trip-priced retries: both sides stay live, but a commit whose
+///   writes touch a partition served from the non-quorum side parks its
+///   ack behind the quorum fence; the heal aborts those divergent epochs
+///   and the clients resubmit. `acked_then_lost` stays 0.
+/// * **optimistic** — honest split-brain with ack-at-commit: the minority
+///   side acks immediately, and the heal audit counts every ack whose
+///   timeline lost (`acked_then_lost > 0`).
+pub fn fig_sb(scale: Scale) -> String {
+    use lion_common::NodeId;
+    let horizon = scale.steady_us * 3;
+    let cut_at = horizon / 3;
+    let heal_at = 2 * horizon / 3;
+    let cut = vec![NodeId(2), NodeId(3)];
+    let plan = |split: bool| {
+        let p = lion_engine::FaultPlan::new()
+            .partition_at(cut_at, cut.clone())
+            .heal_at(heal_at);
+        if split {
+            p.with_split_brain()
+        } else {
+            p
+        }
+    };
+    const EPOCH_US: u64 = 5_000;
+    let protos = [
+        ProtoKind::LionStd,
+        ProtoKind::TwoPc,
+        ProtoKind::Star,
+        ProtoKind::Calvin,
+    ];
+    let sim = {
+        let mut s = base_sim(4);
+        s.replication_factor = 3;
+        s.max_replicas = 4;
+        s
+    };
+    // Three arms per protocol: [crash-approx, quorum-fence, optimistic].
+    let mut jobs = Vec::new();
+    for proto in &protos {
+        jobs.push(
+            Job::new(
+                format!("{}/crash-approx", proto.label()),
+                *proto,
+                sim.clone(),
+                ycsb_spec(4, 0.5, 0.0, 93),
+                horizon,
+            )
+            .with_faults(plan(false))
+            .with_epoch_commit(EPOCH_US),
+        );
+        jobs.push(
+            Job::new(
+                format!("{}/quorum-fence", proto.label()),
+                *proto,
+                sim.clone(),
+                ycsb_spec(4, 0.5, 0.0, 93),
+                horizon,
+            )
+            .with_faults(plan(true))
+            .with_epoch_commit(EPOCH_US)
+            .with_retry_round_trip(),
+        );
+        jobs.push(
+            Job::new(
+                format!("{}/optimistic", proto.label()),
+                *proto,
+                sim.clone(),
+                ycsb_spec(4, 0.5, 0.0, 93),
+                horizon,
+            )
+            .with_faults(plan(true)),
+        );
+    }
+    let reports = run_all(jobs);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Fig. SB: honest split-brain — {{N2,N3}} cut off at t={}s, healed at t={}s (rf=3)",
+        cut_at / 1_000_000,
+        heal_at / 1_000_000
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<13} {:>9} {:>9} {:>7} {:>8} {:>9} {:>9} {:>11}",
+        "protocol",
+        "arm",
+        "goodput",
+        "minority",
+        "fenced",
+        "divergent",
+        "retried",
+        "lost",
+        "unavail(ms)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<13} {:>9} {:>9} {:>7} {:>8} {:>9} {:>9}",
+        "", "", "(ktxn/s)", "commits", "acks", "epochs", "acks", "acks"
+    );
+    for (pi, proto) in protos.iter().enumerate() {
+        for (ai, arm) in ["crash-approx", "quorum-fence", "optimistic"]
+            .iter()
+            .enumerate()
+        {
+            let r = &reports[pi * 3 + ai];
+            let _ = writeln!(
+                out,
+                "{:<10} {:<13} {:>9.1} {:>9} {:>7} {:>8} {:>9} {:>9} {:>11.1}",
+                proto.label(),
+                arm,
+                r.throughput_tps / 1000.0,
+                r.minority_commits,
+                r.fenced_acks,
+                r.divergent_epochs_aborted,
+                r.epoch_retried_acks,
+                r.acked_then_lost,
+                r.unavailability_us as f64 / 1000.0,
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n(`minority commits` = work the non-quorum side kept serving through the cut —\n\
+         zero under crash-approx, which kills that side outright. `fenced acks` parked\n\
+         behind the quorum fence and `divergent epochs` were aborted at heal; their\n\
+         clients resubmitted (`retried acks`), so `lost` stays 0 for quorum-fence. The\n\
+         optimistic arm releases minority acks at commit and pays for it at heal with\n\
+         `lost` > 0 — acks whose timeline did not survive.)"
+    );
+    out
+}
+
 /// Runs every experiment in sequence.
 pub fn all(scale: Scale) -> String {
     let mut out = String::new();
@@ -862,6 +1010,7 @@ pub fn all(scale: Scale) -> String {
         ("figf1", fig_f1(scale)),
         ("figf2", fig_f2(scale)),
         ("fige", fig_e(scale)),
+        ("figsb", fig_sb(scale)),
     ] {
         let _ = name;
         out.push_str(&s);

@@ -19,6 +19,11 @@
 //! figf1 crash script — ack-at-commit leaks `acked_then_lost` commits at a
 //! crash, epoch group commit holds it at zero.
 //!
+//! `figsb` is the honest split-brain experiment: quorum fencing vs the
+//! legacy crash approximation vs optimistic minority acks under a network
+//! cut that both sides survive — availability kept on the minority side
+//! against the divergent work the heal must abort and retry.
+//!
 //! `--full` lengthens the runs (5 s steady-state, 15 s hotspot periods);
 //! the default quick scale finishes the whole suite in a few minutes.
 //!
@@ -95,11 +100,12 @@ fn main() {
         "figf1" => figures::fig_f1(scale),
         "figf2" => figures::fig_f2(scale),
         "fige" => figures::fig_e(scale),
+        "figsb" => figures::fig_sb(scale),
         "all" => figures::all(scale),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: lion-bench [table1|table2|fig6..fig14|figf1|figf2|fige|all|perf|obsgate] [--full] [--export=runs.jsonl]"
+                "usage: lion-bench [table1|table2|fig6..fig14|figf1|figf2|fige|figsb|all|perf|obsgate] [--full] [--export=runs.jsonl]"
             );
             std::process::exit(2);
         }

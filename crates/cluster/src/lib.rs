@@ -21,6 +21,6 @@ pub mod topology;
 
 pub use freq::FreqTracker;
 pub use topology::{
-    AdaptorError, Cluster, CrashReport, EpochFlush, PartitionRuntime, RecoveryReport,
+    AdaptorError, Cluster, CrashReport, EpochFlush, PartitionRuntime, RecoveryReport, SplitBrain,
     LAG_SYNC_US_PER_ENTRY,
 };

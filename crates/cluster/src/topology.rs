@@ -124,6 +124,26 @@ pub struct RecoveryReport {
     pub rejoin_secondaries: Vec<PartitionId>,
 }
 
+/// Live split-brain state (honest `Partition` semantics): both sides of the
+/// cut stay up, and per data partition exactly one side — the one holding a
+/// strict majority of the replica set's then-live holders — owns the
+/// durable timeline. Frozen at split begin, dissolved at heal.
+#[derive(Debug, Clone)]
+pub struct SplitBrain {
+    /// Per-node side: `0` = the rest of the cluster, `1` = the isolated set.
+    pub side_of: Vec<u8>,
+    /// Per data partition, the quorum side (same encoding as
+    /// [`SplitBrain::side_of`]) — only epochs sealed on this side may turn
+    /// durable. **Frozen at split begin**: crashes inside the window never
+    /// move the quorum (plan validation guarantees it survives).
+    pub quorum_side: Vec<u8>,
+    /// Per data partition, the quorum-side shadow-promotion target recorded
+    /// when the serving primary sits cut off on the *non*-quorum side. The
+    /// old primary keeps serving its side for the whole window (its commits
+    /// are quorum-fenced); the shadow remaster is applied for real at heal.
+    pub shadow: Vec<Option<NodeId>>,
+}
+
 /// The simulated cluster state shared by every protocol.
 pub struct Cluster {
     /// Static configuration.
@@ -143,6 +163,9 @@ pub struct Cluster {
     /// eviction, correlated crash scenarios — reads this one vector.
     pub zone_of: Vec<ZoneId>,
     stores: Vec<FastMap<u32, ReplicaStore>>,
+    /// Active split-brain window, when a `split_brain` fault plan has a
+    /// partition open (`None` outside windows and on the legacy path).
+    split: Option<SplitBrain>,
 }
 
 impl Cluster {
@@ -195,6 +218,7 @@ impl Cluster {
             node_up,
             zone_of,
             stores,
+            split: None,
         }
     }
 
@@ -303,6 +327,11 @@ impl Cluster {
         if !self.node_up[primary.idx()] || !self.node_up[to.idx()] {
             return Err(AdaptorError::Busy(part));
         }
+        // A mastership hand-off cannot cross an active cut: the two nodes
+        // cannot exchange the hand-off protocol.
+        if !self.same_side(primary, to) {
+            return Err(AdaptorError::Busy(part));
+        }
         let head = self
             .store(primary, part)
             .expect("primary store")
@@ -379,6 +408,10 @@ impl Cluster {
         }
         let primary = self.placement.primary_of(part);
         if !self.node_up[primary.idx()] || !self.node_up[to.idx()] {
+            return Err(AdaptorError::Busy(part));
+        }
+        // A snapshot copy cannot cross an active cut either.
+        if !self.same_side(primary, to) {
             return Err(AdaptorError::Busy(part));
         }
         let bytes = self
@@ -521,6 +554,10 @@ impl Cluster {
         if !self.node_up[primary.idx()] || !self.node_up[to.idx()] {
             return Err(AdaptorError::Busy(part));
         }
+        // A blocking migration cannot cross an active cut either.
+        if !self.same_side(primary, to) {
+            return Err(AdaptorError::Busy(part));
+        }
         let bytes = self
             .store(primary, part)
             .expect("primary store")
@@ -616,6 +653,183 @@ impl Cluster {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Split-brain windows (honest network partitions)
+    // ------------------------------------------------------------------
+
+    /// The active split-brain window, if any.
+    #[inline]
+    pub fn split_brain(&self) -> Option<&SplitBrain> {
+        self.split.as_ref()
+    }
+
+    /// True while a split-brain window is open.
+    #[inline]
+    pub fn split_active(&self) -> bool {
+        self.split.is_some()
+    }
+
+    /// Side of the cut hosting `node` (`0` = rest, `1` = isolated; `0` for
+    /// every node when no split is active).
+    #[inline]
+    pub fn side_of(&self, node: NodeId) -> u8 {
+        self.split.as_ref().map_or(0, |s| s.side_of[node.idx()])
+    }
+
+    /// True when `a` and `b` can exchange messages as far as the cut is
+    /// concerned (always true outside split-brain windows).
+    #[inline]
+    pub fn same_side(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.split {
+            None => true,
+            Some(s) => s.side_of[a.idx()] == s.side_of[b.idx()],
+        }
+    }
+
+    /// True when a message from `from` can actually reach `to`: both nodes
+    /// live and on the same side of any active cut. This is the reachability
+    /// predicate that replaces the old crashed-node approximation.
+    #[inline]
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.node_up[from.idx()] && self.node_up[to.idx()] && self.same_side(from, to)
+    }
+
+    /// Quorum side of `part` under the active split (`0` when none): the
+    /// side frozen at split begin as holder of a strict majority of the
+    /// partition's replica set.
+    #[inline]
+    pub fn quorum_side_of(&self, part: PartitionId) -> u8 {
+        self.split.as_ref().map_or(0, |s| s.quorum_side[part.idx()])
+    }
+
+    /// Shadow-promotion target recorded for `part`, if any.
+    #[inline]
+    pub fn shadow_of(&self, part: PartitionId) -> Option<NodeId> {
+        self.split.as_ref().and_then(|s| s.shadow[part.idx()])
+    }
+
+    /// Records the quorum-side shadow-promotion target for `part` (applied
+    /// for real at heal; see [`SplitBrain::shadow`]).
+    pub fn set_shadow(&mut self, part: PartitionId, to: NodeId) {
+        let s = self.split.as_mut().expect("shadow outside split window");
+        s.shadow[part.idx()] = Some(to);
+    }
+
+    /// Opens a split-brain window isolating `isolated` from the rest of the
+    /// cluster. Freezes each data partition's quorum side over its then-live
+    /// replica holders and cancels every in-flight transfer that straddles
+    /// the cut (remaster/migration/failover targets and background copy
+    /// destinations cut off from the serving primary) — their scheduled
+    /// completions go stale via the generation bump. Returns the partitions
+    /// whose in-flight failovers were aborted so the caller can re-plan
+    /// them on the quorum side.
+    pub fn begin_split(&mut self, isolated: &[NodeId], now: Time) -> Vec<PartitionId> {
+        assert!(self.split.is_none(), "split window already open");
+        let mut side_of = vec![0u8; self.cfg.nodes];
+        for n in isolated {
+            side_of[n.idx()] = 1;
+        }
+        let n_parts = self.n_partitions();
+        let mut quorum_side = vec![0u8; n_parts];
+        for (p, qs) in quorum_side.iter_mut().enumerate() {
+            let part = PartitionId(p as u32);
+            let holders = self.placement.replica_nodes(part);
+            let rf = holders.len();
+            let mut live = [0usize; 2];
+            for h in &holders {
+                if self.node_up[h.idx()] {
+                    live[side_of[h.idx()] as usize] += 1;
+                }
+            }
+            // Plan validation guarantees one side holds a strict majority
+            // of the full replica set; the tie-breaking fallback (more live
+            // holders, rest side on a tie) only fires for hand-built
+            // clusters that bypassed validation.
+            *qs = if live[0] * 2 > rf {
+                0
+            } else if live[1] * 2 > rf {
+                1
+            } else {
+                u8::from(live[1] > live[0])
+            };
+        }
+        self.split = Some(SplitBrain {
+            side_of,
+            quorum_side,
+            shadow: vec![None; n_parts],
+        });
+        let mut aborted_failovers = Vec::new();
+        for p in 0..n_parts {
+            let part = PartitionId(p as u32);
+            let sp = self.placement.primary_of(part);
+            let rt = &mut self.parts[p];
+            let split = self.split.as_ref().expect("just opened");
+            let cut_off = |n: NodeId| split.side_of[n.idx()] != split.side_of[sp.idx()];
+            let cancel_remaster = rt.remastering.is_some_and(cut_off);
+            let cancel_migration = rt.migrating.is_some_and(cut_off);
+            let cancel_failover = rt.failing_over.is_some_and(cut_off);
+            if cancel_remaster {
+                rt.remastering = None;
+            }
+            if cancel_migration {
+                rt.migrating = None;
+            }
+            if cancel_failover {
+                rt.failing_over = None;
+                aborted_failovers.push(part);
+            }
+            if cancel_remaster || cancel_migration || cancel_failover {
+                rt.gen += 1;
+                rt.blocked_until = rt.blocked_until.min(now);
+            }
+            rt.copying_to.retain(|&n| !cut_off(n));
+        }
+        aborted_failovers
+    }
+
+    /// Closes the split-brain window, returning its final state (shadow
+    /// targets, quorum sides) for the heal coordinator's reconciliation
+    /// bookkeeping. Reachability reverts to plain liveness.
+    pub fn end_split(&mut self) -> Option<SplitBrain> {
+        self.split.take()
+    }
+
+    /// Quorum-side promotion during a split: `part`'s serving primary sits
+    /// cut off on the non-quorum side, so the quorum side promotes `to`
+    /// **without any cross-cut replay** — the new primary adopts its own
+    /// applied head, and everything the old primary logged past it is the
+    /// divergent timeline discovered at heal. The old primary demotes in
+    /// place (its log and ack frontier survive for the heal audit) and
+    /// stays listed as a stale secondary until heal drops and re-adds it.
+    pub fn split_promote(&mut self, part: PartitionId, to: NodeId, now: Time) {
+        let old = self.placement.primary_of(part);
+        debug_assert!(
+            !self.same_side(old, to),
+            "split promotion within one side — use a plain failover"
+        );
+        let rt = &mut self.parts[part.idx()];
+        rt.gen += 1;
+        rt.primary_down = false;
+        rt.failing_over = None;
+        if let Some(s) = self.stores[old.idx()].get_mut(&part.0) {
+            if s.role == ReplicaRole::Primary {
+                s.demote();
+            }
+        }
+        let head = self
+            .store(to, part)
+            .expect("split promotion target has a store")
+            .applied_lsn;
+        self.stores[to.idx()]
+            .get_mut(&part.0)
+            .expect("split promotion target")
+            .promote(head);
+        self.placement
+            .remaster(part, to)
+            .expect("split promotion placement swap");
+        self.freq.touch(part, to, now);
+    }
+
     /// Halts `node`: cancels transfers involving it, strips it from every
     /// secondary list, and reports the partitions it primaried. For each
     /// orphaned partition that still has a live secondary, the dead
@@ -672,11 +886,13 @@ impl Cluster {
                 }
             }
             if primary_dead {
+                // During a split the drained epoch buffer can only reach
+                // survivors on the dead node's own side of the cut.
                 let has_live_secondary = self
                     .placement
                     .secondaries_of(part)
                     .iter()
-                    .any(|&s| self.node_up[s.idx()]);
+                    .any(|&s| self.node_up[s.idx()] && self.same_side(s, node));
                 let replay = if has_live_secondary {
                     self.stores[node.idx()]
                         .get_mut(&part.0)
@@ -740,12 +956,14 @@ impl Cluster {
         let dead = self.placement.primary_of(part);
 
         let entry_bytes: u64 = replay.iter().map(|e| e.wire_bytes()).sum();
+        // During a split the replay only reaches secondaries on the
+        // promotion target's side; same_side is always true otherwise.
         let secondaries: Vec<NodeId> = self
             .placement
             .secondaries_of(part)
             .iter()
             .copied()
-            .filter(|s| self.node_up[s.idx()])
+            .filter(|&s| self.node_up[s.idx()] && self.same_side(s, to))
             .collect();
         let mut shipped = 0u64;
         for sec in &secondaries {
@@ -823,6 +1041,21 @@ impl Cluster {
         }
     }
 
+    /// Drops a stale secondary during heal reconciliation: the replica
+    /// either missed the durable timeline's flushes across the cut or held
+    /// the divergent timeline itself, so its copy is discarded outright and
+    /// the caller re-adds the node through a background snapshot copy (the
+    /// [`Cluster::recover_node`] re-join pattern).
+    pub fn drop_stale_secondary(&mut self, part: PartitionId, node: NodeId) {
+        if self.placement.has_secondary(part, node) {
+            self.placement
+                .remove_secondary(part, node)
+                .expect("drop stale secondary");
+        }
+        self.stores[node.idx()].remove(&part.0);
+        self.freq.forget(part, node);
+    }
+
     /// Clears the stall on a restored partition (its primary node is back);
     /// operations resume once the restart window `until` passes.
     pub fn restore_partition(&mut self, part: PartitionId, until: Time) {
@@ -864,6 +1097,14 @@ impl Cluster {
             if !self.node_up[primary.idx()] {
                 continue; // dead primary: nothing ships until failover/restart
             }
+            if self.split_active() && self.side_of(primary) != self.quorum_side_of(part) {
+                // Quorum-fenced partition: the serving primary sits on the
+                // non-quorum side, so its seal can never replicate to a
+                // majority. Nothing ships and no frontier certifies —
+                // entries pile up in its buffer as the divergent timeline
+                // that heal-time reconciliation discards.
+                continue;
+            }
             let pending = {
                 let store = self.stores[primary.idx()]
                     .get_mut(&part.0)
@@ -876,7 +1117,16 @@ impl Cluster {
             let head = pending.last().expect("non-empty pending").lsn;
             out.frontiers.push((part, head));
             let bytes: u64 = pending.iter().map(|e| e.wire_bytes()).sum();
-            let secondaries: Vec<NodeId> = self.placement.secondaries_of(part).to_vec();
+            // Secondaries across an active cut are unreachable: they get
+            // nothing (going stale; heal drops and re-adds them), and they
+            // never gate the transit.
+            let secondaries: Vec<NodeId> = self
+                .placement
+                .secondaries_of(part)
+                .iter()
+                .copied()
+                .filter(|&s| self.same_side(s, primary))
+                .collect();
             for sec in secondaries {
                 if let Some(store) = self.store_mut(sec, part) {
                     store.apply_entries(&pending);
@@ -1293,5 +1543,139 @@ mod tests {
         );
         // flushing again is free
         assert_eq!(c.epoch_flush_all(), 0);
+    }
+
+    /// 4 nodes × rf 3, one partition per node: isolating {N2, N3} produces
+    /// all four per-partition split cases (see the figsb topology notes).
+    fn split_cfg() -> SimConfig {
+        SimConfig {
+            nodes: 4,
+            partitions_per_node: 1,
+            keys_per_partition: 32,
+            value_size: 16,
+            replication_factor: 3,
+            max_replicas: 4,
+            ..Default::default()
+        }
+    }
+
+    fn append_write(c: &mut Cluster, part: PartitionId, key: u64, txn: TxnId) {
+        let store = c.primary_store_mut(part);
+        store.table.occ_lock(key, txn);
+        let v = store
+            .table
+            .occ_install(key, txn, Bytes::from(vec![9u8; 16]));
+        store.log.append(part, key, v, Bytes::from(vec![9u8; 16]));
+    }
+
+    #[test]
+    fn begin_split_freezes_quorum_sides_and_reachability() {
+        let mut c = Cluster::new(split_cfg());
+        assert!(c.same_side(n(0), n(3)) && c.reachable(n(0), n(3)));
+        let aborted = c.begin_split(&[n(2), n(3)], 1_000);
+        assert!(aborted.is_empty());
+        assert!(c.split_active());
+        assert_eq!(c.side_of(n(0)), 0);
+        assert_eq!(c.side_of(n(2)), 1);
+        assert!(c.same_side(n(2), n(3)));
+        assert!(!c.same_side(n(1), n(2)));
+        assert!(!c.reachable(n(1), n(2)));
+        assert!(c.reachable(n(2), n(3)));
+        // round_robin(4, 4, 3): holders of p_i = {i, i+1, i+2 mod 4}
+        assert_eq!(c.quorum_side_of(p(0)), 0, "p0 {{0,1,2}}: majority rests");
+        assert_eq!(c.quorum_side_of(p(1)), 1, "p1 {{1,2,3}}: majority isolated");
+        assert_eq!(c.quorum_side_of(p(2)), 1, "p2 {{2,3,0}}: majority isolated");
+        assert_eq!(c.quorum_side_of(p(3)), 0, "p3 {{3,0,1}}: majority rests");
+        let state = c.end_split().expect("window was open");
+        assert_eq!(state.quorum_side, vec![0, 1, 1, 0]);
+        assert!(!c.split_active());
+        assert!(c.reachable(n(1), n(2)));
+    }
+
+    #[test]
+    fn quorum_side_counts_only_live_holders_at_split_begin() {
+        let mut c = Cluster::new(split_cfg());
+        // p0 holders {0,1,2}: with N1 dead the cut {2,3} splits the live
+        // holders 1/1 — no strict majority, fallback keeps the rest side.
+        c.crash_node(n(1), 500);
+        c.begin_split(&[n(2), n(3)], 1_000);
+        assert_eq!(c.quorum_side_of(p(0)), 0);
+        // p1 holders {1,2,3}: live holders 0/2 — isolated side quorum.
+        assert_eq!(c.quorum_side_of(p(1)), 1);
+    }
+
+    #[test]
+    fn split_promote_swaps_primary_without_cross_cut_replay() {
+        let mut c = Cluster::new(split_cfg());
+        // p3 holders {3,0,1}: primary N3 isolated, quorum side rests.
+        append_write(&mut c, p(3), 4, TxnId(1));
+        c.epoch_flush_all(); // replicated pre-split
+        append_write(&mut c, p(3), 5, TxnId(2)); // stranded on N3
+        c.begin_split(&[n(2), n(3)], 1_000);
+        let target_head = c.store(n(0), p(3)).unwrap().applied_lsn;
+        c.split_promote(p(3), n(0), 2_000);
+        assert_eq!(c.placement.primary_of(p(3)), n(0));
+        let promoted = c.store(n(0), p(3)).unwrap();
+        assert_eq!(promoted.role, ReplicaRole::Primary);
+        assert_eq!(
+            promoted.applied_lsn, target_head,
+            "no cross-cut replay: the target adopts its own head"
+        );
+        // The divergent old primary demoted in place, log intact for the
+        // heal audit.
+        let old = c.store(n(3), p(3)).unwrap();
+        assert_eq!(old.role, ReplicaRole::Secondary);
+        assert_eq!(old.log.pending().len(), 1, "stranded entry survives");
+        assert!(c.placement.has_secondary(p(3), n(3)));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn seal_flush_skips_fenced_partitions_and_cut_off_secondaries() {
+        let mut c = Cluster::new(split_cfg());
+        c.begin_split(&[n(2), n(3)], 1_000);
+        // p1's primary N1 serves from the non-quorum side: fenced.
+        append_write(&mut c, p(1), 3, TxnId(1));
+        // p0's primary N0 is on its quorum side: ships, but only to N1.
+        append_write(&mut c, p(0), 2, TxnId(2));
+        let flush = c.epoch_flush_for_seal();
+        assert_eq!(
+            flush.frontiers.iter().map(|f| f.0).collect::<Vec<_>>(),
+            vec![p(0)],
+            "only the quorum-served partition certifies a frontier"
+        );
+        assert!(
+            !c.store(n(1), p(1)).unwrap().log.pending().is_empty()
+                || c.store(n(1), p(1)).unwrap().applied_lsn == 0,
+            "fenced partition shipped nothing"
+        );
+        // N1 (same side) caught up on p0; N2 (cut off) did not.
+        assert_eq!(c.store(n(1), p(0)).unwrap().applied_lsn, 1);
+        assert_eq!(c.store(n(2), p(0)).unwrap().applied_lsn, 0);
+        // The fenced primary's buffer is still intact for the heal audit.
+        assert_eq!(c.store(n(1), p(1)).unwrap().log.pending().len(), 1);
+    }
+
+    #[test]
+    fn begin_split_cancels_transfers_straddling_the_cut() {
+        let mut c = Cluster::new(split_cfg());
+        // p0 primary N0: remaster toward N2 crosses the upcoming cut.
+        c.begin_remaster(p(0), n(2), 100).unwrap();
+        // p1 primary N1 → N3 also crosses; p2 primary N2 → N3 stays inside.
+        c.begin_remaster(p(1), n(3), 100).unwrap();
+        c.begin_remaster(p(2), n(3), 100).unwrap();
+        let g0 = c.parts[0].gen;
+        let g2 = c.parts[2].gen;
+        let aborted = c.begin_split(&[n(2), n(3)], 1_000);
+        assert!(aborted.is_empty(), "no failovers were in flight");
+        assert_eq!(c.parts[0].remastering, None);
+        assert_eq!(c.parts[1].remastering, None);
+        assert!(c.parts[0].gen > g0, "stale completion fenced by gen bump");
+        assert_eq!(
+            c.parts[2].remastering,
+            Some(n(3)),
+            "same-side transfer survives"
+        );
+        assert_eq!(c.parts[2].gen, g2);
     }
 }

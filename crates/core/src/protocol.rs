@@ -183,6 +183,11 @@ impl Lion {
 
     /// Advances to the current partition group or to the commit phase.
     fn process_group(&mut self, eng: &mut Engine, txn: TxnId) {
+        // Honest split-brain: park coordinators cut off from a partition
+        // they need until reachability returns (promotion or heal).
+        if !eng.txn_reachable(txn) {
+            return eng.park_until_heal(txn);
+        }
         let gi = eng.txn(txn).step as usize;
         if gi >= eng.txn(txn).n_groups() {
             return self.begin_commit(eng, txn);

@@ -40,6 +40,13 @@ pub struct DurabilityConfig {
     /// monotonicity). Off by default — long runs would grow the log
     /// unboundedly.
     pub record_acks: bool,
+    /// Charge an idempotent-resubmit round trip when a client retries a
+    /// transaction swept up by an epoch abort (crash or heal-time divergence
+    /// reconciliation): the retry re-enters after `backoff + client↔home RTT`
+    /// and its resubmission message is priced on the wire. Off by default —
+    /// the pre-existing free-instant-retry behavior is what the pinned
+    /// digest goldens capture.
+    pub retry_round_trip: bool,
 }
 
 impl DurabilityConfig {
@@ -54,6 +61,12 @@ impl DurabilityConfig {
             epoch_commit_us,
             ..Self::default()
         }
+    }
+
+    /// Enables the priced resubmission round trip on epoch-abort retries.
+    pub fn with_retry_round_trip(mut self) -> Self {
+        self.retry_round_trip = true;
+        self
     }
 }
 
@@ -133,6 +146,18 @@ pub struct EpochManager {
     /// crashes so a promoted primary cannot ack an epoch the dead primary's
     /// timeline already aborted.
     fence: u64,
+    /// Quorum-fenced acks: commits whose writes touch a partition served
+    /// from the non-quorum side of an active split-brain window. They can
+    /// never reach a majority of the replica set, so they bypass the open
+    /// epoch and park here until heal-time reconciliation
+    /// ([`EpochManager::abort_fenced`]) retries their clients.
+    fenced: Vec<PendingAck>,
+    /// True when a fenced ack parked since the last epoch-seal boundary —
+    /// drives [`EpochManager::fenced_epochs`] accounting.
+    fenced_since_seal: bool,
+    /// Epoch-seal boundaries the divergent (fenced) timeline has spanned so
+    /// far: the `n` reported by a heal's `DivergentEpochAborted` event.
+    fenced_epochs: u64,
     /// Every released ack, when [`DurabilityConfig::record_acks`] is set.
     pub ack_log: Vec<AckRecord>,
 }
@@ -146,6 +171,9 @@ impl EpochManager {
             open: Vec::new(),
             inflight: Vec::new(),
             fence: 0,
+            fenced: Vec::new(),
+            fenced_since_seal: false,
+            fenced_epochs: 0,
             ack_log: Vec::new(),
         }
     }
@@ -180,12 +208,58 @@ impl EpochManager {
         self.open.push(ack);
     }
 
+    /// Whether epoch-abort retries pay a resubmission round trip
+    /// (see [`DurabilityConfig::retry_round_trip`]).
+    #[inline]
+    pub fn retry_round_trip(&self) -> bool {
+        self.cfg.retry_round_trip
+    }
+
+    /// Parks a commit whose ack is **quorum-fenced**: some written partition
+    /// is served from the non-quorum side of an active split-brain window,
+    /// so the seal can never replicate to a majority of its replica set.
+    /// The ack bypasses epochs entirely and waits for
+    /// [`EpochManager::abort_fenced`] at heal.
+    pub fn park_fenced(&mut self, ack: PendingAck) {
+        debug_assert!(self.enabled(), "fencing with epoch commit disabled");
+        self.fenced.push(ack);
+        self.fenced_since_seal = true;
+    }
+
+    /// Number of acks currently quorum-fenced (0 outside split-brain
+    /// windows and after a completed heal).
+    #[inline]
+    pub fn fenced_count(&self) -> usize {
+        self.fenced.len()
+    }
+
+    /// Heal-time divergence reconciliation: every quorum-fenced ack aborts,
+    /// its client retries, and the count of epoch boundaries the divergent
+    /// timeline spanned is reported as `epochs_aborted` (the `n` of a
+    /// `DivergentEpochAborted` event). A partially-filled divergent epoch at
+    /// heal counts as one.
+    pub fn abort_fenced(&mut self) -> EpochAbort {
+        let mut abort = EpochAbort {
+            epochs_aborted: self.fenced_epochs + u64::from(self.fenced_since_seal),
+            ..EpochAbort::default()
+        };
+        abort.retried.append(&mut self.fenced);
+        abort.retried.sort_unstable_by_key(|a| a.seq);
+        self.fenced_epochs = 0;
+        self.fenced_since_seal = false;
+        abort
+    }
+
     /// Seals the open epoch: the engine has just flushed the replication
     /// logs and hands over the per-partition frontiers that flush certifies.
     /// Returns the sealed epoch id, or `None` when there was nothing to
     /// seal (no parked acks and no flushed entries — the tick rotates
     /// silently).
     pub fn seal(&mut self, frontiers: Vec<(PartitionId, u64)>) -> Option<u64> {
+        if self.fenced_since_seal {
+            self.fenced_epochs += 1;
+            self.fenced_since_seal = false;
+        }
         if self.open.is_empty() && frontiers.is_empty() {
             return None;
         }
@@ -228,6 +302,8 @@ impl EpochManager {
     /// the in-flight epochs' parked transactions are returned for retry (in
     /// submission order), and the fence advances past every id issued so
     /// far — in-flight durability events that fire later find nothing.
+    /// Quorum-fenced acks are left parked: they resolve at heal via
+    /// [`EpochManager::abort_fenced`], never on the crash path.
     pub fn on_crash(&mut self) -> EpochAbort {
         let mut abort = EpochAbort::default();
         if !self.open.is_empty() {
@@ -322,10 +398,61 @@ mod tests {
     }
 
     #[test]
+    fn fenced_acks_park_outside_epochs_and_abort_at_heal() {
+        let mut m = EpochManager::new(DurabilityConfig::epoch(1_000));
+        m.park_fenced(ack(5));
+        m.park_fenced(ack(3));
+        assert_eq!(m.fenced_count(), 2);
+        assert_eq!(m.parked(), 0, "fenced acks never enter epochs");
+        // Fenced acks alone don't make a seal boundary non-empty...
+        assert_eq!(m.seal(Vec::new()), None);
+        m.park_fenced(ack(7));
+        assert_eq!(m.seal(Vec::new()), None);
+        // ...but a crash sweeps only epochs, never the fenced set.
+        let crash = m.on_crash();
+        assert_eq!(crash.epochs_aborted, 0);
+        assert!(crash.retried.is_empty());
+        assert_eq!(m.fenced_count(), 3);
+        // Heal: retries in submission order; both seal boundaries closed an
+        // interval holding fresh fenced acks, and nothing parked after the
+        // second, so the divergent timeline spanned exactly two epochs.
+        let heal = m.abort_fenced();
+        assert_eq!(
+            heal.retried.iter().map(|a| a.seq).collect::<Vec<_>>(),
+            vec![3, 5, 7]
+        );
+        assert_eq!(heal.epochs_aborted, 2);
+        assert_eq!(m.fenced_count(), 0);
+        // Idempotent after drain.
+        let again = m.abort_fenced();
+        assert_eq!(again.epochs_aborted, 0);
+        assert!(again.retried.is_empty());
+    }
+
+    #[test]
+    fn partial_divergent_epoch_at_heal_counts_as_one() {
+        let mut m = EpochManager::new(DurabilityConfig::epoch(1_000));
+        m.park_fenced(ack(1));
+        // No seal boundary passed — heal still reports one divergent epoch.
+        let heal = m.abort_fenced();
+        assert_eq!(heal.epochs_aborted, 1);
+        assert_eq!(heal.retried.len(), 1);
+    }
+
+    #[test]
+    fn retry_round_trip_builder() {
+        let cfg = DurabilityConfig::epoch(5_000).with_retry_round_trip();
+        assert!(cfg.retry_round_trip);
+        assert!(EpochManager::new(cfg).retry_round_trip());
+        assert!(!EpochManager::new(DurabilityConfig::epoch(5_000)).retry_round_trip());
+    }
+
+    #[test]
     fn ack_log_records_when_enabled() {
         let mut m = EpochManager::new(DurabilityConfig {
             epoch_commit_us: 1_000,
             record_acks: true,
+            ..DurabilityConfig::default()
         });
         m.park(ack(1));
         let id = m.seal(Vec::new()).unwrap();

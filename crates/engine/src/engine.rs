@@ -11,7 +11,9 @@ use lion_common::{
     TxnRequest, Workload,
 };
 use lion_durability::{DurabilityConfig, EpochManager, PendingAck};
-use lion_faults::{plan_failover, FaultKind, FaultNotice, FaultPlan};
+use lion_faults::{
+    plan_failover, plan_heal, plan_split_promotions, FaultKind, FaultNotice, FaultPlan, SplitAction,
+};
 use lion_obs::{ByteClass, CommitClass, MetricEvent, ObsHub, ObsMode};
 use lion_sim::CalendarQueue;
 use lion_storage::{LogEntry, OpOutcome, Table};
@@ -80,6 +82,10 @@ pub enum OpFail {
     },
     /// The row is prepare-locked by a conflicting transaction.
     Locked,
+    /// An active split-brain window cuts the transaction's home side off
+    /// from this partition's serving primary. The transaction parks until
+    /// reachability returns (a split promotion or the heal).
+    Unreachable,
 }
 
 /// Adaptor completions scheduled on the virtual clock. Blocking transfers
@@ -124,6 +130,15 @@ enum Ev {
     },
     /// Re-extend the block on a partition stalled on a dead primary.
     StallCheck(PartitionId),
+    /// The quorum side of an active split finished detecting + promoting a
+    /// partition whose serving primary is cut off on the minority side.
+    /// Stale when `seq` mismatches the engine's split counter, when the
+    /// split already healed, or when the target died mid-window.
+    SplitPromote {
+        part: PartitionId,
+        target: NodeId,
+        seq: u64,
+    },
 }
 
 /// Failover state carried between crash and promotion completion.
@@ -172,6 +187,18 @@ pub struct Engine {
     batch_buf: Vec<TxnId>,
     /// Reusable fault-abort victim buffer (no per-crash allocation).
     victim_buf: Vec<(u64, TxnId)>,
+    /// Monotonic split-window counter: stamps `Ev::SplitPromote` events so
+    /// promotions scheduled in one window are stale in the next.
+    split_seq: u64,
+    /// Virtual time the active split window opened (failover bookkeeping).
+    split_began_at: Time,
+    /// Transactions parked because the split cut their home side off from a
+    /// partition they access; drained (filtered by reachability) at each
+    /// split promotion and fully at heal.
+    heal_waiters: Vec<TxnId>,
+    /// Partitions whose unavailability window opened at split begin pending
+    /// a quorum-side promotion; any still open at heal close there.
+    split_unavail_open: Vec<PartitionId>,
 }
 
 impl Engine {
@@ -221,6 +248,10 @@ impl Engine {
             ack_at_commit,
             batch_buf: Vec::new(),
             victim_buf: Vec::new(),
+            split_seq: 0,
+            split_began_at: 0,
+            heal_waiters: Vec::new(),
+            split_unavail_open: Vec::new(),
         }
     }
 
@@ -421,6 +452,18 @@ impl Engine {
                         self.queue.schedule(poll, Ev::StallCheck(part));
                     }
                 }
+                Ev::SplitPromote { part, target, seq } => {
+                    if seq == self.split_seq
+                        && self.cluster.split_active()
+                        && self.cluster.is_up(target)
+                        && self
+                            .cluster
+                            .side_of(self.cluster.placement.primary_of(part))
+                            != self.cluster.quorum_side_of(part)
+                    {
+                        self.split_promote_event(proto, part, target);
+                    }
+                }
             }
         }
         RunReport::build(proto.name(), self, horizon)
@@ -435,18 +478,30 @@ impl Engine {
             FaultKind::Crash(node) => self.node_down(proto, node),
             FaultKind::Recover(node) => self.node_up_event(proto, node),
             FaultKind::Partition(nodes) => {
-                self.isolated = nodes.clone();
-                for n in nodes {
-                    if self.cluster.is_up(n) {
-                        self.node_down(proto, n);
+                if self.cfg.faults.split_brain() {
+                    let cut: Vec<NodeId> = nodes
+                        .into_iter()
+                        .filter(|&n| self.cluster.is_up(n))
+                        .collect();
+                    self.begin_split_brain(proto, cut);
+                } else {
+                    self.isolated = nodes.clone();
+                    for n in nodes {
+                        if self.cluster.is_up(n) {
+                            self.node_down(proto, n);
+                        }
                     }
                 }
             }
             FaultKind::Heal => {
-                let nodes = std::mem::take(&mut self.isolated);
-                for n in nodes {
-                    if !self.cluster.is_up(n) {
-                        self.node_up_event(proto, n);
+                if self.cfg.faults.split_brain() {
+                    self.heal_split_brain(proto);
+                } else {
+                    let nodes = std::mem::take(&mut self.isolated);
+                    for n in nodes {
+                        if !self.cluster.is_up(n) {
+                            self.node_up_event(proto, n);
+                        }
                     }
                 }
             }
@@ -477,10 +532,14 @@ impl Engine {
                     .flat_map(|&z| self.cluster.zone_members(z))
                     .filter(|&n| self.cluster.is_up(n))
                     .collect();
-                self.isolated = cut.clone();
-                for n in cut {
-                    if self.cluster.live_count() > 1 {
-                        self.node_down(proto, n);
+                if self.cfg.faults.split_brain() {
+                    self.begin_split_brain(proto, cut);
+                } else {
+                    self.isolated = cut.clone();
+                    for n in cut {
+                        if self.cluster.live_count() > 1 {
+                            self.node_down(proto, n);
+                        }
                     }
                 }
             }
@@ -700,6 +759,339 @@ impl Engine {
         // Slab iteration follows slot order, which slot reuse decouples from
         // arrival order; sort by submission sequence for a deterministic
         // retry/defer sequence (same seed ⇒ identical recovery timeline).
+        victims.sort_unstable();
+        let backoff = self.cfg.sim.retry_backoff_us;
+        for &(_, txn) in &victims {
+            let home = self.txn(txn).home;
+            self.emit(MetricEvent::Abort {
+                at: now,
+                fault: true,
+                node: home,
+                zone: self.cluster.zone(home),
+            });
+            self.release_all(txn);
+            self.txn_mut(txn).reset_for_retry(now + backoff);
+            self.txn_mut(txn).parked = true;
+            if self.batch_mode {
+                self.deferred.push(txn);
+                self.batch_done_one();
+            } else {
+                self.queue.schedule(backoff, Ev::Retry(txn));
+            }
+        }
+        self.victim_buf = victims; // recycle the allocation
+    }
+
+    // ----------------------------------------------------------------
+    // Honest split-brain (both sides live, quorum fencing, heal)
+    // ----------------------------------------------------------------
+
+    /// True when no active split cuts `txn`'s home side off from the
+    /// serving primary of any partition it accesses. Protocols check this
+    /// at submission (and on retry re-entry) and park unreachable
+    /// transactions via [`Engine::park_until_heal`] instead of spinning
+    /// retries against the cut.
+    pub fn txn_reachable(&self, txn: TxnId) -> bool {
+        if !self.cluster.split_active() {
+            return true;
+        }
+        let ctx = self.txn(txn);
+        ctx.parts.iter().all(|&p| {
+            self.cluster
+                .same_side(ctx.home, self.cluster.placement.primary_of(p))
+        })
+    }
+
+    /// Parks `txn` until reachability returns: the attempt fault-aborts
+    /// (scheduled wakes go stale through the attempt counter, exactly like
+    /// a crash abort) and the transaction joins the heal-waiter list, which
+    /// drains — filtered by reachability — at every split promotion and
+    /// fully at heal. The issuing client blocks with it: no goodput is
+    /// faked while the partition the client needs sits across the cut.
+    pub fn park_until_heal(&mut self, txn: TxnId) {
+        let now = self.now();
+        let home = self.txn(txn).home;
+        self.emit(MetricEvent::Abort {
+            at: now,
+            fault: true,
+            node: home,
+            zone: self.cluster.zone(home),
+        });
+        self.release_all(txn);
+        self.txn_mut(txn).reset_for_retry(now);
+        self.txn_mut(txn).parked = true;
+        self.heal_waiters.push(txn);
+        if self.batch_mode {
+            self.batch_done_one();
+        }
+    }
+
+    /// Re-admits parked heal waiters whose accessed partitions are all
+    /// reachable from their home side again (after a split promotion, or
+    /// after the heal closed the window entirely).
+    fn resume_reachable_waiters(&mut self) {
+        if self.heal_waiters.is_empty() {
+            return;
+        }
+        let backoff = self.cfg.sim.retry_backoff_us;
+        let waiters = std::mem::take(&mut self.heal_waiters);
+        let mut kept = Vec::new();
+        for txn in waiters {
+            if !self.is_live(txn) {
+                continue;
+            }
+            if self.txn_reachable(txn) {
+                if self.batch_mode {
+                    self.deferred.push(txn);
+                } else {
+                    self.queue.schedule(backoff, Ev::Retry(txn));
+                }
+            } else {
+                kept.push(txn);
+            }
+        }
+        self.heal_waiters = kept;
+    }
+
+    /// Opens an honest split-brain window over the (still-live) `cut`
+    /// nodes: both sides stay up, per-partition quorum sides freeze, the
+    /// quorum side schedules real promotions for partitions it lost to the
+    /// cut (shadow promotions when the quorum side *is* the isolated set),
+    /// and in-flight transactions stranded across the cut park until
+    /// reachability returns. No `Crash` events, no `NodeDown` notices —
+    /// nothing actually died.
+    fn begin_split_brain(&mut self, proto: &mut dyn Protocol, cut: Vec<NodeId>) {
+        let _ = &proto; // topology is unchanged until promotions land
+        let now = self.now();
+        if std::env::var_os("LION_TRACE").is_some() {
+            eprintln!("[{now}] split-brain begin {cut:?}");
+        }
+        self.split_seq += 1;
+        self.split_began_at = now;
+        self.emit(MetricEvent::PartitionBegin { at: now });
+        let aborted = self.cluster.begin_split(&cut, now);
+        for part in aborted {
+            self.replan_failover(part, now);
+        }
+        // Park in-flight transactions the cut strands mid-protocol, in
+        // submission order for a deterministic recovery timeline.
+        let mut stranded: Vec<(u64, TxnId)> = self
+            .txns
+            .iter()
+            .filter(|ctx| !ctx.parked)
+            .map(|ctx| (ctx.seq, ctx.id))
+            .collect();
+        stranded.sort_unstable();
+        for (_, txn) in stranded {
+            if !self.txn_reachable(txn) {
+                self.park_until_heal(txn);
+            }
+        }
+        let decisions = plan_split_promotions(&self.cluster);
+        if decisions
+            .iter()
+            .any(|d| matches!(d.action, SplitAction::Promote { .. }))
+        {
+            // Real promotions supersede cut-off primaries: epochs whose
+            // frontiers those primaries certified can no longer turn
+            // durable. Fence them like a crash — their parked acks retry,
+            // none were ever released.
+            self.abort_open_epochs();
+        }
+        for d in decisions {
+            match d.action {
+                SplitAction::Promote { target, duration } => {
+                    self.emit(MetricEvent::UnavailBegin {
+                        at: now,
+                        part: d.part,
+                    });
+                    self.split_unavail_open.push(d.part);
+                    self.queue.schedule(
+                        duration,
+                        Ev::SplitPromote {
+                            part: d.part,
+                            target,
+                            seq: self.split_seq,
+                        },
+                    );
+                }
+                SplitAction::Shadow { target } => self.cluster.set_shadow(d.part, target),
+                SplitAction::Stall => {
+                    self.emit(MetricEvent::PartitionStalled {
+                        at: now,
+                        part: d.part,
+                    });
+                }
+            }
+        }
+    }
+
+    /// A quorum-side promotion lands mid-window: the global routing view
+    /// flips to the quorum side's replica (the cut-off old primary demotes
+    /// in place, its log intact for the heal audit) and rest-side waiters
+    /// parked on this partition re-admit.
+    fn split_promote_event(&mut self, proto: &mut dyn Protocol, part: PartitionId, target: NodeId) {
+        let now = self.now();
+        let from = self.cluster.placement.primary_of(part);
+        let dead_head = self
+            .cluster
+            .store(from, part)
+            .map(|s| s.log.head_lsn())
+            .unwrap_or(0);
+        self.cluster.split_promote(part, target, now);
+        let promoted_head = self
+            .cluster
+            .store(target, part)
+            .map(|s| s.applied_lsn)
+            .unwrap_or(0);
+        if std::env::var_os("LION_TRACE").is_some() {
+            eprintln!("[{now}] split-promote {part} {from} -> {target}");
+        }
+        self.emit(MetricEvent::Failover {
+            record: FailoverRecord {
+                part,
+                from,
+                to: target,
+                dead_head,
+                promoted_head,
+                lag: 0,
+                crashed_at: self.split_began_at,
+                completed_at: now,
+            },
+            replayed: 0,
+        });
+        self.emit(MetricEvent::UnavailEnd { at: now, part });
+        self.split_unavail_open.retain(|&p| p != part);
+        proto.on_fault(
+            self,
+            &FaultNotice::FailoverComplete {
+                part,
+                from,
+                to: target,
+            },
+        );
+        self.resume_reachable_waiters();
+    }
+
+    /// The cut heals: reconcile the divergence the window accumulated.
+    /// Order matters — (1) abort in-flight work on partitions whose serving
+    /// primary is about to swap (prepare-locks must release against the
+    /// placement that granted them), (2) adopt the quorum timeline by
+    /// applying the recorded shadow promotions, (3) audit every stale
+    /// replica's log for acked-then-lost work, then discard it and re-add
+    /// the replica via a background snapshot copy, (4) close promotion
+    /// windows the mid-window hand-off never closed, (5) abort the fenced
+    /// epochs and retry their parked clients, (6) end the window and
+    /// release every remaining parked waiter.
+    fn heal_split_brain(&mut self, proto: &mut dyn Protocol) {
+        if !self.cluster.split_active() {
+            return;
+        }
+        let now = self.now();
+        if std::env::var_os("LION_TRACE").is_some() {
+            eprintln!("[{now}] split-brain heal");
+        }
+        self.emit(MetricEvent::PartitionHeal { at: now });
+        let steps = plan_heal(&self.cluster);
+        let swapping: Vec<PartitionId> = steps
+            .iter()
+            .filter(|s| s.shadow.is_some())
+            .map(|s| s.part)
+            .collect();
+        if !swapping.is_empty() {
+            self.fault_abort_touching_parts(&swapping);
+        }
+        for step in &steps {
+            if let Some(target) = step.shadow {
+                let from = self.cluster.placement.primary_of(step.part);
+                let dead_head = self
+                    .cluster
+                    .store(from, step.part)
+                    .map(|s| s.log.head_lsn())
+                    .unwrap_or(0);
+                self.cluster.split_promote(step.part, target, now);
+                let promoted_head = self
+                    .cluster
+                    .store(target, step.part)
+                    .map(|s| s.applied_lsn)
+                    .unwrap_or(0);
+                if std::env::var_os("LION_TRACE").is_some() {
+                    eprintln!("[{now}] heal-promote {} {from} -> {target}", step.part);
+                }
+                self.emit(MetricEvent::Failover {
+                    record: FailoverRecord {
+                        part: step.part,
+                        from,
+                        to: target,
+                        dead_head,
+                        promoted_head,
+                        lag: 0,
+                        crashed_at: self.split_began_at,
+                        completed_at: now,
+                    },
+                    replayed: 0,
+                });
+                proto.on_fault(
+                    self,
+                    &FaultNotice::FailoverComplete {
+                        part: step.part,
+                        from,
+                        to: target,
+                    },
+                );
+            }
+        }
+        for step in &steps {
+            for &n in &step.stale {
+                if let Some(store) = self.cluster.store(n, step.part) {
+                    // The divergence audit: acked-but-never-replicated
+                    // entries on a timeline that just lost. Zero in epoch
+                    // mode (fenced acks never escaped); the optimistic
+                    // minority-ack arm pays its leak here.
+                    let lost = store.log.acked_unshipped();
+                    self.emit(MetricEvent::AckedThenLost { at: now, n: lost });
+                }
+                self.cluster.drop_stale_secondary(step.part, n);
+                let _ = self.add_replica_async(step.part, n, false);
+            }
+        }
+        for part in std::mem::take(&mut self.split_unavail_open) {
+            self.emit(MetricEvent::UnavailEnd { at: now, part });
+        }
+        if self.epochs.enabled() {
+            let abort = self.epochs.abort_fenced();
+            self.emit(MetricEvent::DivergentEpochAborted {
+                at: now,
+                n: abort.epochs_aborted,
+            });
+            let backoff = self.cfg.sim.retry_backoff_us;
+            let extra = self.retry_resubmit_cost(abort.retried.len());
+            for ack in abort.retried {
+                self.emit(MetricEvent::EpochRetriedAck { at: now });
+                if !self.batch_mode {
+                    self.queue
+                        .schedule(backoff + extra, Ev::ClientNext(ack.client));
+                }
+            }
+        }
+        self.cluster.end_split();
+        self.resume_reachable_waiters();
+        debug_assert!(self.heal_waiters.is_empty(), "waiters survived the heal");
+    }
+
+    /// Aborts every in-flight transaction touching one of `parts` (the
+    /// heal is about to swap their serving primaries; prepare-locks must
+    /// release while the placement that granted them still routes there).
+    fn fault_abort_touching_parts(&mut self, parts: &[PartitionId]) {
+        let now = self.now();
+        let mut victims = std::mem::take(&mut self.victim_buf);
+        victims.clear();
+        victims.extend(
+            self.txns
+                .iter()
+                .filter(|ctx| !ctx.parked && ctx.parts.iter().any(|p| parts.contains(p)))
+                .map(|ctx| (ctx.seq, ctx.id)),
+        );
         victims.sort_unstable();
         let backoff = self.cfg.sim.retry_backoff_us;
         for &(_, txn) in &victims {
@@ -985,6 +1377,11 @@ impl Engine {
             return Err(OpFail::NotPrimary {
                 primary: self.cluster.placement.primary_of(part),
             });
+        }
+        if self.cluster.split_active() && !self.cluster.same_side(self.txn(txn).home, node) {
+            // Honest split-brain: the serving primary is on the far side of
+            // the cut from this transaction's coordinator.
+            return Err(OpFail::Unreachable);
         }
         self.cluster.freq.record_access(part, node, now);
         match op.kind {
@@ -1312,7 +1709,15 @@ impl Engine {
         for (part, lsn) in epoch.frontiers {
             let primary = self.cluster.placement.primary_of(part);
             if let Some(store) = self.cluster.store_mut(primary, part) {
-                store.log.mark_acked(lsn);
+                // Epoch-mode acks only ever escape *behind* replication, so
+                // the ack frontier can never legitimately pass the shipped
+                // frontier. Capping matters when the primary moved between
+                // seal and durability (a remaster raced the transit): the
+                // new primary's log never shipped these entries, and an
+                // uncapped mark would fabricate acked-but-unshipped state
+                // the split-brain heal audit then miscounts as lost acks.
+                let capped = lsn.min(store.log.shipped_lsn());
+                store.log.mark_acked(capped);
             }
         }
         for ack in epoch.acks {
@@ -1342,12 +1747,35 @@ impl Engine {
             n: abort.epochs_aborted,
         });
         let backoff = self.cfg.sim.retry_backoff_us;
+        let extra = self.retry_resubmit_cost(abort.retried.len());
         for ack in abort.retried {
             self.emit(MetricEvent::EpochRetriedAck { at: now });
             if !self.batch_mode {
-                self.queue.schedule(backoff, Ev::ClientNext(ack.client));
+                self.queue
+                    .schedule(backoff + extra, Ev::ClientNext(ack.client));
             }
         }
+    }
+
+    /// Group-commit-aware retry pricing: when `retry_round_trip` is on, an
+    /// idempotent client resubmission after an epoch abort pays its own
+    /// request round trip on the wire (request out + ack back, at message
+    /// framing size) instead of reappearing for free after the back-off.
+    /// Returns the extra per-retry delay; `0` when the mode is off.
+    fn retry_resubmit_cost(&mut self, retried: usize) -> Time {
+        if !self.epochs.retry_round_trip() || retried == 0 {
+            return 0;
+        }
+        let now = self.now();
+        let overhead = self.cfg.sim.net.msg_overhead_bytes;
+        self.emit(MetricEvent::Bytes {
+            at: now,
+            class: ByteClass::Message,
+            bytes: 2 * u64::from(overhead) * retried as u64,
+            node: None,
+            zone: None,
+        });
+        2 * self.cfg.sim.net.delay(0)
     }
 
     /// Crash audit for the no-acked-commit-lost invariant: counts log
@@ -1383,6 +1811,17 @@ impl Engine {
     pub fn commit(&mut self, txn: TxnId) {
         let now = self.now();
         let ctx = self.txns.remove(txn).expect("live transaction");
+        // Quorum fence: during an active split a commit whose writes touch a
+        // partition served from the non-quorum side can never replicate its
+        // writes to a majority of the replica set — its ack must not be
+        // allowed to turn durable. Ack-at-commit mode releases it anyway
+        // (the optimistic-minority-ack arm; the heal audit counts the leak),
+        // epoch mode parks it fenced until the heal coordinator retries it.
+        let fenced = self.cluster.split_active()
+            && ctx
+                .write_set
+                .iter()
+                .any(|w| self.cluster.quorum_side_of(w.part) != self.cluster.side_of(ctx.home));
         self.emit(MetricEvent::Commit {
             at: now,
             latency_us: now.saturating_sub(ctx.start),
@@ -1395,6 +1834,9 @@ impl Engine {
             zone: self.cluster.zone(ctx.home),
             phase_us: ctx.phase_us,
         });
+        if fenced {
+            self.emit(MetricEvent::MinorityCommit { at: now });
+        }
         if self.batch_mode {
             self.batch_done_one();
         }
@@ -1406,6 +1848,15 @@ impl Engine {
             if !self.batch_mode {
                 self.queue.schedule(1, Ev::ClientNext(ctx.client));
             }
+        } else if fenced {
+            self.emit(MetricEvent::FencedAck { at: now });
+            self.epochs.park_fenced(PendingAck {
+                txn,
+                client: ctx.client,
+                seq: ctx.seq,
+                start: ctx.start,
+                committed_at: now,
+            });
         } else {
             self.epochs.park(PendingAck {
                 txn,

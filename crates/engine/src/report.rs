@@ -93,6 +93,23 @@ pub struct RunReport {
     /// Acked-but-never-replicated log entries on crashed primaries — the
     /// durability hole. Must be zero under epoch group commit.
     pub acked_then_lost: u64,
+    /// Split-brain windows opened. Like every split-brain field below,
+    /// deterministic but excluded from [`RunReport::digest`]: the goldens
+    /// predate honest partitions, and the fields are zero unless a plan
+    /// opts into `split_brain`.
+    pub partitions_begun: u64,
+    /// Split-brain windows healed.
+    pub partitions_healed: u64,
+    /// Commit acks quorum-fenced during split-brain windows (parked outside
+    /// epochs until heal reconciliation).
+    pub fenced_acks: u64,
+    /// Epoch boundaries spanned by divergent timelines aborted at heal.
+    pub divergent_epochs_aborted: u64,
+    /// Commits executed on the minority (non-quorum) side of a split.
+    pub minority_commits: u64,
+    /// Minority-side commits per second at 100 ms resolution (the
+    /// availability both-sides-live buys during a split).
+    pub minority_goodput_series: Vec<f64>,
     /// Theoretical minimum commit RTT this topology allows (see
     /// [`lion_common::SimConfig::commit_floor_us`]). Pure configuration —
     /// excluded from [`RunReport::digest`] like every field below.
@@ -180,6 +197,12 @@ impl RunReport {
             epochs_aborted: m.epochs_aborted,
             epoch_retried_acks: m.epoch_retried_acks,
             acked_then_lost: m.acked_then_lost,
+            partitions_begun: m.partitions_begun,
+            partitions_healed: m.partitions_healed,
+            fenced_acks: m.fenced_acks,
+            divergent_epochs_aborted: m.divergent_epochs_aborted,
+            minority_commits: m.minority_commits,
+            minority_goodput_series: m.minority_goodput_series.rates_per_sec(),
             latency_floor_us,
             p50_floor_x,
             node_rollups: eng.obs.dims.node_rollups(duration_us),
@@ -436,6 +459,17 @@ impl RunReport {
             self.epoch_retried_acks
         ));
         s.push_str(&format!(",\"acked_then_lost\":{}", self.acked_then_lost));
+        s.push_str(&format!(",\"partitions_begun\":{}", self.partitions_begun));
+        s.push_str(&format!(
+            ",\"partitions_healed\":{}",
+            self.partitions_healed
+        ));
+        s.push_str(&format!(",\"fenced_acks\":{}", self.fenced_acks));
+        s.push_str(&format!(
+            ",\"divergent_epochs_aborted\":{}",
+            self.divergent_epochs_aborted
+        ));
+        s.push_str(&format!(",\"minority_commits\":{}", self.minority_commits));
         s.push_str(&format!(",\"series_bucket_us\":{}", self.series_bucket_us));
         s.push_str(&format!(
             ",\"goodput_bucket_us\":{}",
@@ -452,6 +486,10 @@ impl RunReport {
         s.push_str(&format!(
             ",\"goodput_series\":{}",
             arr(self.goodput_series.iter().map(|&v| num(v)))
+        ));
+        s.push_str(&format!(
+            ",\"minority_goodput_series\":{}",
+            arr(self.minority_goodput_series.iter().map(|&v| num(v)))
         ));
         s.push_str(&format!(
             ",\"node_rollups\":{}",

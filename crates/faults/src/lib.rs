@@ -33,8 +33,8 @@
 //! |---|---|
 //! | [`FaultKind::Crash`] | the node halts: its workers stop, in-flight transactions touching it abort, its primaries fail over (or stall when no live replica exists) |
 //! | [`FaultKind::Recover`] | the node restarts with its on-disk state: stalled primaries resume after a restart window; stale secondaries re-join via background snapshot copies |
-//! | [`FaultKind::Partition`] | a network partition isolates a set of nodes; the majority side treats them exactly like crashed nodes (they are unreachable) |
-//! | [`FaultKind::Heal`] | the network partition heals; isolated nodes re-join like recovered nodes |
+//! | [`FaultKind::Partition`] | a network partition isolates a set of nodes. By default the majority side treats them exactly like crashed nodes; with [`FaultPlan::with_split_brain`] **both sides stay live** — per data partition the side holding a strict majority of the replica set owns the durable timeline, the other side's coordinators keep accepting quorum-fenced work, and the [`heal`] coordinator reconciles the divergence at heal |
+//! | [`FaultKind::Heal`] | the network partition heals; isolated nodes re-join like recovered nodes (split-brain plans additionally audit, abort, and retry the divergent timeline's fenced work) |
 //! | [`FaultKind::ZoneCrash`] | **correlated failure**: every live node of a failure domain halts atomically on one virtual-clock tick (rack power loss) — including a failover target mid-promotion, which is re-planned over the survivors |
 //! | [`FaultKind::ZoneHeal`] | power restored: every down node of the zone restarts |
 //! | [`FaultKind::ZonePartition`] | zone-aware network partition: whole racks are cut off until the matching [`FaultKind::Heal`] |
@@ -67,9 +67,11 @@
 //! affinity to the dead node and re-running the provision loop (Algorithm 1)
 //! once failover lands.
 
+pub mod heal;
 pub mod plan;
 pub mod recovery;
 
+pub use heal::{plan_heal, plan_split_promotions, HealStep, SplitAction, SplitDecision};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use recovery::{
     plan_failover, price_promotion, promotion_candidates, select_promotion_target,

@@ -67,6 +67,19 @@ pub enum FaultPlanError {
     /// `Recover`/`ZoneHeal`/`Heal`: the run would stall that partition
     /// forever. Caught at validation instead of silently hanging.
     OrphanedForever(PartitionId),
+    /// Split-brain refinement of [`FaultPlanError::OrphanedForever`]: at
+    /// some instant of an open split-brain partition window, *neither* side
+    /// of the cut holds a strict majority of this data partition's replica
+    /// set among its live nodes. No side could fence the other, both
+    /// timelines would claim durability, and the heal reconciliation would
+    /// have no surviving timeline to keep — rejected up front.
+    NoQuorumSide {
+        /// Virtual time (µs) at which the quorum was lost (the partition
+        /// event itself, or a crash inside the window).
+        at: Time,
+        /// The data partition with no quorum side.
+        part: PartitionId,
+    },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -103,6 +116,13 @@ impl fmt::Display for FaultPlanError {
                     "plan leaves every replica of {p} down forever (no recover/heal)"
                 )
             }
+            FaultPlanError::NoQuorumSide { at, part } => {
+                write!(
+                    f,
+                    "split-brain partition at t={at}µs leaves no side with a \
+                     live majority of {part}'s replica set"
+                )
+            }
         }
     }
 }
@@ -117,12 +137,19 @@ impl std::error::Error for FaultPlanError {}
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+    /// Honest split-brain mode: `Partition`/`ZonePartition` keep **both**
+    /// sides live instead of approximating the isolated side as crashed.
+    /// Minority-side coordinators keep accepting work (their acks fence
+    /// behind the quorum seal), the quorum side promotes, and the matching
+    /// `Heal` runs divergence reconciliation. Off by default — the legacy
+    /// crash-approximation path stays bit-identical.
+    split_brain: bool,
 }
 
 impl FaultPlan {
     /// An empty plan (no faults — the default for every run).
     pub fn new() -> Self {
-        FaultPlan { events: Vec::new() }
+        FaultPlan::default()
     }
 
     /// Alias for [`FaultPlan::new`], reading better at call sites.
@@ -165,6 +192,21 @@ impl FaultPlan {
     /// Schedules a network partition isolating `nodes` at `at`.
     pub fn partition_at(self, at: Time, nodes: Vec<NodeId>) -> Self {
         self.push(at, FaultKind::Partition(nodes))
+    }
+
+    /// Opts the plan into honest split-brain semantics: partitions keep
+    /// both sides live (see the field docs on [`FaultPlan`]). Validation
+    /// then additionally requires every data partition to keep one side
+    /// with a live replica-set majority for the whole window
+    /// ([`FaultPlanError::NoQuorumSide`]).
+    pub fn with_split_brain(mut self) -> Self {
+        self.split_brain = true;
+        self
+    }
+
+    /// True when the plan runs partitions in honest split-brain mode.
+    pub fn split_brain(&self) -> bool {
+        self.split_brain
     }
 
     /// Schedules the heal of the open network partition at `at`.
@@ -214,10 +256,42 @@ impl FaultPlan {
 
     /// [`FaultPlan::validate`] with a node→zone map, so zone events resolve
     /// to their member sets. Returns the final down-set for the orphan check.
-    fn simulate(&self, n_nodes: usize, zone_of: &[ZoneId]) -> Result<Vec<bool>, FaultPlanError> {
+    ///
+    /// In split-brain mode isolated nodes are *not* marked down (both sides
+    /// stay live); when `placement` is given, every instant of an open
+    /// split-brain window must leave each data partition one side holding a
+    /// live strict majority of its replica set.
+    fn simulate(
+        &self,
+        n_nodes: usize,
+        zone_of: &[ZoneId],
+        placement: Option<&Placement>,
+    ) -> Result<Vec<bool>, FaultPlanError> {
         debug_assert_eq!(zone_of.len(), n_nodes);
         let mut down = vec![false; n_nodes];
         let mut isolated: Option<Vec<NodeId>> = None;
+        // Split-brain quorum rule: with the cut `iso` open, every data
+        // partition needs one side whose live holders form a strict
+        // majority of the *full* replica set.
+        let quorum_check =
+            |at: Time, down: &[bool], iso: &[NodeId]| -> Result<(), FaultPlanError> {
+                let Some(pl) = placement else { return Ok(()) };
+                for p in 0..pl.n_partitions() {
+                    let part = PartitionId(p as u32);
+                    let holders = pl.replica_nodes(part);
+                    let rf = holders.len();
+                    let mut live = [0usize; 2];
+                    for h in &holders {
+                        if !down[h.idx()] {
+                            live[usize::from(iso.contains(h))] += 1;
+                        }
+                    }
+                    if live[0] * 2 <= rf && live[1] * 2 <= rf {
+                        return Err(FaultPlanError::NoQuorumSide { at, part });
+                    }
+                }
+                Ok(())
+            };
         let check = |n: NodeId| {
             if n.idx() >= n_nodes {
                 Err(FaultPlanError::UnknownNode(n))
@@ -241,6 +315,11 @@ impl FaultPlan {
                         return Err(FaultPlanError::AlreadyDown(*n));
                     }
                     down[n.idx()] = true;
+                    if self.split_brain {
+                        if let Some(iso) = &isolated {
+                            quorum_check(ev.at, &down, iso)?;
+                        }
+                    }
                 }
                 FaultKind::Recover(n) => {
                     check(*n)?;
@@ -261,14 +340,21 @@ impl FaultPlan {
                         if down[n.idx()] {
                             return Err(FaultPlanError::AlreadyDown(*n));
                         }
-                        down[n.idx()] = true;
+                        if !self.split_brain {
+                            down[n.idx()] = true;
+                        }
+                    }
+                    if self.split_brain {
+                        quorum_check(ev.at, &down, nodes)?;
                     }
                     isolated = Some(nodes.clone());
                 }
                 FaultKind::Heal => match isolated.take() {
                     Some(nodes) => {
-                        for n in nodes {
-                            down[n.idx()] = false;
+                        if !self.split_brain {
+                            for n in nodes {
+                                down[n.idx()] = false;
+                            }
                         }
                     }
                     None => return Err(FaultPlanError::HealWithoutPartition(ev.at)),
@@ -280,6 +366,11 @@ impl FaultPlan {
                     }
                     for i in m {
                         down[i] = true;
+                    }
+                    if self.split_brain {
+                        if let Some(iso) = &isolated {
+                            quorum_check(ev.at, &down, iso)?;
+                        }
                     }
                 }
                 FaultKind::ZoneHeal(z) => {
@@ -302,13 +393,18 @@ impl FaultPlan {
                     for z in zones {
                         for i in members(*z)? {
                             if !down[i] {
-                                down[i] = true;
+                                if !self.split_brain {
+                                    down[i] = true;
+                                }
                                 cut.push(NodeId(i as u16));
                             }
                         }
                     }
                     if cut.is_empty() {
                         return Err(FaultPlanError::EmptyPartition(ev.at));
+                    }
+                    if self.split_brain {
+                        quorum_check(ev.at, &down, &cut)?;
                     }
                     isolated = Some(cut);
                 }
@@ -326,7 +422,7 @@ impl FaultPlan {
         n_nodes: usize,
         zone_of: &[ZoneId],
     ) -> Result<(), FaultPlanError> {
-        self.simulate(n_nodes, zone_of).map(|_| ())
+        self.simulate(n_nodes, zone_of, None).map(|_| ())
     }
 
     /// Full validation against a concrete topology: the structural checks
@@ -343,7 +439,7 @@ impl FaultPlan {
         placement: &Placement,
         zone_of: &[ZoneId],
     ) -> Result<(), FaultPlanError> {
-        let down = self.simulate(placement.n_nodes(), zone_of)?;
+        let down = self.simulate(placement.n_nodes(), zone_of, Some(placement))?;
         for p in 0..placement.n_partitions() {
             let part = PartitionId(p as u32);
             let orphaned = placement
@@ -536,5 +632,88 @@ mod tests {
         // orphaned round-robin: every partition spans both racks.
         let safe = Placement::zone_spread(4, 4, 2, &zones, 2);
         assert!(forever.validate_against(&safe, &zones).is_ok());
+    }
+
+    #[test]
+    fn split_brain_keeps_both_sides_structurally_live() {
+        // Isolating one of two nodes would be WholeClusterDown-adjacent in
+        // the crash approximation; in split-brain mode both sides stay up.
+        let p = FaultPlan::new()
+            .partition_at(1, vec![n(1)])
+            .heal_at(9)
+            .with_split_brain();
+        assert!(p.split_brain());
+        assert!(p.validate(2).is_ok());
+        // The crash approximation of the same plan kills n1 for the window.
+        let legacy = FaultPlan::new().partition_at(1, vec![n(1)]).heal_at(9);
+        assert!(!legacy.split_brain());
+        assert!(legacy.validate(2).is_ok());
+        // Pairing rules are unchanged in split-brain mode.
+        let p = FaultPlan::new().heal_at(5).with_split_brain();
+        assert_eq!(p.validate(2), Err(FaultPlanError::HealWithoutPartition(5)));
+    }
+
+    #[test]
+    fn split_brain_rejects_plans_with_no_quorum_side() {
+        // rf=2: P0 lives on {N0, N1}; cutting N1 off splits its replica set
+        // 1/1 — neither side holds a strict majority.
+        let pl = Placement::round_robin(4, 4, 2);
+        let zones = two_zone_map();
+        let p = FaultPlan::new()
+            .partition_at(1_000, vec![n(1)])
+            .heal_at(9_000)
+            .with_split_brain();
+        assert_eq!(
+            p.validate_against(&pl, &zones),
+            Err(FaultPlanError::NoQuorumSide {
+                at: 1_000,
+                part: PartitionId(0)
+            })
+        );
+        // The same cut with rf=3 leaves every partition a 2/1 split: ok.
+        let pl3 = Placement::round_robin(4, 4, 3);
+        assert!(p.validate_against(&pl3, &zones).is_ok());
+        // Without split_brain the quorum rule does not apply (the isolated
+        // side is approximated as crashed, and the heal restores it).
+        let legacy = FaultPlan::new()
+            .partition_at(1_000, vec![n(1)])
+            .heal_at(9_000);
+        assert!(legacy.validate_against(&pl, &zones).is_ok());
+    }
+
+    #[test]
+    fn split_brain_quorum_holds_for_the_entire_window() {
+        // rf=3 on 4 nodes, cut {N3}: at the partition P2 = {N2, N3, N0}
+        // splits 2/1 toward the majority. Crashing N0 *inside* the window
+        // drops the majority side to 1 live holder of 3 — rejected at the
+        // crash instant, not the partition instant.
+        let pl3 = Placement::round_robin(4, 4, 3);
+        let zones = two_zone_map();
+        let p = FaultPlan::new()
+            .partition_at(1_000, vec![n(3)])
+            .crash_at(2_000, n(0))
+            .heal_at(9_000)
+            .with_split_brain();
+        assert_eq!(
+            p.validate_against(&pl3, &zones),
+            Err(FaultPlanError::NoQuorumSide {
+                at: 2_000,
+                part: PartitionId(2)
+            })
+        );
+        // The same crash after the heal is fine.
+        let p = FaultPlan::new()
+            .partition_at(1_000, vec![n(3)])
+            .heal_at(9_000)
+            .crash_at(10_000, n(0))
+            .with_split_brain();
+        assert!(p.validate_against(&pl3, &zones).is_ok());
+        // Zone cut in split-brain mode: Z1 = {N2, N3} keeps a 2/1 or 1/2
+        // majority on every rf=3 partition.
+        let p = FaultPlan::new()
+            .partition_zones_at(1_000, vec![z(1)])
+            .heal_at(9_000)
+            .with_split_brain();
+        assert!(p.validate_against(&pl3, &zones).is_ok());
     }
 }

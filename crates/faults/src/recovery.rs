@@ -110,13 +110,18 @@ pub struct FailoverDecision {
 
 /// Surviving replicas of `part` eligible for promotion, with their
 /// durability frontiers read from the [`lion_storage::ReplicaStore`]s.
+/// During a split-brain window only replicas on the failed primary's own
+/// side qualify — a crash is observed (and its failover planned) by the
+/// side that hosted the node, and promoting across the cut would hand the
+/// partition to nodes the coordinator cannot even reach.
 pub fn promotion_candidates(cluster: &Cluster, part: PartitionId) -> Vec<PromotionCandidate> {
+    let primary = cluster.placement.primary_of(part);
     cluster
         .placement
         .secondaries_of(part)
         .iter()
         .copied()
-        .filter(|&n| cluster.is_up(n))
+        .filter(|&n| cluster.is_up(n) && cluster.same_side(n, primary))
         .filter_map(|n| {
             cluster.store(n, part).map(|s| PromotionCandidate {
                 node: n,

@@ -189,6 +189,40 @@ pub enum MetricEvent {
         /// Acked-but-unshipped entries found on one partition.
         n: u64,
     },
+    /// An honest split-brain window opened: both sides stay live, quorum
+    /// sides are frozen.
+    PartitionBegin {
+        /// Split time.
+        at: Time,
+    },
+    /// A split-brain window healed: divergence reconciliation ran.
+    PartitionHeal {
+        /// Heal time.
+        at: Time,
+    },
+    /// Heal reconciliation aborted the divergent timeline's fenced epochs
+    /// and scheduled their parked clients for retry.
+    DivergentEpochAborted {
+        /// Heal time.
+        at: Time,
+        /// Epoch boundaries the divergent timeline spanned.
+        n: u64,
+    },
+    /// A commit's ack was quorum-fenced: some written partition is served
+    /// from the non-quorum side of an active split, so the ack can never
+    /// turn durable and parks until heal.
+    FencedAck {
+        /// Fencing (commit) time.
+        at: Time,
+    },
+    /// A transaction committed on the minority (non-quorum) side of an
+    /// active split — the work that keeps the minority side live. Emitted
+    /// alongside the regular `Commit` so the digest-bearing aggregate stays
+    /// byte-identical; feeds the minority-goodput series.
+    MinorityCommit {
+        /// Commit time.
+        at: Time,
+    },
 }
 
 impl MetricEvent {
@@ -212,7 +246,12 @@ impl MetricEvent {
             | MetricEvent::EpochSealed { at }
             | MetricEvent::EpochsAborted { at, .. }
             | MetricEvent::EpochRetriedAck { at }
-            | MetricEvent::AckedThenLost { at, .. } => *at,
+            | MetricEvent::AckedThenLost { at, .. }
+            | MetricEvent::PartitionBegin { at }
+            | MetricEvent::PartitionHeal { at }
+            | MetricEvent::DivergentEpochAborted { at, .. }
+            | MetricEvent::FencedAck { at }
+            | MetricEvent::MinorityCommit { at } => *at,
             MetricEvent::Failover { record, .. } => record.completed_at,
         }
     }

@@ -146,6 +146,22 @@ pub struct Metrics {
     /// the ack-at-commit durability hole; epoch group commit must keep it
     /// at zero.
     pub acked_then_lost: u64,
+    /// Split-brain windows opened (digest-excluded).
+    pub partitions_begun: u64,
+    /// Split-brain windows healed (digest-excluded).
+    pub partitions_healed: u64,
+    /// Commit acks quorum-fenced during split-brain windows: parked outside
+    /// epochs, resolved only by heal reconciliation (digest-excluded).
+    pub fenced_acks: u64,
+    /// Epoch boundaries spanned by divergent timelines aborted at heal
+    /// (digest-excluded).
+    pub divergent_epochs_aborted: u64,
+    /// Commits executed on the minority (non-quorum) side of an active
+    /// split — the availability both-sides-live buys (digest-excluded).
+    pub minority_commits: u64,
+    /// Minority-side commits per 100 ms bucket: the minority-goodput view
+    /// of a split-brain window (digest-excluded).
+    pub minority_goodput_series: RingSeries,
     /// Open unavailability windows keyed by partition index: window start
     /// plus the window's index in `unavailability`, so closing is O(1)
     /// instead of a reverse scan (quadratic under rolling-outage sweeps).
@@ -202,6 +218,12 @@ impl Metrics {
             epochs_aborted: 0,
             epoch_retried_acks: 0,
             acked_then_lost: 0,
+            partitions_begun: 0,
+            partitions_healed: 0,
+            fenced_acks: 0,
+            divergent_epochs_aborted: 0,
+            minority_commits: 0,
+            minority_goodput_series: RingSeries::new(GOODPUT_BUCKET_US),
             unavail_open: FastMap::default(),
         }
     }
@@ -360,6 +382,14 @@ impl MetricSink for Metrics {
             MetricEvent::EpochsAborted { n, .. } => self.epochs_aborted += n,
             MetricEvent::EpochRetriedAck { .. } => self.epoch_retried_acks += 1,
             MetricEvent::AckedThenLost { n, .. } => self.acked_then_lost += n,
+            MetricEvent::PartitionBegin { .. } => self.partitions_begun += 1,
+            MetricEvent::PartitionHeal { .. } => self.partitions_healed += 1,
+            MetricEvent::DivergentEpochAborted { n, .. } => self.divergent_epochs_aborted += n,
+            MetricEvent::FencedAck { .. } => self.fenced_acks += 1,
+            MetricEvent::MinorityCommit { at } => {
+                self.minority_commits += 1;
+                self.minority_goodput_series.incr(at);
+            }
         }
     }
 }

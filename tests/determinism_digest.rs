@@ -231,6 +231,68 @@ fn epoch_commit_crash_scenario_is_reproducible_and_pinned() {
     );
 }
 
+/// The honest split-brain scenario gets its own pinned digest (captured at
+/// this PR, which introduced quorum fencing): a 4-node cluster at
+/// replication factor 3 under epoch group commit takes a 2-v-2 cut mid-run
+/// with both sides kept live, and the heal applies the shadow promotions,
+/// aborts the divergent minority epochs, and retries their clients. The
+/// park/fence/heal machinery must be a pure function of the seed, and the
+/// six goldens above — which never opt into `split_brain` — must not move.
+const SPLIT_BRAIN_GOLDEN: u64 = 0xce14a2f81c5d4bbc;
+
+fn run_split_brain_scenario() -> RunReport {
+    let cfg = EngineConfig {
+        sim: SimConfig {
+            nodes: 4,
+            replication_factor: 3,
+            max_replicas: 4,
+            ..sim()
+        },
+        plan_interval_us: 300_000,
+        faults: FaultPlan::new()
+            .partition_at(SECOND / 4, vec![NodeId(2), NodeId(3)])
+            .heal_at(SECOND / 2)
+            .with_split_brain(),
+        durability: lion::engine::DurabilityConfig::epoch(5_000).with_retry_round_trip(),
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(
+        cfg,
+        Box::new(YcsbWorkload::new(
+            YcsbConfig::for_cluster(4, 4, 1_000)
+                .with_mix(0.6, 0.5)
+                .with_seed(42),
+        )),
+    );
+    let mut proto = Lion::standard();
+    eng.run(&mut proto, SECOND)
+}
+
+#[test]
+fn split_brain_scenario_is_reproducible_and_pinned() {
+    let a = run_split_brain_scenario();
+    let b = run_split_brain_scenario();
+    assert!(a.commits > 0, "split-brain scenario committed nothing");
+    assert_eq!(a.partitions_begun, 1);
+    assert_eq!(a.partitions_healed, 1);
+    assert!(a.minority_commits > 0, "minority side must stay live");
+    assert_eq!(a.acked_then_lost, 0, "no acked commit may be lost");
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "split-brain scenario diverged under one seed"
+    );
+    if std::env::var_os("LION_PRINT_DIGESTS").is_some() {
+        eprintln!("lion-split-brain: 0x{:016x}", a.digest());
+    }
+    assert_eq!(
+        a.digest(),
+        SPLIT_BRAIN_GOLDEN,
+        "split-brain digest 0x{:016x} departed from the pinned golden",
+        a.digest()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -152,6 +152,7 @@ proptest! {
         let durability = DurabilityConfig {
             epoch_commit_us: epoch_us,
             record_acks: true,
+            ..DurabilityConfig::default()
         };
         let run = run_crash_scenario(which, seed, crash_at, durability);
         prop_assert_eq!(

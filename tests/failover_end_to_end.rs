@@ -183,6 +183,165 @@ fn stalled_partition_resumes_after_recovery() {
     eng.cluster.check_invariants().unwrap();
 }
 
+/// Split-brain sim: 4 nodes at replication factor 3, so a `{N2, N3}` cut
+/// leaves every data partition a strict replica majority on one side.
+fn sb_sim() -> SimConfig {
+    SimConfig {
+        replication_factor: 3,
+        max_replicas: 4,
+        ..sim()
+    }
+}
+
+fn run_split_brain(faults: FaultPlan, horizon: Time) -> (Engine, RunReport) {
+    let cfg = EngineConfig {
+        sim: sb_sim(),
+        plan_interval_us: 500_000,
+        faults,
+        durability: DurabilityConfig::epoch(5_000).with_retry_round_trip(),
+        ..Default::default()
+    };
+    let workload = Box::new(YcsbWorkload::new(
+        YcsbConfig::for_cluster(4, 4, 2_048)
+            .with_mix(0.5, 0.0)
+            .with_seed(45),
+    ));
+    let mut eng = Engine::new(cfg, workload);
+    let mut lion = Lion::standard();
+    let report = eng.run(&mut lion, horizon);
+    (eng, report)
+}
+
+/// A node dies *inside* an open split-brain window — once on each side of
+/// the cut. 10 nodes at rf 3 with `{N5..N9}` isolated: N2's partitions are
+/// replicated wholly on the rest side and N7's wholly on the isolated side,
+/// so either crash leaves every partition a live quorum side (any other
+/// victim would be rejected by `NoQuorumSide` validation). Each side must
+/// fail the victim's partitions over within itself, and the heal must still
+/// reconcile cleanly with two nodes down.
+#[test]
+fn crash_during_split_window_on_each_side() {
+    let cfg = EngineConfig {
+        sim: SimConfig {
+            nodes: 10,
+            partitions_per_node: 2,
+            keys_per_partition: 1_000,
+            value_size: 32,
+            clients_per_node: 4,
+            replication_factor: 3,
+            max_replicas: 4,
+            ..Default::default()
+        },
+        plan_interval_us: 500_000,
+        faults: FaultPlan::new()
+            .partition_at(SECOND, (5..10).map(NodeId).collect())
+            .crash_at(SECOND + 300_000, NodeId(2))
+            .crash_at(SECOND + 500_000, NodeId(7))
+            .heal_at(2 * SECOND)
+            .with_split_brain(),
+        durability: DurabilityConfig::epoch(5_000).with_retry_round_trip(),
+        ..Default::default()
+    };
+    let workload = Box::new(YcsbWorkload::new(
+        YcsbConfig::for_cluster(10, 2, 1_000)
+            .with_mix(0.5, 0.0)
+            .with_seed(46),
+    ));
+    let mut eng = Engine::new(cfg, workload);
+    let mut lion = Lion::standard();
+    let report = eng.run(&mut lion, 3 * SECOND);
+
+    assert_eq!(report.crashes, 2);
+    assert_eq!(report.partitions_begun, 1);
+    assert_eq!(report.partitions_healed, 1);
+    assert!(
+        report.failovers > 0,
+        "each side promotes its crashed node's partitions within itself"
+    );
+    assert!(!eng.cluster.is_up(NodeId(2)));
+    assert!(!eng.cluster.is_up(NodeId(7)));
+    assert_eq!(
+        eng.cluster.placement.primaries_on(NodeId(2))
+            + eng.cluster.placement.primaries_on(NodeId(7)),
+        0,
+        "no primary may remain on a dead node after the heal"
+    );
+    assert_eq!(
+        report.acked_then_lost, 0,
+        "quorum fencing holds through mid-window crashes"
+    );
+    assert_eq!(
+        eng.epoch_manager().fenced_count(),
+        0,
+        "no fenced ack survives the heal"
+    );
+    assert!(report.commits > 1_000, "commits {}", report.commits);
+    eng.cluster.check_invariants().unwrap();
+}
+
+/// The heal lands 20 ms after the cut — inside the 53 ms failure-detect +
+/// hand-off delay — so the quorum side's `SplitPromote` events are still in
+/// flight when the window closes. The staleness guard must drop them (the
+/// pre-cut primaries simply resume) and every unavailability window the cut
+/// opened must be closed by the heal, not leak to the horizon.
+#[test]
+fn heal_races_inflight_split_promotion() {
+    let plan = FaultPlan::new()
+        .partition_at(SECOND, vec![NodeId(2), NodeId(3)])
+        .heal_at(SECOND + 20_000)
+        .with_split_brain();
+    let (eng, report) = run_split_brain(plan, 3 * SECOND);
+
+    assert_eq!(report.partitions_begun, 1);
+    assert_eq!(report.partitions_healed, 1);
+    assert_eq!(report.acked_then_lost, 0);
+    assert_eq!(eng.epoch_manager().fenced_count(), 0);
+    for w in &eng.metrics.unavailability {
+        assert!(
+            w.until.is_some(),
+            "{}: unavailability window left open past the heal",
+            w.part
+        );
+    }
+    assert!(report.commits > 1_000, "commits {}", report.commits);
+    eng.cluster.check_invariants().unwrap();
+}
+
+/// Back-to-back windows: the first cut heals 20 ms in (its promotions still
+/// queued), a second cut of the same nodes opens 20 ms later, and the
+/// first window's stale `SplitPromote` events fire *inside* the second
+/// window — the per-window sequence number must drop them while the second
+/// window's own promotions land. The final heal reconciles everything.
+#[test]
+fn back_to_back_partition_heal_partition() {
+    let cut = vec![NodeId(2), NodeId(3)];
+    let plan = FaultPlan::new()
+        .partition_at(SECOND, cut.clone())
+        .heal_at(SECOND + 20_000)
+        .partition_at(SECOND + 40_000, cut)
+        .heal_at(2 * SECOND)
+        .with_split_brain();
+    let (eng, report) = run_split_brain(plan, 3 * SECOND);
+
+    assert_eq!(report.partitions_begun, 2);
+    assert_eq!(report.partitions_healed, 2);
+    assert_eq!(report.acked_then_lost, 0);
+    assert_eq!(eng.epoch_manager().fenced_count(), 0);
+    assert!(
+        report.minority_commits > 0,
+        "the second (full-length) window commits on the minority side"
+    );
+    for w in &eng.metrics.unavailability {
+        assert!(
+            w.until.is_some(),
+            "{}: unavailability window left open past the final heal",
+            w.part
+        );
+    }
+    assert!(report.commits > 1_000, "commits {}", report.commits);
+    eng.cluster.check_invariants().unwrap();
+}
+
 #[test]
 fn network_partition_heals_like_recovery() {
     let cfg = EngineConfig {
